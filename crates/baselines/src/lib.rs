@@ -1,0 +1,29 @@
+//! Baseline algorithms used by the paper's evaluation (Section 6) plus the
+//! reference oracles the test suite compares everything against.
+//!
+//! * [`seq_bs`] — the highly-optimised sequential LIS algorithm **Seq-BS**
+//!   (`O(n log k)`): maintain the array `B[r]` = smallest tail value of an
+//!   increasing subsequence of length `r` and binary-search each element.
+//! * [`seq_avl`] — the sequential WLIS algorithm **Seq-AVL** (`O(n log n)`):
+//!   an augmented AVL tree keyed by value, storing the maximum dp value in
+//!   every subtree, queried for "max dp among keys < A_i" before each
+//!   insertion.
+//! * [`swgs_lis`] / [`swgs_wlis`] — a reimplementation of the prior parallel
+//!   algorithm **SWGS** (Shen et al., SPAA 2022) in the form this paper
+//!   describes it: the phase-parallel framework with a *wake-up scheme* on
+//!   top of auxiliary search structures, which costs extra logarithmic
+//!   factors in work compared to Algorithms 1/2.  See the module docs for
+//!   the exact construction and the substitution notes in `DESIGN.md`.
+//! * [`oracle`] — quadratic dynamic programming for LIS and WLIS, a Fenwick
+//!   WLIS, and a sequential vEB-based integer LIS; these are the ground
+//!   truth the property tests use.
+
+pub mod oracle;
+pub mod seq_avl;
+pub mod seq_bs;
+pub mod swgs;
+
+pub use oracle::{lis_dp_quadratic, lis_veb_integer, wlis_dp_quadratic, wlis_fenwick};
+pub use seq_avl::seq_avl;
+pub use seq_bs::{seq_bs, seq_bs_length};
+pub use swgs::{swgs_lis, swgs_wlis};

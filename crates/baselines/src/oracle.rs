@@ -1,0 +1,188 @@
+//! Reference implementations used as test oracles and as additional
+//! sequential baselines mentioned in the paper's preliminaries.
+
+use plis_veb::VebTree;
+
+/// `O(n²)` LIS dynamic programming (Equation 1): the ground truth for dp
+/// values on small inputs.
+pub fn lis_dp_quadratic<T: Ord>(values: &[T]) -> Vec<u32> {
+    let n = values.len();
+    let mut dp = vec![0u32; n];
+    for i in 0..n {
+        dp[i] = 1;
+        for j in 0..i {
+            if values[j] < values[i] {
+                dp[i] = dp[i].max(dp[j] + 1);
+            }
+        }
+    }
+    dp
+}
+
+/// `O(n²)` weighted LIS dynamic programming (Equation 2).
+pub fn wlis_dp_quadratic<T: Ord>(values: &[T], weights: &[u64]) -> Vec<u64> {
+    assert_eq!(values.len(), weights.len());
+    let n = values.len();
+    let mut dp = vec![0u64; n];
+    for i in 0..n {
+        let mut best = 0;
+        for j in 0..i {
+            if values[j] < values[i] {
+                best = best.max(dp[j]);
+            }
+        }
+        dp[i] = best + weights[i];
+    }
+    dp
+}
+
+/// `O(n log n)` sequential weighted LIS using a Fenwick tree over the
+/// coordinate-compressed values (prefix maxima of dp).  Used as a fast
+/// sequential WLIS cross-check.
+pub fn wlis_fenwick<T: Ord + Sync>(values: &[T], weights: &[u64]) -> Vec<u64> {
+    assert_eq!(values.len(), weights.len());
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let xr = compress_ranks_for_seq(values);
+    let m = xr.iter().copied().max().unwrap_or(0) as usize + 1;
+    let mut fen = vec![0u64; m + 1];
+    let prefix_max = |fen: &[u64], mut i: usize| -> u64 {
+        let mut best = 0;
+        while i > 0 {
+            best = best.max(fen[i]);
+            i -= i & i.wrapping_neg();
+        }
+        best
+    };
+    let raise = |fen: &mut [u64], mut i: usize, v: u64| {
+        while i < fen.len() {
+            fen[i] = fen[i].max(v);
+            i += i & i.wrapping_neg();
+        }
+    };
+    let mut dp = vec![0u64; n];
+    for i in 0..n {
+        // Keys strictly smaller than values[i] have compressed rank < xr[i],
+        // i.e. Fenwick positions 1..=xr[i].
+        let best = prefix_max(&fen, xr[i] as usize);
+        dp[i] = best + weights[i];
+        raise(&mut fen, xr[i] as usize + 1, dp[i]);
+    }
+    dp
+}
+
+/// Minimal sequential coordinate compression (the `plis-lis` crate offers a
+/// parallel one; this copy keeps the baselines self-contained).
+pub(crate) fn compress_ranks_for_seq<T: Ord>(values: &[T]) -> Vec<u64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].cmp(&values[b]));
+    let mut ranks = vec![0u64; n];
+    let mut current = 0u64;
+    for w in 0..n {
+        if w > 0 && values[order[w]] > values[order[w - 1]] {
+            current += 1;
+        }
+        ranks[order[w]] = current;
+    }
+    ranks
+}
+
+/// Sequential `O(n log log n)` LIS for *integer* inputs using a vEB tree, as
+/// sketched in the paper's preliminaries: `B[r]` of Seq-BS is replaced by a
+/// vEB tree keyed by value whose stored dp values are monotone, so the
+/// binary search becomes a predecessor query.
+///
+/// Returns the dp values and the LIS length.  The values must be smaller
+/// than `universe`.
+pub fn lis_veb_integer(values: &[u64], universe: u64) -> (Vec<u32>, u32) {
+    let mut veb = VebTree::new(universe.max(1));
+    // dp_at[v] = dp value currently associated with tail value v.
+    let mut dp_at = vec![0u32; universe.max(1) as usize];
+    let mut dp = Vec::with_capacity(values.len());
+    let mut k = 0u32;
+    for &v in values {
+        // Largest tail value strictly smaller than v.
+        let best = veb.pred(v).map(|p| dp_at[p as usize]).unwrap_or(0);
+        let mine = best + 1;
+        dp.push(mine);
+        k = k.max(mine);
+        // Insert v as a tail of length `mine`, evicting dominated tails:
+        // any stored value >= v with dp <= mine is no longer useful.
+        if veb.contains(v) {
+            if dp_at[v as usize] < mine {
+                dp_at[v as usize] = mine;
+            }
+        } else {
+            veb.insert(v);
+            dp_at[v as usize] = mine;
+        }
+        // Maintain monotonicity: successors with dp <= mine are dominated.
+        let mut cur = v;
+        while let Some(nxt) = veb.succ(cur) {
+            if dp_at[nxt as usize] <= mine {
+                veb.delete(nxt);
+                cur = v;
+            } else {
+                break;
+            }
+        }
+    }
+    (dp, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn quadratic_oracles_on_paper_example() {
+        let a = [52u64, 31, 45, 26, 61, 10, 39, 44];
+        assert_eq!(lis_dp_quadratic(&a), vec![1, 1, 2, 1, 3, 1, 2, 3]);
+        let w = vec![1u64; a.len()];
+        assert_eq!(wlis_dp_quadratic(&a, &w), vec![1, 1, 2, 1, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fenwick_wlis_matches_quadratic() {
+        let mut state = 0x1234ABCD5678u64;
+        for trial in 0..10 {
+            let n = 120 + trial * 40;
+            let a: Vec<u64> = (0..n).map(|_| xorshift(&mut state) % 250).collect();
+            let w: Vec<u64> = (0..n).map(|_| 1 + xorshift(&mut state) % 30).collect();
+            assert_eq!(wlis_fenwick(&a, &w), wlis_dp_quadratic(&a, &w), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn veb_integer_lis_matches_quadratic() {
+        let mut state = 0xBADC0FFEE0DDF00Du64;
+        for trial in 0..10 {
+            let universe = 512u64;
+            let n = 150 + trial * 50;
+            let a: Vec<u64> = (0..n).map(|_| xorshift(&mut state) % universe).collect();
+            let (dp, k) = lis_veb_integer(&a, universe);
+            let want = lis_dp_quadratic(&a);
+            assert_eq!(dp, want, "trial {trial}");
+            assert_eq!(k, *want.iter().max().unwrap());
+        }
+    }
+
+    #[test]
+    fn veb_integer_lis_edge_cases() {
+        assert_eq!(lis_veb_integer(&[], 10), (vec![], 0));
+        assert_eq!(lis_veb_integer(&[0], 1), (vec![1], 1));
+        assert_eq!(lis_veb_integer(&[3, 3, 3], 4), (vec![1, 1, 1], 1));
+        assert_eq!(lis_veb_integer(&[0, 1, 2, 3], 4).1, 4);
+        assert_eq!(lis_veb_integer(&[3, 2, 1, 0], 4).1, 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! **Seq-BS**: the sequential `O(n log k)` LIS algorithm the paper uses as
+//! its strongest sequential baseline (attributed to Knuth [50] in the
+//! paper).
+//!
+//! `B[r]` holds the smallest possible tail value of an increasing
+//! subsequence of length `r + 1` seen so far; `B` is always increasing, so
+//! each element's dp value is found with one binary search and `B` is
+//! patched in `O(1)`.
+
+/// Compute the dp value (LIS length ending at each element) of every element
+/// and the overall LIS length.  `O(n log k)` time, `O(k)` auxiliary space.
+pub fn seq_bs<T: Ord + Clone>(values: &[T]) -> (Vec<u32>, u32) {
+    let mut tails: Vec<T> = Vec::new();
+    let mut dp = Vec::with_capacity(values.len());
+    for v in values {
+        // First position whose tail is >= v: v extends a subsequence of that
+        // length; strictly-increasing LIS means equal tails are replaced.
+        let pos = tails.partition_point(|t| t < v);
+        if pos == tails.len() {
+            tails.push(v.clone());
+        } else if *v < tails[pos] {
+            tails[pos] = v.clone();
+        }
+        dp.push((pos + 1) as u32);
+    }
+    (dp, tails.len() as u32)
+}
+
+/// Only the LIS length (same algorithm, no dp array).
+pub fn seq_bs_length<T: Ord + Clone>(values: &[T]) -> u32 {
+    let mut tails: Vec<T> = Vec::new();
+    for v in values {
+        let pos = tails.partition_point(|t| t < v);
+        if pos == tails.len() {
+            tails.push(v.clone());
+        } else if *v < tails[pos] {
+            tails[pos] = v.clone();
+        }
+    }
+    tails.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::lis_dp_quadratic;
+
+    #[test]
+    fn paper_example() {
+        let a = [52u64, 31, 45, 26, 61, 10, 39, 44];
+        let (dp, k) = seq_bs(&a);
+        assert_eq!(dp, vec![1, 1, 2, 1, 3, 1, 2, 3]);
+        assert_eq!(k, 3);
+        assert_eq!(seq_bs_length(&a), 3);
+    }
+
+    #[test]
+    fn empty_monotone_and_constant() {
+        assert_eq!(seq_bs::<u64>(&[]), (vec![], 0));
+        assert_eq!(seq_bs(&[1u64, 2, 3, 4]).1, 4);
+        assert_eq!(seq_bs(&[4u64, 3, 2, 1]).1, 1);
+        assert_eq!(seq_bs(&[7u64; 10]).1, 1);
+    }
+
+    #[test]
+    fn matches_quadratic_oracle() {
+        let mut state = 0xA3EC59DC36821AEBu64;
+        for trial in 0..15 {
+            let n = 100 + trial * 77;
+            let a: Vec<u64> = (0..n)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state % 400
+                })
+                .collect();
+            let (dp, k) = seq_bs(&a);
+            let want = lis_dp_quadratic(&a);
+            assert_eq!(dp, want, "trial {trial}");
+            assert_eq!(k, *want.iter().max().unwrap());
+        }
+    }
+
+    #[test]
+    fn works_on_non_copy_types() {
+        let words: Vec<String> = ["b", "a", "c", "aa", "d"].iter().map(|s| s.to_string()).collect();
+        let (_, k) = seq_bs(&words);
+        assert_eq!(k, 3); // "a" < "aa" < "d" (among others)
+    }
+}

@@ -1,0 +1,162 @@
+//! Criterion benchmark groups mirroring every figure panel of the paper's
+//! evaluation (scaled down so `cargo bench` completes in minutes; the
+//! `src/bin/fig*` binaries run the full sweeps and print the paper-style
+//! tables).
+//!
+//! Groups:
+//! * `fig7a_lis_line`       — LIS, line pattern: Seq-BS vs SWGS vs ours.
+//! * `fig7b_lis_line_large` — LIS, line pattern, larger n: Seq-BS vs ours.
+//! * `fig7c_lis_range`      — LIS, range pattern: Seq-BS vs ours.
+//! * `fig7d_wlis_line`      — WLIS: Seq-AVL vs SWGS-W vs ours (range tree).
+//! * `fig8_speedup`         — ours on 1 thread vs all threads.
+//! * `ablation_wlis_structures` — range tree vs Range-vEB backend.
+//! * `ablation_work_bound`  — tournament-tree visit counting overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plis_baselines::{seq_avl, seq_bs_length, swgs_lis, swgs_wlis};
+use plis_bench::on_threads;
+use plis_lis::{lis_ranks_u64, lis_ranks_u64_with_stats, wlis_rangetree, wlis_rangeveb};
+use plis_workloads::{range_pattern, uniform_weights, with_target_rank};
+use std::time::Duration;
+
+const LIS_N: usize = 200_000;
+const WLIS_N: usize = 20_000;
+
+fn configure(c: &mut Criterion) -> Criterion {
+    let _ = c;
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn fig7a_lis_line(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_lis_line");
+    for &k in &[10u64, 1_000, 100_000] {
+        let input = with_target_rank(LIS_N, k, 0x7A + k);
+        group.bench_with_input(BenchmarkId::new("seq_bs", k), &input, |b, a| {
+            b.iter(|| seq_bs_length(a))
+        });
+        if k <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("swgs", k), &input, |b, a| {
+                b.iter(|| swgs_lis(a).1)
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("ours_seq", k), &input, |b, a| {
+            b.iter(|| on_threads(1, || lis_ranks_u64(a).1))
+        });
+        group.bench_with_input(BenchmarkId::new("ours_par", k), &input, |b, a| {
+            b.iter(|| lis_ranks_u64(a).1)
+        });
+    }
+    group.finish();
+}
+
+fn fig7b_lis_line_large(c: &mut Criterion) {
+    let n = LIS_N * 4;
+    let mut group = c.benchmark_group("fig7b_lis_line_large");
+    for &k in &[100u64, 10_000] {
+        let input = with_target_rank(n, k, 0x7B + k);
+        group.bench_with_input(BenchmarkId::new("seq_bs", k), &input, |b, a| {
+            b.iter(|| seq_bs_length(a))
+        });
+        group.bench_with_input(BenchmarkId::new("ours_par", k), &input, |b, a| {
+            b.iter(|| lis_ranks_u64(a).1)
+        });
+    }
+    group.finish();
+}
+
+fn fig7c_lis_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7c_lis_range");
+    for &k in &[10u64, 1_000, 30_000] {
+        let input = range_pattern(LIS_N, k, 0x7C + k);
+        group.bench_with_input(BenchmarkId::new("seq_bs", k), &input, |b, a| {
+            b.iter(|| seq_bs_length(a))
+        });
+        group.bench_with_input(BenchmarkId::new("ours_par", k), &input, |b, a| {
+            b.iter(|| lis_ranks_u64(a).1)
+        });
+    }
+    group.finish();
+}
+
+fn fig7d_wlis_line(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7d_wlis_line");
+    let weights = uniform_weights(WLIS_N, 1_000, 0x7D);
+    for &k in &[10u64, 300, 3_000] {
+        let input = with_target_rank(WLIS_N, k, 0x7D + k);
+        group.bench_with_input(BenchmarkId::new("seq_avl", k), &input, |b, a| {
+            b.iter(|| seq_avl(a, &weights))
+        });
+        group.bench_with_input(BenchmarkId::new("swgs_w", k), &input, |b, a| {
+            b.iter(|| swgs_wlis(a, &weights))
+        });
+        group.bench_with_input(BenchmarkId::new("ours_w", k), &input, |b, a| {
+            b.iter(|| wlis_rangetree(a, &weights))
+        });
+    }
+    group.finish();
+}
+
+fn fig8_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_speedup");
+    let n = LIS_N * 4;
+    for &k in &[100u64, 10_000] {
+        let line = with_target_rank(n, k, 0x80 + k);
+        let range = range_pattern(n, k, 0x81 + k);
+        for (label, input) in [("line", &line), ("range", &range)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}_1thread"), k),
+                input,
+                |b, a| b.iter(|| on_threads(1, || lis_ranks_u64(a).1)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}_all_threads"), k),
+                input,
+                |b, a| b.iter(|| lis_ranks_u64(a).1),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn ablation_wlis_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_wlis_structures");
+    let n = WLIS_N / 2;
+    let weights = uniform_weights(n, 1_000, 0xA0);
+    for &k in &[30u64, 300] {
+        let input = with_target_rank(n, k, 0xA0 + k);
+        group.bench_with_input(BenchmarkId::new("range_tree", k), &input, |b, a| {
+            b.iter(|| wlis_rangetree(a, &weights))
+        });
+        group.bench_with_input(BenchmarkId::new("range_veb", k), &input, |b, a| {
+            b.iter(|| wlis_rangeveb(a, &weights))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_work_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_work_bound");
+    let input = with_target_rank(LIS_N, 1_000, 0xB0);
+    group.bench_function("ranks_plain", |b| b.iter(|| lis_ranks_u64(&input).1));
+    group.bench_function("ranks_with_stats", |b| {
+        b.iter(|| lis_ranks_u64_with_stats(&input).1)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = configure(&mut Criterion::default());
+    targets =
+        fig7a_lis_line,
+        fig7b_lis_line_large,
+        fig7c_lis_range,
+        fig7d_wlis_line,
+        fig8_speedup,
+        ablation_wlis_structures,
+        ablation_work_bound
+}
+criterion_main!(figures);

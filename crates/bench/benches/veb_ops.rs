@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the parallel vEB tree operations
+//! (Theorems 5.1, 5.2 and C.1): batch insertion, batch deletion and the
+//! parallel range query, each against the equivalent loop of sequential
+//! single-point operations (experiment E8 in `DESIGN.md`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plis_veb::VebTree;
+use plis_workloads::random_permutation;
+use std::time::Duration;
+
+const UNIVERSE: u64 = 1 << 22;
+
+fn resident_keys() -> Vec<u64> {
+    let mut v = random_permutation(1 << 17, 3);
+    v.iter_mut().for_each(|x| *x = *x * 29 % UNIVERSE);
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn batch_keys(m: usize) -> Vec<u64> {
+    let mut v = random_permutation(m, 11 + m as u64);
+    v.iter_mut().for_each(|x| *x = (*x * 31 + 1) % UNIVERSE);
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn veb_batch_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("veb_batch_ops");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let resident = resident_keys();
+    for &m in &[1_000usize, 30_000, 300_000] {
+        let batch = batch_keys(m);
+        group.bench_with_input(BenchmarkId::new("batch_insert", m), &batch, |b, batch| {
+            b.iter_batched(
+                || VebTree::from_sorted(UNIVERSE, &resident),
+                |mut t| {
+                    t.batch_insert(batch);
+                    t.len()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("point_insert", m), &batch, |b, batch| {
+            b.iter_batched(
+                || VebTree::from_sorted(UNIVERSE, &resident),
+                |mut t| {
+                    for &k in batch {
+                        t.insert(k);
+                    }
+                    t.len()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        let mut loaded = VebTree::from_sorted(UNIVERSE, &resident);
+        loaded.batch_insert(&batch);
+        group.bench_with_input(BenchmarkId::new("batch_delete", m), &batch, |b, batch| {
+            b.iter_batched(
+                || loaded.clone(),
+                |mut t| {
+                    t.batch_delete(batch);
+                    t.len()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("range_query", m), &loaded, |b, t| {
+            b.iter(|| t.range(UNIVERSE / 4, UNIVERSE / 2).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(veb, veb_batch_ops);
+criterion_main!(veb);

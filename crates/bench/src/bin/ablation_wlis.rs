@@ -1,0 +1,29 @@
+//! Experiment E9: ablation of the WLIS dominant-max structure —
+//! range tree (Section 4.1) versus Range-vEB tree (Section 4.2).
+//!
+//! The paper proposes the Range-vEB tree to improve the theoretical work
+//! bound of WLIS; its own implementation uses the range tree because it is
+//! simpler and faster in practice.  This binary measures both backends of
+//! Algorithm 2 on the same inputs so that trade-off can be inspected
+//! directly.
+//!
+//! Run with: `cargo run --release -p plis-bench --bin ablation_wlis`
+
+use plis_bench::{bench_n, print_header, print_row, rank_sweep, time_min};
+use plis_lis::{lis_ranks_u64, wlis_rangetree, wlis_rangeveb};
+use plis_workloads::{uniform_weights, with_target_rank};
+
+fn main() {
+    let n = (bench_n() / 20).max(5_000);
+    println!("# WLIS structure ablation: range tree vs Range-vEB, n = {n}");
+    print_header("k (measured)", &["range-tree", "range-vEB"]);
+    let weights = uniform_weights(n, 1_000, 0xAB1A);
+    for &target in &rank_sweep(1_000, 1) {
+        let input = with_target_rank(n, target, 0xAB1A + target);
+        let k = lis_ranks_u64(&input).1;
+        let (t_rt, dp_rt) = time_min(|| wlis_rangetree(&input, &weights));
+        let (t_rv, dp_rv) = time_min(|| wlis_rangeveb(&input, &weights));
+        assert_eq!(dp_rt, dp_rv, "both WLIS backends must agree");
+        print_row(k as u64, &[Some(t_rt), Some(t_rv)]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 7(a): LIS running time vs. LIS length, line pattern.
+//!
+//! Paper setting: n = 10⁸, k from 1 to 10⁷, comparing Seq-BS, SWGS,
+//! Ours (1 core) and Ours (96 cores).  Here n defaults to `PLIS_BENCH_N`
+//! (1,000,000) and the machine's full core count is used for the parallel
+//! runs; SWGS is only run for k ≤ 10⁴, exactly as in the paper ("we only
+//! test SWGS on ranks up to 10⁴ because it costs too much time").
+//!
+//! Run with: `cargo run --release -p plis-bench --bin fig7a`
+
+use plis_baselines::{seq_bs_length, swgs_lis};
+use plis_bench::{bench_n, on_threads, print_header, print_row, rank_sweep, time_min};
+use plis_lis::lis_ranks_u64;
+use plis_workloads::with_target_rank;
+
+fn main() {
+    let n = bench_n();
+    let cores = num_cpus::get();
+    println!("# Figure 7(a): LIS, line pattern, n = {n}, parallel runs on {cores} threads");
+    println!("# columns: measured LIS length, then running time in seconds per algorithm");
+    print_header("k (measured)", &["Seq-BS", "SWGS", "Ours (seq)", "Ours (par)"]);
+
+    // Sweep target ranks up to n/10 (the line generator saturates near n).
+    let targets = rank_sweep((n as u64 / 10).max(1), 1);
+    for &target in &targets {
+        let input = with_target_rank(n, target, 0xF1607A + target);
+        let (t_seq_bs, k) = time_min(|| seq_bs_length(&input));
+        let t_swgs = if k <= 10_000 {
+            Some(time_min(|| swgs_lis(&input).1).0)
+        } else {
+            None
+        };
+        let (t_ours_seq, _) = time_min(|| on_threads(1, || lis_ranks_u64(&input).1));
+        let (t_ours_par, k_par) = time_min(|| lis_ranks_u64(&input).1);
+        assert_eq!(k, k_par, "parallel and sequential LIS lengths must agree");
+        print_row(k as u64, &[Some(t_seq_bs), t_swgs, Some(t_ours_seq), Some(t_ours_par)]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 7(b): LIS running time vs. LIS length, line pattern, large input.
+//!
+//! Paper setting: n = 10⁹, k from 1 to 10⁸, comparing Seq-BS, Ours (1 core)
+//! and Ours (96 cores); SWGS is excluded because it runs out of memory at
+//! this scale.  Here the "large" input is 10× the Figure-7(a) size
+//! (`10 × PLIS_BENCH_N`).
+//!
+//! Run with: `cargo run --release -p plis-bench --bin fig7b`
+
+use plis_baselines::seq_bs_length;
+use plis_bench::{bench_n, on_threads, print_header, print_row, rank_sweep, time_min};
+use plis_lis::lis_ranks_u64;
+use plis_workloads::with_target_rank;
+
+fn main() {
+    let n = bench_n() * 10;
+    let cores = num_cpus::get();
+    println!("# Figure 7(b): LIS, line pattern, n = {n}, parallel runs on {cores} threads");
+    println!("# (SWGS is excluded at this scale, as in the paper)");
+    print_header("k (measured)", &["Seq-BS", "Ours (seq)", "Ours (par)"]);
+
+    let targets = rank_sweep((n as u64 / 10).max(1), 1);
+    for &target in &targets {
+        let input = with_target_rank(n, target, 0xF1607B + target);
+        let (t_seq_bs, k) = time_min(|| seq_bs_length(&input));
+        let (t_ours_seq, _) = time_min(|| on_threads(1, || lis_ranks_u64(&input).1));
+        let (t_ours_par, k_par) = time_min(|| lis_ranks_u64(&input).1);
+        assert_eq!(k, k_par);
+        print_row(k as u64, &[Some(t_seq_bs), Some(t_ours_seq), Some(t_ours_par)]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 7(c): LIS running time vs. LIS length, range pattern.
+//!
+//! Paper setting: n = 10⁹, k′ from 1 to 6·10⁴, comparing Seq-BS,
+//! Ours (1 core) and Ours (96 cores).  Here n defaults to
+//! `10 × PLIS_BENCH_N` and k′ sweeps up to 6·10⁴ (capped at n).
+//!
+//! Run with: `cargo run --release -p plis-bench --bin fig7c`
+
+use plis_baselines::seq_bs_length;
+use plis_bench::{bench_n, on_threads, print_header, print_row, rank_sweep, time_min};
+use plis_lis::lis_ranks_u64;
+use plis_workloads::range_pattern;
+
+fn main() {
+    let n = bench_n() * 10;
+    let cores = num_cpus::get();
+    println!("# Figure 7(c): LIS, range pattern, n = {n}, parallel runs on {cores} threads");
+    print_header("k (measured)", &["Seq-BS", "Ours (seq)", "Ours (par)"]);
+
+    let max_kprime = 60_000u64.min(n as u64);
+    for &kprime in &rank_sweep(max_kprime, 1) {
+        let input = range_pattern(n, kprime, 0xF1607C + kprime);
+        let (t_seq_bs, k) = time_min(|| seq_bs_length(&input));
+        let (t_ours_seq, _) = time_min(|| on_threads(1, || lis_ranks_u64(&input).1));
+        let (t_ours_par, k_par) = time_min(|| lis_ranks_u64(&input).1);
+        assert_eq!(k, k_par);
+        print_row(k as u64, &[Some(t_seq_bs), Some(t_ours_seq), Some(t_ours_par)]);
+    }
+}

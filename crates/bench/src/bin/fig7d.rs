@@ -1,0 +1,33 @@
+//! Figure 7(d): weighted LIS running time vs. LIS length, line pattern.
+//!
+//! Paper setting: n = 10⁸, k from 1 to 3000, comparing Seq-AVL, SWGS and
+//! Ours-W (the range-tree WLIS of Algorithm 2) on 96 cores, with uniformly
+//! random weights.  Here n defaults to `PLIS_BENCH_N / 10` (the WLIS
+//! structures are a log-factor heavier than the LIS ones, mirroring the
+//! paper's smaller WLIS scale).
+//!
+//! Run with: `cargo run --release -p plis-bench --bin fig7d`
+
+use plis_baselines::{seq_avl, swgs_wlis};
+use plis_bench::{bench_n, print_header, print_row, rank_sweep, time_min};
+use plis_lis::{lis_ranks_u64, wlis_rangetree};
+use plis_workloads::{uniform_weights, with_target_rank};
+
+fn main() {
+    let n = (bench_n() / 10).max(10_000);
+    let cores = num_cpus::get();
+    println!("# Figure 7(d): weighted LIS, line pattern, n = {n}, parallel runs on {cores} threads");
+    print_header("k (measured)", &["Seq-AVL", "SWGS-W", "Ours-W"]);
+
+    let weights = uniform_weights(n, 1_000, 0xD00D);
+    for &target in &rank_sweep(3_000, 1) {
+        let input = with_target_rank(n, target, 0xF1607D + target);
+        let k = lis_ranks_u64(&input).1;
+        let (t_avl, dp_avl) = time_min(|| seq_avl(&input, &weights));
+        let (t_swgs, dp_swgs) = time_min(|| swgs_wlis(&input, &weights));
+        let (t_ours, dp_ours) = time_min(|| wlis_rangetree(&input, &weights));
+        assert_eq!(dp_avl, dp_ours, "WLIS dp values must agree (ours vs Seq-AVL)");
+        assert_eq!(dp_swgs, dp_ours, "WLIS dp values must agree (ours vs SWGS)");
+        print_row(k as u64, &[Some(t_avl), Some(t_swgs), Some(t_ours)]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 8(a)/(b): self-relative speedup of the parallel LIS algorithm.
+//!
+//! Paper setting: n = 10⁹, k ∈ {10², 10⁴}, thread counts
+//! 1, 2, 4, 8, 24, 48, 96, 96h, line and range patterns, with the Seq-BS
+//! time shown as a reference line.  Here n defaults to `10 × PLIS_BENCH_N`
+//! and the thread counts are powers of two up to the machine's core count.
+//!
+//! Run with: `cargo run --release -p plis-bench --bin fig8`
+
+use plis_baselines::seq_bs_length;
+use plis_bench::{bench_n, on_threads, time_min};
+use plis_lis::lis_ranks_u64;
+use plis_workloads::{range_pattern, with_target_rank};
+
+fn thread_counts() -> Vec<usize> {
+    let max = num_cpus::get();
+    let mut out = vec![1usize];
+    while *out.last().unwrap() * 2 <= max {
+        out.push(out.last().unwrap() * 2);
+    }
+    if *out.last().unwrap() != max {
+        out.push(max);
+    }
+    out
+}
+
+fn panel(label: &str, target_k: u64, n: usize) {
+    println!("# Figure 8 panel: {label}, target k = {target_k}, n = {n}");
+    let line = with_target_rank(n, target_k, 0xF160_8000 + target_k);
+    let range = range_pattern(n, target_k, 0xF160_8001 + target_k);
+    let (t_bs_line, k_line) = time_min(|| seq_bs_length(&line));
+    let (t_bs_range, k_range) = time_min(|| seq_bs_length(&range));
+    println!("# measured k: line = {k_line}, range = {k_range}");
+    println!("# Seq-BS reference: line = {t_bs_line:.4}s, range = {t_bs_range:.4}s");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12}",
+        "threads", "Ours-Line (s)", "Ours-Range (s)", "su-Line", "su-Range"
+    );
+    let mut base_line = 0.0;
+    let mut base_range = 0.0;
+    for &threads in &thread_counts() {
+        let (t_line, _) = time_min(|| on_threads(threads, || lis_ranks_u64(&line).1));
+        let (t_range, _) = time_min(|| on_threads(threads, || lis_ranks_u64(&range).1));
+        if threads == 1 {
+            base_line = t_line;
+            base_range = t_range;
+        }
+        println!(
+            "{:>8} {:>14.4} {:>14.4} {:>12.2} {:>12.2}",
+            threads,
+            t_line,
+            t_range,
+            base_line / t_line,
+            base_range / t_range
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let n = bench_n() * 10;
+    panel("(a) k = 10^2", 100, n);
+    panel("(b) k = 10^4", 10_000, n);
+}

@@ -1,0 +1,91 @@
+//! Experiment E8: parallel vEB batch operations versus repeated sequential
+//! operations (Theorems 5.1 / 5.2 / C.1).
+//!
+//! Sweeps the batch size `m` on a fixed universe and compares
+//! `BatchInsert` / `BatchDelete` / `Range` against performing the same work
+//! with `m` single-point operations (or an iterated `Succ` walk for the
+//! range query).
+//!
+//! Run with: `cargo run --release -p plis-bench --bin veb_scaling`
+
+use plis_bench::{print_header, time_min};
+use plis_veb::VebTree;
+use plis_workloads::random_permutation;
+
+fn main() {
+    let universe: u64 = 1 << 24;
+    let resident: Vec<u64> = {
+        let mut v = random_permutation(1 << 20, 7);
+        v.iter_mut().for_each(|x| *x *= 13);
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    println!("# Parallel vEB batch operations, universe = 2^24, resident keys = {}", resident.len());
+    print_header("batch m", &["batch-ins", "point-ins", "batch-del", "point-del", "range", "succ-walk"]);
+
+    for &m in &[1_000usize, 10_000, 100_000, 1_000_000] {
+        let batch: Vec<u64> = {
+            let mut v = random_permutation(m, 99 + m as u64);
+            v.iter_mut().for_each(|x| *x = *x * 16 + 1);
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        // Batch insertion vs point insertions.
+        let (t_bi, _) = time_min(|| {
+            let mut t = VebTree::from_sorted(universe, &resident);
+            t.batch_insert(&batch);
+            t.len()
+        });
+        let (t_pi, _) = time_min(|| {
+            let mut t = VebTree::from_sorted(universe, &resident);
+            for &k in &batch {
+                t.insert(k);
+            }
+            t.len()
+        });
+        // Batch deletion vs point deletions (delete the batch just added).
+        let mut full = VebTree::from_sorted(universe, &resident);
+        full.batch_insert(&batch);
+        let (t_bd, _) = time_min(|| {
+            let mut t = full.clone();
+            t.batch_delete(&batch);
+            t.len()
+        });
+        let (t_pd, _) = time_min(|| {
+            let mut t = full.clone();
+            for &k in &batch {
+                t.delete(k);
+            }
+            t.len()
+        });
+        // Parallel range query vs an iterated successor walk.
+        let lo = universe / 4;
+        let hi = universe / 2;
+        let (t_range, reported) = time_min(|| full.range(lo, hi).len());
+        let (t_walk, walked) = time_min(|| {
+            let mut count = 0usize;
+            let mut cur = if full.contains(lo) { Some(lo) } else { full.succ(lo) };
+            while let Some(c) = cur {
+                if c > hi {
+                    break;
+                }
+                count += 1;
+                cur = full.succ(c);
+            }
+            count
+        });
+        assert_eq!(reported, walked);
+        println!(
+            "{:>12} {:>14.4} {:>14.4} {:>14.4} {:>14.4} {:>14.4} {:>14.4}",
+            batch.len(),
+            t_bi,
+            t_pi,
+            t_bd,
+            t_pd,
+            t_range,
+            t_walk
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Shared harness code for the figure-reproducing benchmark binaries.
+//!
+//! Every panel of the paper's evaluation (Figures 7 and 8) has a binary in
+//! `src/bin/` that prints the same series the paper plots; the knobs below
+//! let the sweep be scaled to the reproduction machine
+//! (the paper used `n = 10⁸…10⁹` on 96 cores — see the substitution notes
+//! in `DESIGN.md` and the recorded results in `EXPERIMENTS.md`).
+//!
+//! Environment variables:
+//! * `PLIS_BENCH_N` — input size for the Figure-7 sweeps (default 1,000,000).
+//! * `PLIS_BENCH_REPEATS` — timed repetitions per cell; the minimum is
+//!   reported (default 3).
+
+use std::time::Instant;
+
+/// Input size for the figure sweeps (`PLIS_BENCH_N`, default 1,000,000).
+pub fn bench_n() -> usize {
+    std::env::var("PLIS_BENCH_N").ok().and_then(|s| s.parse().ok()).unwrap_or(1_000_000)
+}
+
+/// Number of timed repetitions per cell (`PLIS_BENCH_REPEATS`, default 3).
+pub fn bench_repeats() -> usize {
+    std::env::var("PLIS_BENCH_REPEATS").ok().and_then(|s| s.parse().ok()).unwrap_or(3).max(1)
+}
+
+/// Time `f`, returning the minimum wall-clock seconds over
+/// [`bench_repeats`] runs together with the result of the last run.
+pub fn time_min<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let repeats = bench_repeats();
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("at least one repetition"))
+}
+
+/// Run `f` on a dedicated rayon pool with `threads` workers.
+pub fn on_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool")
+        .install(f)
+}
+
+/// Geometrically spaced target ranks from 1 to `max` (inclusive-ish),
+/// mirroring the paper's log-spaced x axes.
+pub fn rank_sweep(max: u64, points_per_decade: u32) -> Vec<u64> {
+    let mut out = vec![1u64];
+    let factor = 10f64.powf(1.0 / points_per_decade as f64);
+    let mut cur = 1f64;
+    while (cur * factor) as u64 <= max {
+        cur *= factor;
+        let v = cur.round() as u64;
+        if *out.last().unwrap() != v {
+            out.push(v);
+        }
+    }
+    if *out.last().unwrap() != max {
+        out.push(max);
+    }
+    out
+}
+
+/// Print a table header: the first column plus one column per series.
+pub fn print_header(first: &str, series: &[&str]) {
+    print!("{first:>12}");
+    for s in series {
+        print!(" {s:>14}");
+    }
+    println!();
+}
+
+/// Print one row: the sweep value plus one number per series (seconds or a
+/// dash for "not run", as the paper does for SWGS at large k).
+pub fn print_row(first: u64, cells: &[Option<f64>]) {
+    print!("{first:>12}");
+    for c in cells {
+        match c {
+            Some(v) => print!(" {v:>14.4}"),
+            None => print!(" {:>14}", "-"),
+        }
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_sweep_is_increasing_and_bounded() {
+        let sweep = rank_sweep(100_000, 1);
+        assert_eq!(sweep.first(), Some(&1));
+        assert_eq!(sweep.last(), Some(&100_000));
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn rank_sweep_single_point() {
+        assert_eq!(rank_sweep(1, 1), vec![1]);
+    }
+
+    #[test]
+    fn timing_returns_result() {
+        let (secs, value) = time_min(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn on_threads_runs_on_requested_pool() {
+        let n = on_threads(2, || rayon::current_num_threads());
+        assert_eq!(n, 2);
+    }
+}

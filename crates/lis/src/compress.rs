@@ -1,0 +1,72 @@
+//! Coordinate compression.
+//!
+//! The WLIS structures index their first dimension by the *rank* of the
+//! input value (ties share a rank), keeping the algorithm comparison-based:
+//! only the relative order of the inputs ever matters, exactly as the paper
+//! requires ("we assume general input and only use comparisons").
+
+use rayon::prelude::*;
+
+/// Map every element of `values` to its dense rank: the number of distinct
+/// values strictly smaller than it.  Equal values share a rank, so the
+/// strict comparison `rank(a) < rank(b)` holds exactly when `a < b`.
+///
+/// `O(n log n)` work, polylogarithmic span.
+pub fn compress_to_ranks<T: Ord + Sync>(values: &[T]) -> Vec<u64> {
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.par_sort_by(|&a, &b| values[a as usize].cmp(&values[b as usize]));
+    // Assign ranks along the sorted order; ties keep the previous rank.
+    let mut ranks = vec![0u64; n];
+    let mut current = 0u64;
+    for w in 0..n {
+        if w > 0 && values[order[w] as usize] > values[order[w - 1] as usize] {
+            current += 1;
+        }
+        ranks[order[w] as usize] = current;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        assert!(compress_to_ranks::<u64>(&[]).is_empty());
+    }
+
+    #[test]
+    fn distinct_values() {
+        let v = vec![30u64, 10, 20];
+        assert_eq!(compress_to_ranks(&v), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn ties_share_ranks() {
+        let v = vec![5u64, 1, 5, 3, 1];
+        assert_eq!(compress_to_ranks(&v), vec![2, 0, 2, 1, 0]);
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let v: Vec<i64> = vec![-5, 100, 0, -5, 7];
+        let r = compress_to_ranks(&v);
+        for i in 0..v.len() {
+            for j in 0..v.len() {
+                assert_eq!(v[i] < v[j], r[i] < r[j], "pair ({i},{j})");
+                assert_eq!(v[i] == v[j], r[i] == r[j], "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_strings() {
+        let v = vec!["pear".to_string(), "apple".into(), "mango".into(), "apple".into()];
+        assert_eq!(compress_to_ranks(&v), vec![2, 0, 1, 0]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Recovering an actual LIS from the rank array (Appendix A).
+//!
+//! Lemma A.1: for an object with rank `r`, the *smallest* object with rank
+//! `r − 1` before it is a best decision; by Lemma A.2 the rank-`(r − 1)`
+//! objects are non-increasing in value along increasing index, so the
+//! smallest one before index `i` is simply the *last* one before index `i`,
+//! which a binary search over the frontier's (sorted) index list finds in
+//! `O(log n)`.
+
+use plis_primitives::group_by_rank;
+
+/// Return the indices (increasing) of one longest increasing subsequence of
+/// `values`, using the ranks produced by Algorithm 1.
+pub fn lis_indices<T: Ord + Sync>(values: &[T]) -> Vec<usize> {
+    let (ranks, k) = crate::lis_ranks(values);
+    lis_indices_from_ranks(values, &ranks, k)
+}
+
+/// As [`lis_indices`], but reusing ranks that were already computed.
+///
+/// # Panics
+/// Panics if `ranks`/`k` are inconsistent with `values` (e.g. not produced
+/// by [`crate::lis_ranks`]).
+pub fn lis_indices_from_ranks<T: Ord>(values: &[T], ranks: &[u32], k: u32) -> Vec<usize> {
+    assert_eq!(values.len(), ranks.len(), "ranks must cover every value");
+    if k == 0 {
+        assert!(values.is_empty(), "k = 0 requires an empty input");
+        return Vec::new();
+    }
+    // frontiers[r - 1] lists, in increasing index order, the objects of rank r.
+    let rank_keys: Vec<usize> = ranks.iter().map(|&r| (r - 1) as usize).collect();
+    let frontiers = group_by_rank(&rank_keys, k as usize);
+    assert!(frontiers.iter().all(|f| !f.is_empty()), "every rank 1..=k must be populated");
+
+    let mut out = Vec::with_capacity(k as usize);
+    // Start from the first (leftmost) object of the top frontier and walk
+    // down one rank at a time.
+    let mut current = frontiers[k as usize - 1][0];
+    out.push(current);
+    for r in (1..k).rev() {
+        let frontier = &frontiers[(r - 1) as usize];
+        // Last index in this frontier that is strictly before `current`.
+        let pos = frontier.partition_point(|&idx| idx < current);
+        assert!(pos > 0, "a rank-{r} predecessor must exist before index {current}");
+        let chosen = frontier[pos - 1];
+        debug_assert!(values[chosen] < values[current], "best decision must be smaller");
+        out.push(chosen);
+        current = chosen;
+    }
+    out.reverse();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_valid_lis<T: Ord + std::fmt::Debug>(values: &[T], indices: &[usize], expected_len: u32) {
+        assert_eq!(indices.len(), expected_len as usize);
+        assert!(indices.windows(2).all(|w| w[0] < w[1]), "indices must increase: {indices:?}");
+        assert!(
+            indices.windows(2).all(|w| values[w[0]] < values[w[1]]),
+            "values must strictly increase along the subsequence"
+        );
+    }
+
+    #[test]
+    fn paper_example_reconstruction() {
+        let a = [52u64, 31, 45, 26, 61, 10, 39, 44];
+        let lis = lis_indices(&a);
+        assert_valid_lis(&a, &lis, 3);
+    }
+
+    #[test]
+    fn empty_and_monotone() {
+        assert!(lis_indices::<u64>(&[]).is_empty());
+        let inc: Vec<u64> = (0..100).collect();
+        assert_valid_lis(&inc, &lis_indices(&inc), 100);
+        let dec: Vec<u64> = (0..100).rev().collect();
+        assert_valid_lis(&dec, &lis_indices(&dec), 1);
+    }
+
+    #[test]
+    fn duplicates_do_not_extend_the_subsequence() {
+        let a = [3u64, 3, 3, 4, 4, 5];
+        let lis = lis_indices(&a);
+        assert_valid_lis(&a, &lis, 3);
+    }
+
+    #[test]
+    fn random_inputs_reconstruct_valid_optimal_subsequences() {
+        let mut state = 0xC6A4A7935BD1E995u64;
+        for trial in 0..10 {
+            let n = 300 + trial * 100;
+            let a: Vec<u64> = (0..n)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state % 1000
+                })
+                .collect();
+            let (ranks, k) = crate::lis_ranks_u64(&a);
+            let lis = lis_indices_from_ranks(&a, &ranks, k);
+            assert_valid_lis(&a, &lis, k);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Algorithm 2: the parallel weighted LIS algorithm.
+//!
+//! The dp recurrence (Equation 2) is
+//! `dp[i] = w_i + max(0, max_{j<i, A_j<A_i} dp[j])`.
+//! The phase-parallel driver first computes every object's rank with
+//! Algorithm 1, groups the objects into frontiers by rank, and then
+//! processes the frontiers in order: all dp values inside one frontier are
+//! independent (their predecessors all have strictly smaller ranks), so they
+//! are computed by parallel *dominant-max* queries and then written back to
+//! the structure as a batch.
+//!
+//! The structure is pluggable through [`DominantMaxBackend`]:
+//! [`wlis_rangetree`] uses the parallel range tree of `plis-rangetree`
+//! (Theorem 4.1) and [`wlis_rangeveb`] the Range-vEB tree of `plis-rangeveb`
+//! (Theorem 1.2).
+
+use crate::compress::compress_to_ranks;
+use plis_primitives::group_by_rank;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A dominant-max structure usable by the WLIS driver (the `RangeStruct` of
+/// Algorithm 2): built once over the full point set, queried with strict 2D
+/// dominance, updated frontier by frontier.
+pub trait DominantMaxBackend: Sized + Sync {
+    /// Build the structure over `points = (x, y)` pairs (scores start at 0).
+    fn build(points: &[(u64, u64)]) -> Self;
+    /// Maximum score among points with `x < qx` and `y < qy`, or 0.
+    fn dominant_max(&self, qx: u64, qy: u64) -> u64;
+    /// Set the scores of a batch of `(x, y, score)` entries.
+    fn update_batch(&mut self, updates: &[(u64, u64, u64)]);
+    /// Short human-readable name used by the benchmark reports.
+    fn name() -> &'static str;
+}
+
+impl DominantMaxBackend for plis_rangetree::RangeMaxTree {
+    fn build(points: &[(u64, u64)]) -> Self {
+        let pts: Vec<plis_rangetree::Point2> =
+            points.iter().map(|&(x, y)| plis_rangetree::Point2 { x, y }).collect();
+        plis_rangetree::RangeMaxTree::new(&pts)
+    }
+    fn dominant_max(&self, qx: u64, qy: u64) -> u64 {
+        plis_rangetree::RangeMaxTree::dominant_max(self, qx, qy)
+    }
+    fn update_batch(&mut self, updates: &[(u64, u64, u64)]) {
+        let ups: Vec<plis_rangetree::ScoreUpdate> = updates
+            .iter()
+            .map(|&(x, y, score)| plis_rangetree::ScoreUpdate {
+                point: plis_rangetree::Point2 { x, y },
+                score,
+            })
+            .collect();
+        plis_rangetree::RangeMaxTree::update_batch(self, &ups);
+    }
+    fn name() -> &'static str {
+        "range-tree"
+    }
+}
+
+impl DominantMaxBackend for plis_rangeveb::RangeVeb {
+    fn build(points: &[(u64, u64)]) -> Self {
+        let pts: Vec<plis_rangeveb::Point2> =
+            points.iter().map(|&(x, y)| plis_rangeveb::Point2 { x, y }).collect();
+        plis_rangeveb::RangeVeb::new(&pts)
+    }
+    fn dominant_max(&self, qx: u64, qy: u64) -> u64 {
+        plis_rangeveb::RangeVeb::dominant_max(self, qx, qy)
+    }
+    fn update_batch(&mut self, updates: &[(u64, u64, u64)]) {
+        let ups: Vec<plis_rangeveb::ScoreUpdate> = updates
+            .iter()
+            .map(|&(x, y, score)| plis_rangeveb::ScoreUpdate {
+                point: plis_rangeveb::Point2 { x, y },
+                score,
+            })
+            .collect();
+        plis_rangeveb::RangeVeb::update_batch(self, &ups);
+    }
+    fn name() -> &'static str {
+        "range-veb"
+    }
+}
+
+/// Weighted LIS over an arbitrary comparable element type using the chosen
+/// dominant-max backend.  Returns the dp values of every object
+/// (`dp[i] = w_i + max(0, max_{j<i, A_j<A_i} dp[j])`).
+///
+/// # Panics
+/// Panics if `values` and `weights` have different lengths.
+pub fn wlis_with<T: Ord + Sync, S: DominantMaxBackend>(values: &[T], weights: &[u64]) -> Vec<u64> {
+    assert_eq!(values.len(), weights.len(), "one weight per value is required");
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Line 11 of Alg. 2: ranks via Alg. 1, then group indices into frontiers.
+    let (ranks, k) = crate::lis_ranks(values);
+    let rank_keys: Vec<usize> = ranks.iter().map(|&r| (r - 1) as usize).collect();
+    let frontiers = group_by_rank(&rank_keys, k as usize);
+
+    // Lines 12–13: one 2D point per object, x = value rank, y = index.
+    let xranks = compress_to_ranks(values);
+    let points: Vec<(u64, u64)> = (0..n).map(|i| (xranks[i], i as u64)).collect();
+    let mut structure = S::build(&points);
+
+    // Lines 14–18: process the frontiers in rank order.
+    let dp: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    for frontier in &frontiers {
+        // Queries of one frontier are independent: all dependencies have
+        // strictly smaller ranks and are already in the structure.
+        let updates: Vec<(u64, u64, u64)> = frontier
+            .par_iter()
+            .map(|&j| {
+                let best = structure.dominant_max(xranks[j], j as u64);
+                let value = best + weights[j];
+                dp[j].store(value, Ordering::Relaxed);
+                (xranks[j], j as u64, value)
+            })
+            .collect();
+        structure.update_batch(&updates);
+    }
+    dp.into_iter().map(AtomicU64::into_inner).collect()
+}
+
+/// Weighted LIS using the parallel range tree (the practical configuration,
+/// Theorem 4.1: `O(n log² n)` work, `O(k log² n)` span).
+pub fn wlis_rangetree<T: Ord + Sync>(values: &[T], weights: &[u64]) -> Vec<u64> {
+    wlis_with::<T, plis_rangetree::RangeMaxTree>(values, weights)
+}
+
+/// Weighted LIS using the Range-vEB tree (the theoretical configuration,
+/// Theorem 1.2).
+pub fn wlis_rangeveb<T: Ord + Sync>(values: &[T], weights: &[u64]) -> Vec<u64> {
+    wlis_with::<T, plis_rangeveb::RangeVeb>(values, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n²) oracle for the weighted dp recurrence.
+    fn oracle_wdp(a: &[u64], w: &[u64]) -> Vec<u64> {
+        let n = a.len();
+        let mut dp = vec![0u64; n];
+        for i in 0..n {
+            let mut best = 0;
+            for j in 0..i {
+                if a[j] < a[i] {
+                    best = best.max(dp[j]);
+                }
+            }
+            dp[i] = best + w[i];
+        }
+        dp
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(wlis_rangetree::<u64>(&[], &[]).is_empty());
+        assert!(wlis_rangeveb::<u64>(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_lis_ranks() {
+        let a = [52u64, 31, 45, 26, 61, 10, 39, 44];
+        let w = vec![1u64; a.len()];
+        let expect: Vec<u64> = vec![1, 1, 2, 1, 3, 1, 2, 3];
+        assert_eq!(wlis_rangetree(&a, &w), expect);
+        assert_eq!(wlis_rangeveb(&a, &w), expect);
+    }
+
+    #[test]
+    fn weighted_example_prefers_heavy_objects() {
+        // Values increasing, but a single huge weight dominates.
+        let a = [1u64, 2, 3, 4];
+        let w = [1u64, 100, 1, 1];
+        let dp = wlis_rangetree(&a, &w);
+        assert_eq!(dp, vec![1, 101, 102, 103]);
+    }
+
+    #[test]
+    fn duplicates_do_not_chain() {
+        let a = [5u64, 5, 5];
+        let w = [2u64, 3, 4];
+        assert_eq!(wlis_rangetree(&a, &w), vec![2, 3, 4]);
+        assert_eq!(wlis_rangeveb(&a, &w), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn both_backends_match_the_oracle_on_random_inputs() {
+        let mut state = 0x41C64E6D12345u64;
+        for trial in 0..8 {
+            let n = 150 + trial * 60;
+            let a: Vec<u64> = (0..n).map(|_| xorshift(&mut state) % 300).collect();
+            let w: Vec<u64> = (0..n).map(|_| 1 + xorshift(&mut state) % 50).collect();
+            let want = oracle_wdp(&a, &w);
+            assert_eq!(wlis_rangetree(&a, &w), want, "range tree, trial {trial}");
+            assert_eq!(wlis_rangeveb(&a, &w), want, "range vEB, trial {trial}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per value")]
+    fn mismatched_lengths_panic() {
+        wlis_rangetree(&[1u64, 2], &[1u64]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Grouping by small integer keys (parallel counting sort).
+//!
+//! Algorithm 2 needs the frontiers `F_1..k`: all indices grouped by their
+//! rank.  Ranks lie in `1..=k`, so a counting sort achieves the `O(n)` work /
+//! `O(log n + k)`-ish span grouping the paper calls for, instead of a full
+//! comparison sort.
+
+use rayon::prelude::*;
+
+/// Histogram of key occurrences: `out[key]` = number of `i` with
+/// `keys[i] == key`.  `num_keys` must be strictly greater than every key.
+pub fn histogram(keys: &[usize], num_keys: usize) -> Vec<usize> {
+    // Per-chunk local histograms, then a reduction.  Work O(n + num_keys·P′)
+    // where P′ is the number of chunks; with GRAIN-sized chunks the second
+    // term is O(n) as well whenever num_keys ≤ GRAIN, which holds for the
+    // rank distributions we care about (k ≤ n).
+    let chunk = crate::par::GRAIN.max(num_keys / 4 + 1);
+    keys.par_chunks(chunk)
+        .map(|part| {
+            let mut h = vec![0usize; num_keys];
+            for &k in part {
+                assert!(k < num_keys, "key {k} out of range (num_keys = {num_keys})");
+                h[k] += 1;
+            }
+            h
+        })
+        .reduce(
+            || vec![0usize; num_keys],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+/// Group the indices `0..keys.len()` by key: returns `groups` where
+/// `groups[key]` lists, in increasing order, every index `i` with
+/// `keys[i] == key`.
+///
+/// This is how the WLIS driver turns the rank array produced by the LIS pass
+/// into frontiers (`groups[r]` = indices of all objects with rank `r`).
+pub fn group_by_rank(keys: &[usize], num_keys: usize) -> Vec<Vec<usize>> {
+    if num_keys == 0 {
+        assert!(keys.is_empty(), "non-empty keys with num_keys == 0");
+        return Vec::new();
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::with_capacity(num_keys);
+    let counts = histogram(keys, num_keys);
+    for c in &counts {
+        groups.push(Vec::with_capacity(*c));
+    }
+    // Filling the groups in parallel per-key: each key's bucket is
+    // independent, so parallelise over the buckets and scan the key array
+    // once per non-empty bucket is too much work (O(n·k)).  Instead do one
+    // sequential pass, which is O(n) and in practice dominated by the LIS
+    // pass itself; the parallel histogram above already gives exact
+    // capacities so no reallocation happens.
+    for (i, &k) in keys.iter().enumerate() {
+        groups[k].push(i);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_small() {
+        let keys = vec![0, 1, 1, 2, 2, 2];
+        assert_eq!(histogram(&keys, 4), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        assert_eq!(histogram(&[], 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn histogram_rejects_out_of_range() {
+        histogram(&[5], 3);
+    }
+
+    #[test]
+    fn histogram_large_matches_naive() {
+        let n = 200_000usize;
+        let num_keys = 97;
+        let keys: Vec<usize> = (0..n).map(|i| (i * i + 3 * i) % num_keys).collect();
+        let got = histogram(&keys, num_keys);
+        let mut want = vec![0usize; num_keys];
+        for &k in &keys {
+            want[k] += 1;
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn group_by_rank_collects_sorted_indices() {
+        let keys = vec![2, 0, 1, 0, 2, 2];
+        let groups = group_by_rank(&keys, 3);
+        assert_eq!(groups[0], vec![1, 3]);
+        assert_eq!(groups[1], vec![2]);
+        assert_eq!(groups[2], vec![0, 4, 5]);
+    }
+
+    #[test]
+    fn group_by_rank_total_size_preserved() {
+        let n = 50_000usize;
+        let k = 513usize;
+        let keys: Vec<usize> = (0..n).map(|i| (i * 7919) % k).collect();
+        let groups = group_by_rank(&keys, k);
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), n);
+        for (key, g) in groups.iter().enumerate() {
+            assert!(g.windows(2).all(|w| w[0] < w[1]), "indices must be increasing");
+            assert!(g.iter().all(|&i| keys[i] == key));
+        }
+    }
+
+    #[test]
+    fn group_by_rank_empty() {
+        assert!(group_by_rank(&[], 0).is_empty());
+        let g = group_by_rank(&[], 5);
+        assert_eq!(g.len(), 5);
+        assert!(g.iter().all(Vec::is_empty));
+    }
+}

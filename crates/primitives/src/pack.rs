@@ -1,0 +1,115 @@
+//! Parallel pack / filter.
+//!
+//! Packing the elements selected by a flag vector into a contiguous output is
+//! the workhorse of the phase-parallel framework: frontiers, refined
+//! insertion lists (`L_i` in Alg. 3), and the new-high-bit sets `H`/`B'` of
+//! the vEB batch insertion (Alg. 4) are all produced by a filter.
+//! Work `O(n)`, span `O(log n)`.
+
+use rayon::prelude::*;
+
+/// Return the elements of `a` whose corresponding `flags` entry is true,
+/// preserving order.
+///
+/// # Panics
+/// Panics if `a.len() != flags.len()`.
+pub fn pack<T: Clone + Send + Sync>(a: &[T], flags: &[bool]) -> Vec<T> {
+    assert_eq!(a.len(), flags.len(), "pack: length mismatch");
+    a.par_iter()
+        .zip(flags.par_iter())
+        .filter(|(_, &f)| f)
+        .map(|(x, _)| x.clone())
+        .collect()
+}
+
+/// Return the *indices* `i` for which `flags[i]` is true, in increasing order.
+pub fn pack_index(flags: &[bool]) -> Vec<usize> {
+    flags
+        .par_iter()
+        .enumerate()
+        .filter(|(_, &f)| f)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Return the indices `i` in `0..n` for which `pred(i)` holds, in increasing
+/// order.  Equivalent to `pack_index` with a computed flag vector but without
+/// materialising it.
+pub fn pack_indices_where<F>(n: usize, pred: F) -> Vec<usize>
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    (0..n).into_par_iter().filter(|&i| pred(i)).collect()
+}
+
+/// Split `a` into `(selected, rejected)` by the flag vector, both preserving
+/// order.  Used when the wake-up baseline must keep the postponed objects.
+pub fn partition_flags<T: Clone + Send + Sync>(a: &[T], flags: &[bool]) -> (Vec<T>, Vec<T>) {
+    assert_eq!(a.len(), flags.len(), "partition_flags: length mismatch");
+    let yes = pack(a, flags);
+    let inverted: Vec<bool> = flags.par_iter().map(|&f| !f).collect();
+    let no = pack(a, &inverted);
+    (yes, no)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_keeps_order() {
+        let a: Vec<u32> = (0..10).collect();
+        let flags: Vec<bool> = a.iter().map(|x| x % 3 == 0).collect();
+        assert_eq!(pack(&a, &flags), vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn pack_empty() {
+        let a: Vec<u32> = vec![];
+        assert!(pack(&a, &[]).is_empty());
+    }
+
+    #[test]
+    fn pack_none_selected() {
+        let a = vec![1, 2, 3];
+        assert!(pack(&a, &[false, false, false]).is_empty());
+    }
+
+    #[test]
+    fn pack_all_selected() {
+        let a = vec![1, 2, 3];
+        assert_eq!(pack(&a, &[true, true, true]), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pack_length_mismatch_panics() {
+        pack(&[1, 2, 3], &[true]);
+    }
+
+    #[test]
+    fn pack_index_matches_pack() {
+        let n = 50_000usize;
+        let flags: Vec<bool> = (0..n).map(|i| (i * i) % 7 == 1).collect();
+        let idx = pack_index(&flags);
+        let expected: Vec<usize> = (0..n).filter(|&i| flags[i]).collect();
+        assert_eq!(idx, expected);
+    }
+
+    #[test]
+    fn pack_indices_where_matches_filter() {
+        let got = pack_indices_where(1000, |i| i % 13 == 5);
+        let want: Vec<usize> = (0..1000).filter(|i| i % 13 == 5).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn partition_splits_everything_exactly_once() {
+        let a: Vec<u32> = (0..10_000).collect();
+        let flags: Vec<bool> = a.iter().map(|x| x % 2 == 0).collect();
+        let (yes, no) = partition_flags(&a, &flags);
+        assert_eq!(yes.len() + no.len(), a.len());
+        assert!(yes.iter().all(|x| x % 2 == 0));
+        assert!(no.iter().all(|x| x % 2 == 1));
+    }
+}

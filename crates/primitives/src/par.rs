@@ -1,0 +1,125 @@
+//! Granularity-controlled fork-join helpers.
+//!
+//! All parallel algorithms in this workspace switch to a sequential
+//! implementation below [`GRAIN`] elements.  This mirrors the block size used
+//! by ParlayLib in the paper's C++ implementation and keeps the constant
+//! factors of the work-efficient algorithms low — work-efficiency is the
+//! paper's central practical argument, so we never fork for tiny subproblems.
+
+use rayon::join;
+
+/// Default granularity (sequential cutoff) for the divide-and-conquer
+/// primitives in this crate.  Chosen to amortize the cost of a rayon task
+/// spawn over a few microseconds of useful work.
+pub const GRAIN: usize = 2048;
+
+/// Run `left` and `right` in parallel if `size` is at least `grain`,
+/// otherwise run them sequentially (left first).
+///
+/// This is the single point where the crate decides between forking and
+/// staying sequential, so the fork threshold is consistent everywhere.
+#[inline]
+pub fn maybe_join<A, B, RA, RB>(size: usize, grain: usize, left: A, right: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if size >= grain {
+        join(left, right)
+    } else {
+        (left(), right())
+    }
+}
+
+/// Parallel for over `0..n` applying `f(i)`; the closure only receives the
+/// index, so it must capture any slices it needs.  Uses recursive halving with
+/// the default [`GRAIN`] so the span is `O(log n)` plus the span of `f`.
+pub fn parallel_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    fn go<F: Fn(usize) + Sync>(lo: usize, hi: usize, f: &F) {
+        let len = hi - lo;
+        if len <= GRAIN {
+            for i in lo..hi {
+                f(i);
+            }
+        } else {
+            let mid = lo + len / 2;
+            join(|| go(lo, mid, f), || go(mid, hi, f));
+        }
+    }
+    if n > 0 {
+        go(0, n, &f);
+    }
+}
+
+/// Apply `f(chunk_index, chunk)` to disjoint mutable chunks of `data` of size
+/// `chunk_size`, in parallel.  The last chunk may be shorter.
+pub fn par_chunks_mut_for<T, F>(data: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    use rayon::prelude::*;
+    data.par_chunks_mut(chunk_size)
+        .enumerate()
+        .for_each(|(i, chunk)| f(i, chunk));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn maybe_join_runs_both_sides_sequentially() {
+        let (a, b) = maybe_join(1, GRAIN, || 1 + 1, || 2 + 2);
+        assert_eq!((a, b), (2, 4));
+    }
+
+    #[test]
+    fn maybe_join_runs_both_sides_in_parallel() {
+        let (a, b) = maybe_join(GRAIN * 4, GRAIN, || 21 * 2, || "x".repeat(3));
+        assert_eq!(a, 42);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let n = 100_000;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_is_noop() {
+        parallel_for(0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn par_chunks_mut_labels_chunks() {
+        let mut v = vec![0usize; 10_000];
+        par_chunks_mut_for(&mut v, 128, |ci, chunk| {
+            for x in chunk.iter_mut() {
+                *x = ci;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i / 128);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn par_chunks_mut_rejects_zero_chunk() {
+        let mut v = vec![0u8; 4];
+        par_chunks_mut_for(&mut v, 0, |_, _| {});
+    }
+}

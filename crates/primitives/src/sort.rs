@@ -1,0 +1,106 @@
+//! Parallel sorting.
+//!
+//! Algorithm 2 of the paper sorts all objects by rank to obtain the frontiers
+//! `F_1..k` ("this can be done by any parallel sorting with `O(n)` work and
+//! `O(log² n)` span" — in our comparison setting we use a parallel merge sort
+//! with `O(n log n)` work, and a counting sort by rank in
+//! [`crate::group::group_by_rank`] when the `O(n)`-work grouping matters).
+//! Batches handed to the vEB tree must also be sorted.
+//!
+//! These wrappers exist so the rest of the workspace never calls rayon's
+//! slice sorts directly; if the scheduling substrate changes, only this
+//! module does.
+
+use rayon::slice::ParallelSliceMut;
+
+/// Stable parallel sort of a slice of `Ord` elements (parallel merge sort).
+pub fn par_sort<T: Ord + Send>(a: &mut [T]) {
+    a.par_sort();
+}
+
+/// Unstable parallel sort (parallel pattern-defeating quicksort).
+pub fn par_sort_unstable<T: Ord + Send>(a: &mut [T]) {
+    a.par_sort_unstable();
+}
+
+/// Stable parallel sort with a custom comparator.
+pub fn par_sort_by<T, F>(a: &mut [T], cmp: F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+{
+    a.par_sort_by(cmp);
+}
+
+/// Stable parallel sort by key.
+pub fn par_sort_by_key<T, K, F>(a: &mut [T], key: F)
+where
+    T: Send,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    a.par_sort_by_key(key);
+}
+
+/// Returns true if the slice is sorted in non-decreasing order.  Handy for
+/// debug assertions on batches passed to the vEB tree.
+pub fn is_sorted<T: Ord>(a: &[T]) -> bool {
+    a.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// Returns true if the slice is strictly increasing (no duplicates).  vEB
+/// batches must be duplicate-free.
+pub fn is_strictly_increasing<T: Ord>(a: &[T]) -> bool {
+    a.windows(2).all(|w| w[0] < w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_matches_std() {
+        let mut a: Vec<u64> = (0..100_000u64).map(|i| (i * 2654435761) % 1_000_003).collect();
+        let mut want = a.clone();
+        want.sort();
+        par_sort(&mut a);
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn sort_unstable_matches_std() {
+        let mut a: Vec<i64> = (0..50_000i64).map(|i| ((i * 37) % 1000) - 500).collect();
+        let mut want = a.clone();
+        want.sort_unstable();
+        par_sort_unstable(&mut a);
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn sort_by_key_is_stable() {
+        // Pairs with equal keys must preserve insertion order.
+        let mut a: Vec<(u32, usize)> = (0..10_000).map(|i| ((i % 10) as u32, i)).collect();
+        par_sort_by_key(&mut a, |p| p.0);
+        for w in a.windows(2) {
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn sortedness_predicates() {
+        assert!(is_sorted::<u32>(&[]));
+        assert!(is_sorted(&[1, 1, 2, 3]));
+        assert!(!is_sorted(&[2, 1]));
+        assert!(is_strictly_increasing(&[1, 2, 3]));
+        assert!(!is_strictly_increasing(&[1, 1, 2]));
+    }
+
+    #[test]
+    fn sort_by_comparator_descending() {
+        let mut a = vec![3u8, 1, 4, 1, 5, 9, 2, 6];
+        par_sort_by(&mut a, |x, y| y.cmp(x));
+        assert_eq!(a, vec![9, 6, 5, 4, 3, 2, 1, 1]);
+    }
+}

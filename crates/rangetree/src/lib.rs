@@ -1,0 +1,420 @@
+//! Parallel range tree for 2D *dominant-max* queries (Section 4.1 of the
+//! paper).
+//!
+//! The weighted-LIS algorithm (Algorithm 2) needs a structure over a static
+//! set of 2D points `(x, y)`, each carrying a mutable *score* (its `dp`
+//! value), that answers
+//!
+//! > `DominantMax(qx, qy)` — the maximum score among all points with
+//! > `x < qx` and `y < qy`
+//!
+//! and accepts batched score updates (`Update(B)`), where each point's score
+//! is written exactly once over the lifetime of the algorithm and scores
+//! only ever increase from their initial value of `0`.
+//!
+//! The structure here is the classic range tree in its canonical-node form:
+//! points are sorted by `(x, y)`; an implicit, contiguously-laid-out segment
+//! tree over that order forms the outer tree, and every outer node stores
+//! the `y` values of its points in sorted order together with a Fenwick tree
+//! over prefix maxima of their scores.  A dominant-max query decomposes the
+//! `x < qx` prefix into `O(log n)` canonical nodes and performs one
+//! `O(log n)` prefix-max query in each, for `O(log² n)` per query — the
+//! bound of Theorem 4.1.  Score updates walk the `O(log n)` outer nodes that
+//! contain the point and update each node's Fenwick tree with an atomic
+//! `fetch_max`, so a whole batch of updates runs in parallel without locks
+//! (scores only grow, and `max` is commutative and associative, so the
+//! result is identical to any sequential order).
+
+use plis_primitives::par::{maybe_join, GRAIN};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A 2D point; `x` and `y` are the coordinates used by dominance queries
+/// (for WLIS: `x` is the rank of the input value, `y` the input index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Point2 {
+    /// First coordinate (compared with `<` against the query's `qx`).
+    pub x: u64,
+    /// Second coordinate (compared with `<` against the query's `qy`).
+    pub y: u64,
+}
+
+/// A score update for a point that must already be in the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScoreUpdate {
+    /// The point whose score changes.
+    pub point: Point2,
+    /// Its new score; must be at least the current score (scores are
+    /// monotone in the WLIS algorithm).
+    pub score: u64,
+}
+
+/// One canonical (outer-tree) node: a contiguous range of the x-sorted point
+/// order, its points' `y` values in increasing order, and a max-Fenwick tree
+/// over their scores in that `y` order.
+struct NodeData {
+    /// Range `[lo, hi)` of x-sorted positions covered by this node.
+    lo: usize,
+    hi: usize,
+    /// `y` coordinates of the covered points, sorted increasingly.
+    ys: Vec<u64>,
+    /// Fenwick tree (1-based) over prefix maxima of the scores, indexed in
+    /// the order of `ys`.  Atomic so a batch of updates can run in parallel.
+    fenwick: Vec<AtomicU64>,
+}
+
+impl NodeData {
+    fn new(lo: usize, hi: usize, ys: Vec<u64>) -> Self {
+        let len = ys.len();
+        NodeData { lo, hi, ys, fenwick: (0..=len).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Raise the score at `pos` (0-based position in `ys`) to at least `score`.
+    fn raise(&self, pos: usize, score: u64) {
+        let mut i = pos + 1;
+        while i < self.fenwick.len() {
+            self.fenwick[i].fetch_max(score, Ordering::Relaxed);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Maximum score among the first `count` positions of `ys`.
+    fn prefix_max(&self, count: usize) -> u64 {
+        let mut best = 0u64;
+        let mut i = count.min(self.ys.len());
+        while i > 0 {
+            best = best.max(self.fenwick[i].load(Ordering::Relaxed));
+            i -= i & i.wrapping_neg();
+        }
+        best
+    }
+}
+
+/// The dominant-max range tree (the `RangeStruct` of Algorithm 2).
+pub struct RangeMaxTree {
+    n: usize,
+    /// x coordinates of the points in (x, y)-sorted order.
+    xs: Vec<u64>,
+    /// y coordinates of the points in the same order.
+    ys_by_pos: Vec<u64>,
+    /// Outer segment tree in contiguous-subtree layout (`2n − 1` nodes).
+    nodes: Vec<NodeData>,
+}
+
+impl RangeMaxTree {
+    /// Build the tree over `points` (all scores start at 0).
+    /// `O(n log n)` work, polylogarithmic span.
+    ///
+    /// # Panics
+    /// Panics if two points are identical.
+    pub fn new(points: &[Point2]) -> Self {
+        let n = points.len();
+        if n == 0 {
+            return RangeMaxTree { n, xs: Vec::new(), ys_by_pos: Vec::new(), nodes: Vec::new() };
+        }
+        let mut order: Vec<(u64, u64)> = points.iter().map(|p| (p.x, p.y)).collect();
+        order.par_sort_unstable();
+        assert!(
+            order.windows(2).all(|w| w[0] != w[1]),
+            "duplicate points are not supported"
+        );
+        let xs: Vec<u64> = order.iter().map(|p| p.0).collect();
+        let ys_by_pos: Vec<u64> = order.iter().map(|p| p.1).collect();
+        let mut nodes: Vec<Option<NodeData>> = Vec::new();
+        nodes.resize_with(2 * n - 1, || None);
+        build(&mut nodes, &ys_by_pos, 0, n);
+        let nodes: Vec<NodeData> =
+            nodes.into_iter().map(|n| n.expect("build fills every node")).collect();
+        RangeMaxTree { n, xs, ys_by_pos, nodes }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `DominantMax(qx, qy)`: maximum score among points with `x < qx` and
+    /// `y < qy`; `0` if there is none (matching the WLIS convention that a
+    /// missing predecessor contributes `max(0, ·)`).  `O(log² n)`.
+    pub fn dominant_max(&self, qx: u64, qy: u64) -> u64 {
+        if self.n == 0 {
+            return 0;
+        }
+        // Points with x < qx form a prefix of the sorted order.
+        let prefix = self.xs.partition_point(|&x| x < qx);
+        if prefix == 0 {
+            return 0;
+        }
+        self.query_node(0, prefix, qy)
+    }
+
+    fn query_node(&self, node_idx: usize, prefix: usize, qy: u64) -> u64 {
+        let node = &self.nodes[node_idx];
+        if prefix >= node.hi - node.lo {
+            // Whole node lies inside the x-range: one Fenwick prefix query.
+            let count = node.ys.partition_point(|&y| y < qy);
+            return node.prefix_max(count);
+        }
+        // Node is partially covered; it must be internal (a leaf covered at
+        // all is covered fully and caught above).
+        let left_idx = node_idx + 1;
+        let left_size = self.nodes[left_idx].hi - self.nodes[left_idx].lo;
+        let right_idx = node_idx + 2 * left_size;
+        if prefix <= left_size {
+            self.query_node(left_idx, prefix, qy)
+        } else {
+            let left = self.query_node(left_idx, left_size, qy);
+            let right = self.query_node(right_idx, prefix - left_size, qy);
+            left.max(right)
+        }
+    }
+
+    /// `Update(B)`: raise the scores of a batch of points, in parallel.
+    /// Each point must exist in the tree; each update costs `O(log² n)`
+    /// (an `O(log n)` Fenwick update in each of the `O(log n)` outer nodes
+    /// containing the point).
+    ///
+    /// # Panics
+    /// Panics if an update refers to a point that is not in the tree.
+    pub fn update_batch(&self, updates: &[ScoreUpdate]) {
+        updates.par_iter().with_min_len(GRAIN / 16 + 1).for_each(|u| self.update_one(u));
+    }
+
+    /// Raise the score of a single point.
+    pub fn update_one(&self, update: &ScoreUpdate) {
+        let pos = self.position_of(update.point).unwrap_or_else(|| {
+            panic!("point ({}, {}) is not in the tree", update.point.x, update.point.y)
+        });
+        // Walk the root-to-leaf path; every node on it contains the point.
+        let mut node_idx = 0usize;
+        loop {
+            let node = &self.nodes[node_idx];
+            let y_pos = node.ys.partition_point(|&y| y < update.point.y);
+            debug_assert_eq!(node.ys[y_pos], update.point.y);
+            node.raise(y_pos, update.score);
+            if node.hi - node.lo == 1 {
+                break;
+            }
+            let left_idx = node_idx + 1;
+            let left = &self.nodes[left_idx];
+            if pos < left.hi {
+                node_idx = left_idx;
+            } else {
+                node_idx = node_idx + 2 * (left.hi - left.lo);
+            }
+        }
+    }
+
+    /// The current score of a point (0 if never raised), or `None` if the
+    /// point is not in the tree.
+    pub fn score_of(&self, point: Point2) -> Option<u64> {
+        let pos = self.position_of(point)?;
+        // Walk to the leaf node holding exactly this point.
+        let mut node_idx = 0usize;
+        loop {
+            let node = &self.nodes[node_idx];
+            if node.hi - node.lo == 1 {
+                return Some(node.prefix_max(1));
+            }
+            let left_idx = node_idx + 1;
+            let left = &self.nodes[left_idx];
+            if pos < left.hi {
+                node_idx = left_idx;
+            } else {
+                node_idx = node_idx + 2 * (left.hi - left.lo);
+            }
+        }
+    }
+
+    /// Position of a point in the (x, y)-sorted order, if present.
+    fn position_of(&self, point: Point2) -> Option<usize> {
+        // Points with the same x form a contiguous run sorted by y.
+        let lo = self.xs.partition_point(|&x| x < point.x);
+        let hi = self.xs.partition_point(|&x| x <= point.x);
+        self.ys_by_pos[lo..hi].binary_search(&point.y).ok().map(|i| lo + i)
+    }
+}
+
+/// Recursively build the contiguous-layout outer tree over positions
+/// `[lo, hi)`; each node's `ys` is produced by merging its children's.
+fn build(nodes: &mut [Option<NodeData>], ys_by_pos: &[u64], lo: usize, hi: usize) {
+    let m = hi - lo;
+    debug_assert_eq!(nodes.len(), 2 * m - 1);
+    if m == 1 {
+        nodes[0] = Some(NodeData::new(lo, hi, vec![ys_by_pos[lo]]));
+        return;
+    }
+    let half = (m + 1) / 2;
+    let (this, rest) = nodes.split_first_mut().expect("non-empty");
+    let (left, right) = rest.split_at_mut(2 * half - 1);
+    maybe_join(
+        m,
+        GRAIN,
+        || build(left, ys_by_pos, lo, lo + half),
+        || build(right, ys_by_pos, lo + half, hi),
+    );
+    let lys = &left[0].as_ref().expect("left built").ys;
+    let rys = &right[0].as_ref().expect("right built").ys;
+    let merged = plis_primitives::parallel_merge(lys, rys);
+    *this = Some(NodeData::new(lo, hi, merged));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_dominant_max(points: &[(Point2, u64)], qx: u64, qy: u64) -> u64 {
+        points
+            .iter()
+            .filter(|(p, _)| p.x < qx && p.y < qy)
+            .map(|(_, s)| *s)
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RangeMaxTree::new(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.dominant_max(10, 10), 0);
+    }
+
+    #[test]
+    fn single_point() {
+        let p = Point2 { x: 5, y: 7 };
+        let t = RangeMaxTree::new(&[p]);
+        assert_eq!(t.dominant_max(6, 8), 0); // score still 0
+        t.update_one(&ScoreUpdate { point: p, score: 42 });
+        assert_eq!(t.dominant_max(6, 8), 42);
+        assert_eq!(t.dominant_max(5, 8), 0); // x < 5 excludes the point
+        assert_eq!(t.dominant_max(6, 7), 0); // y < 7 excludes the point
+        assert_eq!(t.score_of(p), Some(42));
+        assert_eq!(t.score_of(Point2 { x: 0, y: 0 }), None);
+    }
+
+    #[test]
+    fn paper_figure_9_example() {
+        // Points (x, y, score) from Figure 9; query (10, 6) must return 8,
+        // achieved by (6, 1, 8) — the best score in the lower-left region.
+        let raw = [
+            (3u64, 8u64, 4u64),
+            (16, 1, 7),
+            (17, 2, 2),
+            (12, 2, 5),
+            (6, 7, 8),
+            (13, 4, 3),
+            (14, 7, 3),
+            (1, 5, 7),
+            (3, 2, 5),
+            (6, 1, 8),
+            (7, 4, 3),
+            (16, 10, 12),
+        ];
+        let points: Vec<Point2> = raw.iter().map(|&(x, y, _)| Point2 { x, y }).collect();
+        let t = RangeMaxTree::new(&points);
+        let updates: Vec<ScoreUpdate> = raw
+            .iter()
+            .map(|&(x, y, s)| ScoreUpdate { point: Point2 { x, y }, score: s })
+            .collect();
+        t.update_batch(&updates);
+        assert_eq!(t.dominant_max(10, 6), 8);
+        // And exhaustive spot checks against brute force.
+        let scored: Vec<(Point2, u64)> = raw.iter().map(|&(x, y, s)| (Point2 { x, y }, s)).collect();
+        for qx in 0..20 {
+            for qy in 0..12 {
+                assert_eq!(
+                    t.dominant_max(qx, qy),
+                    brute_dominant_max(&scored, qx, qy),
+                    "query ({qx}, {qy})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_updates_match_brute_force() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n = 800usize;
+        // Unique (x, y) pairs.
+        let mut points: Vec<Point2> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        while points.len() < n {
+            let p = Point2 { x: rng() % 200, y: rng() % 200 };
+            if seen.insert((p.x, p.y)) {
+                points.push(p);
+            }
+        }
+        let tree = RangeMaxTree::new(&points);
+        let mut scored: Vec<(Point2, u64)> = points.iter().map(|&p| (p, 0)).collect();
+        for round in 0..10 {
+            // Raise the scores of a pseudo-random subset.
+            let mut updates = Vec::new();
+            for entry in scored.iter_mut() {
+                if rng() % 4 == 0 {
+                    entry.1 += rng() % 50;
+                    updates.push(ScoreUpdate { point: entry.0, score: entry.1 });
+                }
+            }
+            tree.update_batch(&updates);
+            for _ in 0..50 {
+                let qx = rng() % 220;
+                let qy = rng() % 220;
+                assert_eq!(
+                    tree.dominant_max(qx, qy),
+                    brute_dominant_max(&scored, qx, qy),
+                    "round {round}, query ({qx}, {qy})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate points")]
+    fn duplicate_points_rejected() {
+        RangeMaxTree::new(&[Point2 { x: 1, y: 1 }, Point2 { x: 1, y: 1 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the tree")]
+    fn update_of_unknown_point_panics() {
+        let t = RangeMaxTree::new(&[Point2 { x: 1, y: 1 }]);
+        t.update_one(&ScoreUpdate { point: Point2 { x: 2, y: 2 }, score: 1 });
+    }
+
+    #[test]
+    fn scores_only_grow_under_fetch_max() {
+        let p = Point2 { x: 3, y: 3 };
+        let t = RangeMaxTree::new(&[p, Point2 { x: 1, y: 1 }]);
+        t.update_one(&ScoreUpdate { point: p, score: 10 });
+        // A lower update must not lower the observable score.
+        t.update_one(&ScoreUpdate { point: p, score: 4 });
+        assert_eq!(t.dominant_max(10, 10), 10);
+    }
+
+    #[test]
+    fn query_boundaries_are_strict() {
+        // Dominance is strict in both coordinates.
+        let pts = [Point2 { x: 2, y: 2 }, Point2 { x: 4, y: 4 }];
+        let t = RangeMaxTree::new(&pts);
+        t.update_batch(&[
+            ScoreUpdate { point: pts[0], score: 5 },
+            ScoreUpdate { point: pts[1], score: 9 },
+        ]);
+        assert_eq!(t.dominant_max(2, 10), 0);
+        assert_eq!(t.dominant_max(3, 2), 0);
+        assert_eq!(t.dominant_max(3, 3), 5);
+        assert_eq!(t.dominant_max(5, 5), 9);
+        assert_eq!(t.dominant_max(4, 5), 5);
+    }
+}

@@ -1,0 +1,58 @@
+//! Parallel tournament trees.
+//!
+//! Section 3 of "Parallel Longest Increasing Subsequence and van Emde Boas
+//! Trees" (SPAA 2023) drives its work-efficient LIS algorithm with a
+//! *tournament tree*: a complete binary tree whose leaves hold the input
+//! objects and whose internal nodes hold the minimum of their subtree.  In
+//! every round the algorithm extracts the current *prefix-min objects*
+//! (Definition 3.1) — the objects that are no larger than everything before
+//! them — assigns them the current round number as their rank, removes them,
+//! and repeats.  Theorem 3.1 bounds the number of tree nodes touched when a
+//! frontier of `m` leaves is extracted by `O(m log(n/m))`, which is what
+//! makes the whole LIS algorithm `O(n log k)` work.
+//!
+//! # Layout
+//!
+//! Instead of the paper's power-of-two heap layout (`T[2i]`, `T[2i+1]`), this
+//! implementation stores every subtree *contiguously*: a subtree over `m`
+//! leaves occupies exactly `2m − 1` consecutive slots, with the root first,
+//! the left subtree (over `⌈m/2⌉` leaves) next, and the right subtree after
+//! it.  The leaves of a subtree are exactly the original positions of the
+//! objects it covers, in order.  Two things follow:
+//!
+//! * no padding to a power of two is needed (the tree has exactly `2n − 1`
+//!   nodes for any `n`), and
+//! * the recursion of `PrefixMin` can split the tree slice (and the rank
+//!   slice) with `split_at_mut` and hand disjoint halves to [`rayon::join`],
+//!   so the whole traversal is safe Rust with no atomics and no `unsafe`.
+//!
+//! The asymptotics are identical to the paper's layout.
+//!
+//! # Counters
+//!
+//! Every extraction reports how many tree nodes it visited, which the
+//! benchmark harness uses to validate the `O(n log k)` work bound of
+//! Theorem 3.2 empirically (experiment E7 in `DESIGN.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use plis_tournament::TournamentTree;
+//!
+//! // The running example of Figure 3 in the paper.
+//! let input = [52u64, 31, 45, 26, 61, 10, 39, 44];
+//! let mut tree = TournamentTree::new(&input, u64::MAX);
+//! let mut rank = vec![0u32; input.len()];
+//!
+//! let mut round = 0;
+//! while !tree.is_empty() {
+//!     round += 1;
+//!     tree.process_frontier(round, &mut rank);
+//! }
+//! assert_eq!(rank, vec![1, 1, 2, 1, 3, 1, 2, 3]);
+//! assert_eq!(round, 3); // the LIS length
+//! ```
+
+mod tree;
+
+pub use tree::{FrontierStats, TournamentTree};

@@ -1,0 +1,203 @@
+//! Integration tests for the parallel batch operations of the vEB tree
+//! (Algorithms 4–6 of the paper), checked against `BTreeSet` oracles.
+
+use plis_veb::VebTree;
+use std::collections::BTreeSet;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn random_sorted_batch(state: &mut u64, universe: u64, max_len: usize) -> Vec<u64> {
+    let len = (xorshift(state) as usize % max_len) + 1;
+    let mut batch: Vec<u64> = (0..len).map(|_| xorshift(state) % universe).collect();
+    batch.sort_unstable();
+    batch.dedup();
+    batch
+}
+
+fn assert_same(tree: &VebTree, oracle: &BTreeSet<u64>, context: &str) {
+    assert_eq!(tree.len(), oracle.len(), "{context}: length mismatch");
+    assert_eq!(
+        tree.iter_keys(),
+        oracle.iter().copied().collect::<Vec<_>>(),
+        "{context}: key set mismatch"
+    );
+    assert_eq!(tree.min(), oracle.first().copied(), "{context}: min mismatch");
+    assert_eq!(tree.max(), oracle.last().copied(), "{context}: max mismatch");
+    assert_eq!(tree.recount(), oracle.len(), "{context}: structural count mismatch");
+}
+
+#[test]
+fn from_sorted_matches_inserts() {
+    let keys: Vec<u64> = (0..3000u64).map(|i| i * 7 % 8192).collect::<BTreeSet<_>>().into_iter().collect();
+    let bulk = VebTree::from_sorted(8192, &keys);
+    let mut incremental = VebTree::new(8192);
+    for &k in &keys {
+        incremental.insert(k);
+    }
+    assert_eq!(bulk.iter_keys(), incremental.iter_keys());
+    assert_eq!(bulk.len(), keys.len());
+}
+
+#[test]
+fn batch_insert_empty_and_duplicates() {
+    let mut v = VebTree::new(1024);
+    assert_eq!(v.batch_insert(&[]), 0);
+    assert_eq!(v.batch_insert(&[5, 10, 15]), 3);
+    // Re-inserting the same keys inserts nothing.
+    assert_eq!(v.batch_insert(&[5, 10, 15]), 0);
+    // Mixed batch only inserts the new keys.
+    assert_eq!(v.batch_insert(&[4, 5, 11, 15, 20]), 3);
+    assert_eq!(v.iter_keys(), vec![4, 5, 10, 11, 15, 20]);
+}
+
+#[test]
+fn batch_delete_empty_missing_and_all() {
+    let mut v = VebTree::new(1024);
+    assert_eq!(v.batch_delete(&[1, 2, 3]), 0);
+    v.batch_insert(&[1, 2, 3, 4, 5]);
+    // Deleting keys that are absent is a no-op for those keys.
+    assert_eq!(v.batch_delete(&[0, 2, 9]), 1);
+    assert_eq!(v.iter_keys(), vec![1, 3, 4, 5]);
+    // Deleting everything empties the tree.
+    assert_eq!(v.batch_delete(&[1, 3, 4, 5]), 4);
+    assert!(v.is_empty());
+    assert_eq!(v.min(), None);
+}
+
+#[test]
+fn batch_delete_min_max_replacement() {
+    let mut v = VebTree::new(4096);
+    v.batch_insert(&[10, 100, 200, 300, 4000]);
+    // Delete both extremes; the survivors must be promoted correctly.
+    v.batch_delete(&[10, 4000]);
+    assert_eq!(v.min(), Some(100));
+    assert_eq!(v.max(), Some(300));
+    assert_eq!(v.iter_keys(), vec![100, 200, 300]);
+    // Delete everything but one key.
+    v.batch_delete(&[100, 300]);
+    assert_eq!(v.iter_keys(), vec![200]);
+    assert_eq!(v.min(), Some(200));
+    assert_eq!(v.max(), Some(200));
+}
+
+#[test]
+fn batch_delete_leaves_single_survivor_between_batch_keys() {
+    let mut v = VebTree::new(1 << 16);
+    let keys: Vec<u64> = (0..200u64).map(|i| i * 317 % 65536).collect::<BTreeSet<_>>().into_iter().collect();
+    v.batch_insert(&keys);
+    // Delete everything except one key in the middle.
+    let survivor = keys[keys.len() / 2];
+    let batch: Vec<u64> = keys.iter().copied().filter(|&k| k != survivor).collect();
+    v.batch_delete(&batch);
+    assert_eq!(v.iter_keys(), vec![survivor]);
+}
+
+#[test]
+fn random_batch_operations_match_btreeset() {
+    let mut state = 0x0123456789ABCDEFu64;
+    for trial in 0..12 {
+        let universe = 1u64 << (8 + (trial % 5) * 3); // 256 .. 1M
+        let mut tree = VebTree::new(universe);
+        let mut oracle: BTreeSet<u64> = BTreeSet::new();
+        for round in 0..30 {
+            let batch = random_sorted_batch(&mut state, universe, 400);
+            if xorshift(&mut state) % 3 == 0 {
+                tree.batch_delete(&batch);
+                for k in &batch {
+                    oracle.remove(k);
+                }
+            } else {
+                tree.batch_insert(&batch);
+                oracle.extend(batch.iter().copied());
+            }
+            assert_same(&tree, &oracle, &format!("trial {trial} round {round}"));
+        }
+    }
+}
+
+#[test]
+fn random_mixed_single_and_batch_operations() {
+    let mut state = 0xFEEDFACECAFEBEEFu64;
+    let universe = 1u64 << 14;
+    let mut tree = VebTree::new(universe);
+    let mut oracle: BTreeSet<u64> = BTreeSet::new();
+    for round in 0..200 {
+        match xorshift(&mut state) % 4 {
+            0 => {
+                let batch = random_sorted_batch(&mut state, universe, 100);
+                tree.batch_insert(&batch);
+                oracle.extend(batch.iter().copied());
+            }
+            1 => {
+                let batch = random_sorted_batch(&mut state, universe, 100);
+                tree.batch_delete(&batch);
+                for k in &batch {
+                    oracle.remove(k);
+                }
+            }
+            2 => {
+                let k = xorshift(&mut state) % universe;
+                assert_eq!(tree.insert(k), oracle.insert(k), "round {round}");
+            }
+            _ => {
+                let k = xorshift(&mut state) % universe;
+                assert_eq!(tree.delete(k), oracle.remove(&k), "round {round}");
+            }
+        }
+        if round % 10 == 0 {
+            assert_same(&tree, &oracle, &format!("round {round}"));
+            // Spot-check pred/succ and range against the oracle.
+            for _ in 0..20 {
+                let q = xorshift(&mut state) % universe;
+                assert_eq!(tree.pred(q), oracle.range(..q).next_back().copied());
+                assert_eq!(tree.succ(q), oracle.range(q + 1..).next().copied());
+            }
+            let a = xorshift(&mut state) % universe;
+            let b = xorshift(&mut state) % universe;
+            let (lo, hi) = (a.min(b), a.max(b));
+            let want: Vec<u64> = oracle.range(lo..=hi).copied().collect();
+            assert_eq!(tree.range(lo, hi), want);
+        }
+    }
+}
+
+#[test]
+fn batch_delete_dense_prefix_and_suffix() {
+    // Deleting a dense prefix exercises repeated min-replacement; a dense
+    // suffix exercises max-replacement.
+    let universe = 1u64 << 12;
+    let keys: Vec<u64> = (0..universe).collect();
+    let mut v = VebTree::from_sorted(universe, &keys);
+    let prefix: Vec<u64> = (0..universe / 2).collect();
+    v.batch_delete(&prefix);
+    assert_eq!(v.len() as u64, universe / 2);
+    assert_eq!(v.min(), Some(universe / 2));
+    let suffix: Vec<u64> = (universe * 3 / 4..universe).collect();
+    v.batch_delete(&suffix);
+    assert_eq!(v.min(), Some(universe / 2));
+    assert_eq!(v.max(), Some(universe * 3 / 4 - 1));
+    assert_eq!(v.len() as u64, universe / 4);
+    assert_eq!(v.iter_keys(), (universe / 2..universe * 3 / 4).collect::<Vec<_>>());
+}
+
+#[test]
+fn alternating_batches_interleave_correctly() {
+    // Insert the evens in one batch, the odds in another, delete every
+    // multiple of four, and check the survivors.
+    let universe = 1u64 << 10;
+    let mut v = VebTree::new(universe);
+    let evens: Vec<u64> = (0..universe).step_by(2).collect();
+    let odds: Vec<u64> = (1..universe).step_by(2).collect();
+    v.batch_insert(&evens);
+    v.batch_insert(&odds);
+    assert_eq!(v.len() as u64, universe);
+    let fours: Vec<u64> = (0..universe).step_by(4).collect();
+    v.batch_delete(&fours);
+    let want: Vec<u64> = (0..universe).filter(|k| k % 4 != 0).collect();
+    assert_eq!(v.iter_keys(), want);
+}

@@ -1,0 +1,211 @@
+//! Input generators used by the paper's evaluation (Section 6, "Input
+//! Generator") and a few extra adversarial patterns for the test suite.
+//!
+//! The paper evaluates on two generators:
+//!
+//! * the **range pattern**: `n` integers drawn uniformly from `[1, k']`,
+//!   whose LIS length is (for `n ≫ k'²`) essentially `k'` — used for small
+//!   target ranks;
+//! * the **line pattern**: `A_i = t·i + s_i` with `s_i` uniform noise —
+//!   an increasing trend plus noise, whose LIS length interpolates between
+//!   `Θ(√n)` (noise dominates, random-permutation behaviour) and `n`
+//!   (trend dominates) as the noise amplitude shrinks — used for large
+//!   target ranks.
+//!
+//! [`with_target_rank`] picks between the two to hit a requested LIS length,
+//! which is how the figure-reproducing benchmark harness sweeps `k`.
+//! All generators are deterministic in their seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for a seed (one place to change the algorithm).
+fn rng_for(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// The **range pattern**: `n` values drawn uniformly from `[1, k_prime]`.
+/// For `n` much larger than `k_prime²` the LIS length is `k_prime` w.h.p.
+pub fn range_pattern(n: usize, k_prime: u64, seed: u64) -> Vec<u64> {
+    assert!(k_prime >= 1, "the range pattern needs a non-empty value range");
+    let mut rng = rng_for(seed);
+    (0..n).map(|_| rng.gen_range(1..=k_prime)).collect()
+}
+
+/// The **line pattern**: `A_i = t·i + s_i` where `s_i` is uniform in
+/// `[0, noise)`.  Larger `noise` (relative to `t`) gives shorter LIS.
+pub fn line_pattern(n: usize, t: u64, noise: u64, seed: u64) -> Vec<u64> {
+    let noise = noise.max(1);
+    let mut rng = rng_for(seed);
+    (0..n).map(|i| t * i as u64 + rng.gen_range(0..noise)).collect()
+}
+
+/// A uniformly random permutation of `0..n` (expected LIS length `≈ 2√n`,
+/// the classic Ulam problem; the paper cites Johansson [48] for this).
+pub fn random_permutation(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = rng_for(seed);
+    let mut v: Vec<u64> = (0..n as u64).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Generate an input of size `n` whose LIS length is close to `target_k`,
+/// choosing between the range pattern (small targets) and the line pattern
+/// (large targets) exactly as the paper's evaluation does.
+///
+/// The returned LIS length is approximate (the generators are random); the
+/// benchmark harness reports the measured value next to the target.
+pub fn with_target_rank(n: usize, target_k: u64, seed: u64) -> Vec<u64> {
+    assert!(n > 0, "empty inputs have no rank");
+    let target_k = target_k.clamp(1, n as u64);
+    let sqrt_n = (n as f64).sqrt();
+    if (target_k as f64) <= 1.5 * sqrt_n {
+        // Small ranks: uniform values over a range of size target_k.
+        range_pattern(n, target_k, seed)
+    } else if target_k >= n as u64 {
+        // Saturation: the only way to reach k = n is a strictly increasing
+        // sequence (noise below the trend step).
+        line_pattern(n, 1, 1, seed)
+    } else {
+        // Large ranks: increasing trend (t = 1) plus noise chosen so that
+        // the LIS of the noise-dominated windows sums to ≈ target_k:
+        // a window of `s` positions behaves like a random permutation with
+        // LIS ≈ 2√s, so k ≈ (n / s)·2√s = 2n/√s  ⇒  s ≈ (2n / k)².
+        let s = ((2.0 * n as f64 / target_k as f64).powi(2)).max(1.0) as u64;
+        line_pattern(n, 1, s, seed)
+    }
+}
+
+/// Uniform random weights in `[1, max_weight]` for the weighted LIS
+/// experiments ("we always use random weights from a uniform distribution").
+pub fn uniform_weights(n: usize, max_weight: u64, seed: u64) -> Vec<u64> {
+    assert!(max_weight >= 1);
+    let mut rng = rng_for(seed);
+    (0..n).map(|_| rng.gen_range(1..=max_weight)).collect()
+}
+
+/// Adversarial / degenerate patterns used by the test suite.
+pub mod adversarial {
+    /// Strictly increasing sequence (LIS length `n`).
+    pub fn increasing(n: usize) -> Vec<u64> {
+        (0..n as u64).collect()
+    }
+
+    /// Strictly decreasing sequence (LIS length 1).
+    pub fn decreasing(n: usize) -> Vec<u64> {
+        (0..n as u64).rev().collect()
+    }
+
+    /// Constant sequence (LIS length 1 for strict increase).
+    pub fn constant(n: usize, value: u64) -> Vec<u64> {
+        vec![value; n]
+    }
+
+    /// `blocks` descending blocks with increasing block offsets: the LIS
+    /// picks one element per block, so its length is exactly `blocks`
+    /// (assuming `n >= blocks`).
+    pub fn sawtooth(n: usize, blocks: usize) -> Vec<u64> {
+        assert!(blocks >= 1 && blocks <= n);
+        let block_len = n.div_ceil(blocks);
+        (0..n)
+            .map(|i| {
+                let b = i / block_len;
+                let within = i % block_len;
+                (b as u64) * (block_len as u64) + (block_len as u64 - 1 - within as u64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sequential O(n log k) LIS length, local to the tests to keep this
+    /// crate leaf-level.
+    fn lis_len(values: &[u64]) -> u64 {
+        let mut tails: Vec<u64> = Vec::new();
+        for &v in values {
+            let pos = tails.partition_point(|&t| t < v);
+            if pos == tails.len() {
+                tails.push(v);
+            } else if v < tails[pos] {
+                tails[pos] = v;
+            }
+        }
+        tails.len() as u64
+    }
+
+    #[test]
+    fn generators_are_deterministic_in_the_seed() {
+        assert_eq!(range_pattern(1000, 50, 7), range_pattern(1000, 50, 7));
+        assert_ne!(range_pattern(1000, 50, 7), range_pattern(1000, 50, 8));
+        assert_eq!(line_pattern(1000, 1, 100, 3), line_pattern(1000, 1, 100, 3));
+        assert_eq!(random_permutation(1000, 1), random_permutation(1000, 1));
+        assert_eq!(uniform_weights(1000, 10, 5), uniform_weights(1000, 10, 5));
+    }
+
+    #[test]
+    fn range_pattern_respects_bounds_and_rank() {
+        let v = range_pattern(20_000, 16, 42);
+        assert!(v.iter().all(|&x| (1..=16).contains(&x)));
+        assert_eq!(lis_len(&v), 16);
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let n = 5000;
+        let mut v = random_permutation(n, 9);
+        v.sort_unstable();
+        assert_eq!(v, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn permutation_lis_is_about_two_sqrt_n() {
+        let n = 40_000usize;
+        let k = lis_len(&random_permutation(n, 11)) as f64;
+        let expect = 2.0 * (n as f64).sqrt();
+        assert!(k > 0.7 * expect && k < 1.3 * expect, "k = {k}, expected ≈ {expect}");
+    }
+
+    #[test]
+    fn with_target_rank_small_targets_land_close() {
+        let n = 50_000usize;
+        for &target in &[1u64, 4, 16, 64, 200] {
+            let k = lis_len(&with_target_rank(n, target, 123));
+            assert!(
+                k as f64 >= target as f64 * 0.5 && k as f64 <= target as f64 * 1.5 + 2.0,
+                "target {target}, measured {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_target_rank_large_targets_scale_up() {
+        let n = 50_000usize;
+        let small = lis_len(&with_target_rank(n, 500, 5));
+        let large = lis_len(&with_target_rank(n, 20_000, 5));
+        assert!(large > 4 * small, "large-target rank {large} should dwarf small-target rank {small}");
+        assert!(large as usize <= n);
+        // Saturation at the sequence length.
+        assert_eq!(lis_len(&with_target_rank(1000, 1_000_000, 5)), 1000);
+    }
+
+    #[test]
+    fn weights_are_in_range() {
+        let w = uniform_weights(10_000, 7, 3);
+        assert!(w.iter().all(|&x| (1..=7).contains(&x)));
+    }
+
+    #[test]
+    fn adversarial_patterns_have_exact_ranks() {
+        assert_eq!(lis_len(&adversarial::increasing(100)), 100);
+        assert_eq!(lis_len(&adversarial::decreasing(100)), 1);
+        assert_eq!(lis_len(&adversarial::constant(100, 3)), 1);
+        assert_eq!(lis_len(&adversarial::sawtooth(1000, 10)), 10);
+        assert_eq!(lis_len(&adversarial::sawtooth(997, 13)), 13);
+    }
+}

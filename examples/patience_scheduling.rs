@@ -1,0 +1,72 @@
+//! Weighted job selection with WLIS, plus a direct use of the parallel vEB
+//! tree as an ordered-set index.
+//!
+//! Scenario: a stream of job offers arrives over time; offer `i` has a
+//! deadline `d_i` and a payout `w_i`.  A worker can accept a subsequence of
+//! offers whose deadlines strictly increase (each accepted job must finish
+//! before the next deadline).  Maximising the total payout of the accepted
+//! offers is a weighted LIS over the deadlines with the payouts as weights.
+//!
+//! The second half of the example uses the parallel vEB tree directly as a
+//! calendar index: batch-inserting the accepted deadlines, batch-deleting
+//! the ones that get cancelled, and range-reporting a week of work.
+//!
+//! Run with: `cargo run --release --example patience_scheduling`
+
+use plis::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = 500_000usize;
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // Deadlines drift upwards but with heavy jitter, payouts are skewed.
+    let deadlines: Vec<u64> =
+        (0..n).map(|i| (i as u64) / 4 + rng.gen_range(0..50_000)).collect();
+    let payouts: Vec<u64> = (0..n).map(|_| 1 + rng.gen_range(0..100u64).pow(2) / 100).collect();
+
+    // Weighted LIS: the best total payout over offers with increasing deadlines.
+    let dp = wlis_rangetree(&deadlines, &payouts);
+    let best = dp.iter().max().copied().unwrap_or(0);
+    println!("offers: {n}");
+    println!("best schedule payout (weighted LIS): {best}");
+
+    // Compare against the plain LIS (count of accepted offers, ignoring payouts).
+    let (_, k) = lis_ranks_u64(&deadlines);
+    println!("most offers acceptable (unweighted LIS length): {k}");
+
+    // Cross-check on a subsample against the sequential AVL baseline.
+    let sample = 50_000usize;
+    let dp_seq = seq_avl(&deadlines[..sample], &payouts[..sample]);
+    let dp_par = wlis_rangetree(&deadlines[..sample], &payouts[..sample]);
+    assert_eq!(dp_seq, dp_par);
+    println!("parallel WLIS matches Seq-AVL on a {sample}-offer prefix");
+
+    // --- Using the parallel vEB tree as a calendar index -----------------
+    // Accept the offers on one optimal unweighted schedule and index their
+    // deadlines in a vEB tree.
+    let accepted = lis_indices(&deadlines);
+    let mut accepted_deadlines: Vec<u64> = accepted.iter().map(|&i| deadlines[i]).collect();
+    accepted_deadlines.dedup();
+    let universe = deadlines.iter().max().copied().unwrap_or(0) + 1;
+    let mut calendar = VebTree::new(universe);
+    calendar.batch_insert(&accepted_deadlines);
+    println!("calendar holds {} accepted deadlines", calendar.len());
+
+    // Report one "week" of upcoming deadlines with the parallel range query.
+    let week_start = universe / 2;
+    let week_end = week_start + 7 * 1440; // seven days of minutes
+    let this_week = calendar.range(week_start, week_end);
+    println!("deadlines in [{week_start}, {week_end}]: {}", this_week.len());
+
+    // A burst of cancellations: batch-delete every deadline in that window.
+    calendar.batch_delete(&this_week);
+    assert!(calendar.range(week_start, week_end).is_empty());
+    println!("cancelled {} deadlines; the window is now clear", this_week.len());
+
+    // The next deadline after the cleared window is found in O(log log U).
+    if let Some(next) = calendar.succ(week_end.min(universe - 1)) {
+        println!("next deadline after the window: {next}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: compute LIS ranks, reconstruct one LIS, and run the weighted
+//! variant, on a small synthetic input.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use plis::prelude::*;
+
+fn main() {
+    // The running example of the paper (Figure 2 / Figure 3).
+    let input = vec![52u64, 31, 45, 26, 61, 10, 39, 44];
+    println!("input           : {input:?}");
+
+    // Algorithm 1: every object's dp value (the length of the LIS ending
+    // there) and the overall LIS length k.
+    let (ranks, k) = lis_ranks_u64(&input);
+    println!("dp values       : {ranks:?}");
+    println!("LIS length k    : {k}");
+
+    // Appendix A: an actual longest increasing subsequence.
+    let lis = lis_indices(&input);
+    let lis_values: Vec<u64> = lis.iter().map(|&i| input[i]).collect();
+    println!("one LIS (indices): {lis:?}");
+    println!("one LIS (values) : {lis_values:?}");
+    assert_eq!(lis.len(), k as usize);
+
+    // Algorithm 2: weighted LIS.  With unit weights the best dp value equals
+    // the LIS length; with a heavy weight on 61 the heavy chain wins.
+    let unit = vec![1u64; input.len()];
+    let dp_unit = wlis_rangetree(&input, &unit);
+    println!("weighted dp (unit weights) : {dp_unit:?}");
+
+    let mut heavy = unit.clone();
+    heavy[4] = 100; // the object with value 61
+    let dp_heavy = wlis_rangetree(&input, &heavy);
+    println!("weighted dp (heavy 61)     : {dp_heavy:?}");
+    assert_eq!(*dp_heavy.iter().max().unwrap(), 102); // 26 -> 45 -> 61 with weights 1+1+100
+
+    // A larger random input: the parallel algorithm agrees with the
+    // sequential Seq-BS baseline.
+    let big = with_target_rank(1_000_000, 1_000, 42);
+    let (par_ranks, par_k) = lis_ranks_u64(&big);
+    let (seq_ranks, seq_k) = seq_bs(&big);
+    assert_eq!(par_k, seq_k);
+    assert_eq!(par_ranks, seq_ranks);
+    println!("n = 1e6 input: LIS length {par_k} (parallel and sequential agree)");
+}

@@ -1,0 +1,66 @@
+//! Self-relative scaling of the parallel LIS algorithm (a miniature of
+//! Figure 8 of the paper).
+//!
+//! Runs Algorithm 1 on a line-pattern and a range-pattern input with a
+//! fixed LIS length, on 1, 2, 4, … up to all available cores, and prints
+//! the speedup relative to the single-core run together with the
+//! sequential Seq-BS time for reference.
+//!
+//! Run with: `cargo run --release --example scaling`
+//! Environment: `PLIS_EXAMPLE_N` overrides the input size (default 5,000,000).
+
+use plis::prelude::*;
+use std::time::Instant;
+
+fn time<F: FnMut() -> R, R>(mut f: F) -> (f64, R) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+fn main() {
+    let n: usize = std::env::var("PLIS_EXAMPLE_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5_000_000);
+    let target_k = 1_000u64;
+
+    let line = with_target_rank(n, target_k, 1);
+    let range = range_pattern(n, target_k, 2);
+    let (_, k_line) = seq_bs(&line);
+    let (_, k_range) = seq_bs(&range);
+    println!("n = {n}, line-pattern k = {k_line}, range-pattern k = {k_range}");
+
+    let (t_seq_line, _) = time(|| seq_bs_length(&line));
+    let (t_seq_range, _) = time(|| seq_bs_length(&range));
+    println!("Seq-BS: line {t_seq_line:.3}s, range {t_seq_range:.3}s");
+
+    let max_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut threads = 1usize;
+    let mut base_line = 0.0f64;
+    let mut base_range = 0.0f64;
+    println!("{:>8} {:>12} {:>12} {:>10} {:>10}", "threads", "line (s)", "range (s)", "su-line", "su-range");
+    while threads <= max_threads {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+        let (t_line, k1) = pool.install(|| time(|| lis_ranks_u64(&line).1));
+        let (t_range, k2) = pool.install(|| time(|| lis_ranks_u64(&range).1));
+        assert_eq!(k1, k_line);
+        assert_eq!(k2, k_range);
+        if threads == 1 {
+            base_line = t_line;
+            base_range = t_range;
+        }
+        println!(
+            "{:>8} {:>12.3} {:>12.3} {:>10.2} {:>10.2}",
+            threads,
+            t_line,
+            t_range,
+            base_line / t_line,
+            base_range / t_range
+        );
+        if threads == max_threads {
+            break;
+        }
+        threads = (threads * 2).min(max_threads);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests (proptest) over the core invariants of the paper:
+//! Lemma 3.1 (prefix-min characterisation of ranks), Lemma A.2 (frontier
+//! monotonicity), the vEB set semantics under batch operations, the
+//! Mono-vEB staircase invariant, and agreement of every LIS/WLIS algorithm
+//! with the quadratic oracle.
+
+use plis::prelude::*;
+use plis::{baselines, lis};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every LIS implementation computes the oracle dp values.
+    #[test]
+    fn lis_dp_values_match_oracle(values in vec(0u64..500, 0..300)) {
+        let oracle = baselines::lis_dp_quadratic(&values);
+        let (par, _) = lis_ranks_u64(&values);
+        prop_assert_eq!(&par, &oracle);
+        let (bs, _) = seq_bs(&values);
+        prop_assert_eq!(&bs, &oracle);
+        let (sw, _) = swgs_lis(&values);
+        prop_assert_eq!(&sw, &oracle);
+    }
+
+    /// Lemma 3.1: an object has rank 1 exactly when it is a prefix-min
+    /// object of the original sequence.
+    #[test]
+    fn rank_one_objects_are_exactly_the_prefix_min_objects(values in vec(0u64..1000, 1..300)) {
+        let (ranks, _) = lis_ranks_u64(&values);
+        let mut prefix_min = u64::MAX;
+        for i in 0..values.len() {
+            let is_prefix_min = values[i] <= prefix_min;
+            prop_assert_eq!(ranks[i] == 1, is_prefix_min, "index {}", i);
+            prefix_min = prefix_min.min(values[i]);
+        }
+    }
+
+    /// Lemma A.2: within one frontier (equal rank), values are
+    /// non-increasing along increasing index.
+    #[test]
+    fn frontiers_are_non_increasing(values in vec(0u64..300, 1..300)) {
+        let (ranks, k) = lis_ranks_u64(&values);
+        for r in 1..=k {
+            let frontier: Vec<usize> = (0..values.len()).filter(|&i| ranks[i] == r).collect();
+            prop_assert!(!frontier.is_empty(), "rank {} unused", r);
+            prop_assert!(
+                frontier.windows(2).all(|w| values[w[0]] >= values[w[1]]),
+                "rank {} frontier is not non-increasing", r
+            );
+        }
+    }
+
+    /// The reconstructed LIS is strictly increasing, has the optimal length,
+    /// and uses valid indices.
+    #[test]
+    fn reconstruction_is_a_valid_optimal_subsequence(values in vec(0u64..200, 0..250)) {
+        let (_, k) = lis_ranks_u64(&values);
+        let idx = lis_indices(&values);
+        prop_assert_eq!(idx.len() as u32, k);
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(idx.windows(2).all(|w| values[w[0]] < values[w[1]]));
+        prop_assert!(idx.iter().all(|&i| i < values.len()));
+    }
+
+    /// Both WLIS backends and both sequential baselines agree with the
+    /// quadratic oracle.
+    #[test]
+    fn wlis_matches_oracle(
+        values in vec(0u64..200, 0..120),
+        weight_seed in 0u64..1000,
+    ) {
+        let weights: Vec<u64> = (0..values.len())
+            .map(|i| 1 + ((weight_seed + i as u64) * 2654435761) % 50)
+            .collect();
+        let oracle = baselines::wlis_dp_quadratic(&values, &weights);
+        prop_assert_eq!(&wlis_rangetree(&values, &weights), &oracle);
+        prop_assert_eq!(&wlis_rangeveb(&values, &weights), &oracle);
+        prop_assert_eq!(&seq_avl(&values, &weights), &oracle);
+        prop_assert_eq!(&swgs_wlis(&values, &weights), &oracle);
+    }
+
+    /// vEB batch insert/delete behave exactly like a BTreeSet, and the
+    /// parallel range query matches the oracle's range.
+    #[test]
+    fn veb_batch_operations_match_btreeset(
+        ops in vec((any::<bool>(), vec(0u64..2048, 1..60)), 1..12),
+        query in (0u64..2048, 0u64..2048),
+    ) {
+        let mut tree = VebTree::new(2048);
+        let mut oracle = std::collections::BTreeSet::new();
+        for (is_insert, keys) in &ops {
+            let mut batch = keys.clone();
+            batch.sort_unstable();
+            batch.dedup();
+            if *is_insert {
+                tree.batch_insert(&batch);
+                oracle.extend(batch.iter().copied());
+            } else {
+                tree.batch_delete(&batch);
+                for k in &batch {
+                    oracle.remove(k);
+                }
+            }
+        }
+        prop_assert_eq!(tree.len(), oracle.len());
+        prop_assert_eq!(tree.iter_keys(), oracle.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(tree.min(), oracle.first().copied());
+        prop_assert_eq!(tree.max(), oracle.last().copied());
+        let (lo, hi) = (query.0.min(query.1), query.0.max(query.1));
+        prop_assert_eq!(
+            tree.range(lo, hi),
+            oracle.range(lo..=hi).copied().collect::<Vec<_>>()
+        );
+    }
+
+    /// vEB predecessor / successor agree with the BTreeSet oracle after a
+    /// mix of batch operations.
+    #[test]
+    fn veb_pred_succ_match_btreeset(
+        inserts in vec(0u64..4096, 1..200),
+        deletes in vec(0u64..4096, 0..100),
+        probes in vec(0u64..4096, 1..50),
+    ) {
+        let mut tree = VebTree::new(4096);
+        let mut oracle = std::collections::BTreeSet::new();
+        let mut ins = inserts.clone();
+        ins.sort_unstable();
+        ins.dedup();
+        tree.batch_insert(&ins);
+        oracle.extend(ins.iter().copied());
+        let mut del = deletes.clone();
+        del.sort_unstable();
+        del.dedup();
+        tree.batch_delete(&del);
+        for d in &del {
+            oracle.remove(d);
+        }
+        for &p in &probes {
+            prop_assert_eq!(tree.contains(p), oracle.contains(&p));
+            prop_assert_eq!(tree.pred(p), oracle.range(..p).next_back().copied());
+            prop_assert_eq!(tree.succ(p), oracle.range(p + 1..).next().copied());
+        }
+    }
+
+    /// The Mono-vEB staircase always satisfies its invariant and reproduces
+    /// the brute-force "max score among smaller keys" query.
+    #[test]
+    fn mono_veb_staircase_invariant_and_queries(
+        batches in vec(vec((0u64..256, 1u64..1000), 1..30), 1..6),
+        probes in vec(0u64..257, 1..20),
+    ) {
+        let mut stair = MonoVeb::new(256);
+        let mut all_points: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for batch in &batches {
+            let mut b: Vec<ScoredPoint> =
+                batch.iter().map(|&(key, score)| ScoredPoint { key, score }).collect();
+            b.sort_by_key(|p| p.key);
+            b.dedup_by_key(|p| p.key);
+            stair.insert_staircase(&b);
+            for p in &b {
+                let e = all_points.entry(p.key).or_insert(0);
+                *e = (*e).max(p.score);
+            }
+            prop_assert!(stair.is_staircase());
+        }
+        for &q in &probes {
+            let expected = all_points
+                .iter()
+                .filter(|(&k, _)| k < q)
+                .map(|(_, &s)| s)
+                .max();
+            prop_assert_eq!(stair.prefix_best(q), expected, "query {}", q);
+        }
+    }
+
+    /// Coordinate compression preserves the comparison structure.
+    #[test]
+    fn compression_preserves_order(values in vec(any::<i64>(), 0..200)) {
+        let ranks = lis::compress_to_ranks(&values);
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                prop_assert_eq!(values[i] < values[j], ranks[i] < ranks[j]);
+            }
+        }
+    }
+}
