@@ -103,7 +103,14 @@ impl AvlTree {
 
     fn insert(&mut self, key: u64, dp: u64) {
         let new_idx = self.nodes.len();
-        self.nodes.push(AvlNode { key, dp, subtree_max_dp: dp, height: 1, left: None, right: None });
+        self.nodes.push(AvlNode {
+            key,
+            dp,
+            subtree_max_dp: dp,
+            height: 1,
+            left: None,
+            right: None,
+        });
         self.root = Some(self.insert_at(self.root, new_idx));
     }
 

@@ -47,7 +47,7 @@ impl SegMinTree {
                 tree[0] = values[0];
                 return;
             }
-            let half = (m + 1) / 2;
+            let half = m.div_ceil(2);
             let (root, rest) = tree.split_first_mut().expect("non-empty");
             let (l, r) = rest.split_at_mut(2 * half - 1);
             maybe_join(m, GRAIN, || build(l, &values[..half]), || build(r, &values[half..]));
@@ -66,7 +66,7 @@ impl SegMinTree {
             if i >= m {
                 return tree[0];
             }
-            let half = (m + 1) / 2;
+            let half = m.div_ceil(2);
             let (left, right) = (&tree[1..2 * half], &tree[2 * half..]);
             if i <= half {
                 go(left, half, i)
@@ -86,7 +86,7 @@ impl SegMinTree {
             if m == 1 {
                 return Some(base);
             }
-            let half = (m + 1) / 2;
+            let half = m.div_ceil(2);
             let (left, right) = (&tree[1..2 * half], &tree[2 * half..]);
             if i > half {
                 // Prefer the right subtree (larger positions).
@@ -110,7 +110,7 @@ impl SegMinTree {
                 tree[0] = u64::MAX;
                 return;
             }
-            let half = (m + 1) / 2;
+            let half = m.div_ceil(2);
             let cut = positions.partition_point(|&p| p < base + half);
             let (pl, pr) = positions.split_at(cut);
             let (root, rest) = tree.split_first_mut().expect("non-empty");
@@ -159,8 +159,7 @@ fn run(values: &[u64], weights: Option<&[u64]>) -> ((Vec<u32>, u32), Vec<u64>) {
     // Dominant-max structure for the weighted variant.
     let xranks = weights.map(|_| compress(values));
     let dominant = xranks.as_ref().map(|xr| {
-        let pts: Vec<Point2> =
-            (0..n).map(|i| Point2 { x: xr[i], y: i as u64 }).collect();
+        let pts: Vec<Point2> = (0..n).map(|i| Point2 { x: xr[i], y: i as u64 }).collect();
         RangeMaxTree::new(&pts)
     });
 

@@ -141,9 +141,7 @@ fn ablation_work_bound(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_work_bound");
     let input = with_target_rank(LIS_N, 1_000, 0xB0);
     group.bench_function("ranks_plain", |b| b.iter(|| lis_ranks_u64(&input).1));
-    group.bench_function("ranks_with_stats", |b| {
-        b.iter(|| lis_ranks_u64_with_stats(&input).1)
-    });
+    group.bench_function("ranks_with_stats", |b| b.iter(|| lis_ranks_u64_with_stats(&input).1));
     group.finish();
 }
 

@@ -25,11 +25,7 @@ fn main() {
     for &target in &targets {
         let input = with_target_rank(n, target, 0xF1607A + target);
         let (t_seq_bs, k) = time_min(|| seq_bs_length(&input));
-        let t_swgs = if k <= 10_000 {
-            Some(time_min(|| swgs_lis(&input).1).0)
-        } else {
-            None
-        };
+        let t_swgs = if k <= 10_000 { Some(time_min(|| swgs_lis(&input).1).0) } else { None };
         let (t_ours_seq, _) = time_min(|| on_threads(1, || lis_ranks_u64(&input).1));
         let (t_ours_par, k_par) = time_min(|| lis_ranks_u64(&input).1);
         assert_eq!(k, k_par, "parallel and sequential LIS lengths must agree");

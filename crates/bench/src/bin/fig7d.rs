@@ -16,7 +16,9 @@ use plis_workloads::{uniform_weights, with_target_rank};
 fn main() {
     let n = (bench_n() / 10).max(10_000);
     let cores = num_cpus::get();
-    println!("# Figure 7(d): weighted LIS, line pattern, n = {n}, parallel runs on {cores} threads");
+    println!(
+        "# Figure 7(d): weighted LIS, line pattern, n = {n}, parallel runs on {cores} threads"
+    );
     print_header("k (measured)", &["Seq-AVL", "SWGS-W", "Ours-W"]);
 
     let weights = uniform_weights(n, 1_000, 0xD00D);

@@ -1,0 +1,114 @@
+//! Streaming-engine throughput sweep: ingest rate (elements/second) of
+//! [`plis_engine::Engine`] as a function of mean batch size and session
+//! count, over a heterogeneous fleet of workload streams.
+//!
+//! Emits one JSON object per sweep cell on stdout (one line per cell, see
+//! `plis_bench::json_line`), so results can be appended to `BENCH_*.json`
+//! perf-trajectory files.  Human-readable context goes to stderr.
+//!
+//! Knobs (see `DESIGN.md`): `PLIS_BENCH_N` (elements per session, default
+//! 100,000), `PLIS_BENCH_REPEATS`, `PLIS_BENCH_SESSIONS` (comma-separated
+//! session counts, default `1,4,16`), `PLIS_BENCH_BATCH` (comma-separated
+//! mean batch sizes, default `64,512,4096`).
+
+use plis_bench::{bench_repeats, env_usize_list, json_line, time_min};
+use plis_engine::{Backend, Engine, EngineConfig, SessionId};
+use plis_workloads::streaming::session_fleet;
+
+fn n_per_session() -> usize {
+    std::env::var("PLIS_BENCH_N").ok().and_then(|s| s.parse().ok()).unwrap_or(100_000)
+}
+
+/// Round-robin the per-session batch queues into engine ticks.
+fn build_ticks(fleet: &[(String, Vec<Vec<u64>>)]) -> Vec<Vec<(SessionId, Vec<u64>)>> {
+    let rounds = fleet.iter().map(|(_, batches)| batches.len()).max().unwrap_or(0);
+    (0..rounds)
+        .map(|round| {
+            fleet
+                .iter()
+                .filter_map(|(name, batches)| {
+                    batches.get(round).map(|b| (SessionId::from(name.as_str()), b.clone()))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let n = n_per_session();
+    let session_counts = env_usize_list("PLIS_BENCH_SESSIONS", &[1, 4, 16]);
+    let batch_sizes = env_usize_list("PLIS_BENCH_BATCH", &[64, 512, 4096]);
+    eprintln!(
+        "streaming sweep: n_per_session = {n}, sessions = {session_counts:?}, \
+         mean batch = {batch_sizes:?}, repeats = {}",
+        bench_repeats()
+    );
+
+    for &sessions in &session_counts {
+        for &mean_batch in &batch_sizes {
+            let (fleet, universe) = session_fleet(sessions, n, mean_batch, 0xBEEF);
+            let ticks = build_ticks(&fleet);
+            let total_elems: usize =
+                fleet.iter().map(|(_, bs)| bs.iter().map(Vec::len).sum::<usize>()).sum();
+
+            for backend in [Backend::Veb, Backend::SortedVec] {
+                let backend_name = match backend {
+                    Backend::Veb => "veb",
+                    Backend::SortedVec => "sorted-vec",
+                    Backend::Auto => "auto",
+                };
+                let config = EngineConfig { universe, backend, ..EngineConfig::default() };
+                let shards = config.shards;
+                let (secs, final_lis_sum) = time_min(|| {
+                    let mut engine = Engine::new(config.clone());
+                    for tick in &ticks {
+                        engine.ingest_tick_ref(tick);
+                    }
+                    engine
+                        .session_ids()
+                        .iter()
+                        .filter_map(|id| engine.lis_length(id.as_str()))
+                        .map(|k| k as u64)
+                        .sum::<u64>()
+                });
+                println!(
+                    "{}",
+                    json_line(&[
+                        ("bench", "streaming".into()),
+                        ("sessions", sessions.into()),
+                        ("mean_batch", mean_batch.into()),
+                        ("n_per_session", n.into()),
+                        ("backend", backend_name.into()),
+                        ("shards", shards.into()),
+                        ("ticks", ticks.len().into()),
+                        ("total_elems", total_elems.into()),
+                        ("secs", secs.into()),
+                        ("elems_per_sec", (total_elems as f64 / secs.max(1e-12)).into()),
+                        ("mean_final_lis", (final_lis_sum as f64 / sessions.max(1) as f64).into(),),
+                    ])
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_cover_every_batch_exactly_once() {
+        let (fleet, _) = session_fleet(3, 500, 64, 7);
+        let ticks = build_ticks(&fleet);
+        let from_ticks: usize = ticks.iter().flat_map(|t| t.iter().map(|(_, b)| b.len())).sum();
+        let from_fleet: usize =
+            fleet.iter().map(|(_, bs)| bs.iter().map(Vec::len).sum::<usize>()).sum();
+        assert_eq!(from_ticks, from_fleet);
+    }
+
+    #[test]
+    fn json_value_conversions_compile() {
+        let _: plis_bench::JsonValue = 1u64.into();
+        let _: plis_bench::JsonValue = 1.5f64.into();
+    }
+}

@@ -21,8 +21,14 @@ fn main() {
         v.dedup();
         v
     };
-    println!("# Parallel vEB batch operations, universe = 2^24, resident keys = {}", resident.len());
-    print_header("batch m", &["batch-ins", "point-ins", "batch-del", "point-del", "range", "succ-walk"]);
+    println!(
+        "# Parallel vEB batch operations, universe = 2^24, resident keys = {}",
+        resident.len()
+    );
+    print_header(
+        "batch m",
+        &["batch-ins", "point-ins", "batch-del", "point-del", "range", "succ-walk"],
+    );
 
     for &m in &[1_000usize, 10_000, 100_000, 1_000_000] {
         let batch: Vec<u64> = {

@@ -21,9 +21,6 @@ fn main() {
         let (_, k, stats) = lis_ranks_u64_with_stats(&input);
         let bound = n as f64 * ((k as f64) + 1.0).log2();
         let ratio = stats.nodes_visited as f64 / bound;
-        println!(
-            "{:>12} {:>14} {:>14.0} {:>14.3}",
-            k, stats.nodes_visited, bound, ratio
-        );
+        println!("{:>12} {:>14} {:>14.0} {:>14.3}", k, stats.nodes_visited, bound, ratio);
     }
 }

@@ -4,12 +4,18 @@
 //! `src/bin/` that prints the same series the paper plots; the knobs below
 //! let the sweep be scaled to the reproduction machine
 //! (the paper used `n = 10⁸…10⁹` on 96 cores — see the substitution notes
-//! in `DESIGN.md` and the recorded results in `EXPERIMENTS.md`).
+//! in the top-level `DESIGN.md`).
 //!
-//! Environment variables:
-//! * `PLIS_BENCH_N` — input size for the Figure-7 sweeps (default 1,000,000).
+//! Environment variables (documented in detail in `DESIGN.md`):
+//! * `PLIS_BENCH_N` — input size for the Figure-7 sweeps and elements per
+//!   session for the streaming sweep (default 1,000,000 / 100,000).
 //! * `PLIS_BENCH_REPEATS` — timed repetitions per cell; the minimum is
 //!   reported (default 3).
+//! * `PLIS_BENCH_SESSIONS` / `PLIS_BENCH_BATCH` — comma-separated sweep
+//!   overrides for the `streaming` binary.
+//!
+//! The `streaming` binary emits one [`json_line`] per sweep cell so perf
+//! trajectories can be recorded as `BENCH_*.json` files across PRs.
 
 use std::time::Instant;
 
@@ -40,11 +46,7 @@ pub fn time_min<R>(mut f: impl FnMut() -> R) -> (f64, R) {
 
 /// Run `f` on a dedicated rayon pool with `threads` workers.
 pub fn on_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("thread pool")
-        .install(f)
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool").install(f)
 }
 
 /// Geometrically spaced target ranks from 1 to `max` (inclusive-ish),
@@ -88,9 +90,119 @@ pub fn print_row(first: u64, cells: &[Option<f64>]) {
     println!();
 }
 
+/// One value of a machine-readable benchmark cell.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    Int(u64),
+    Float(f64),
+    Str(String),
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Int(v as u64)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::Int(v as u64)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+/// Render one benchmark cell as a single JSON object line — the format the
+/// perf-trajectory files (`BENCH_*.json`) accumulate.  Keys must be plain
+/// identifiers; string values are escaped.
+pub fn json_line(fields: &[(&str, JsonValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('"');
+        out.push_str(key);
+        out.push_str("\": ");
+        match value {
+            JsonValue::Int(v) => out.push_str(&v.to_string()),
+            JsonValue::Float(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v:.6}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Comma-separated `usize` list from an environment variable, with a default.
+pub fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(raw) => raw
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("bad {name} entry: {s:?}")))
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_line_renders_all_value_kinds() {
+        let line = json_line(&[
+            ("bench", "streaming".into()),
+            ("sessions", 4usize.into()),
+            ("rate", 123.456789_f64.into()),
+            ("note", "has \"quotes\"".into()),
+        ]);
+        assert_eq!(
+            line,
+            r#"{"bench": "streaming", "sessions": 4, "rate": 123.456789, "note": "has \"quotes\""}"#
+        );
+    }
+
+    #[test]
+    fn env_usize_list_falls_back_to_default() {
+        assert_eq!(env_usize_list("PLIS_TEST_UNSET_VAR", &[1, 2]), vec![1, 2]);
+    }
 
     #[test]
     fn rank_sweep_is_increasing_and_bounded() {
@@ -114,7 +226,7 @@ mod tests {
 
     #[test]
     fn on_threads_runs_on_requested_pool() {
-        let n = on_threads(2, || rayon::current_num_threads());
+        let n = on_threads(2, rayon::current_num_threads);
         assert_eq!(n, 2);
     }
 }

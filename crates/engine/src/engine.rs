@@ -1,0 +1,382 @@
+//! The multi-session front: shard many [`StreamingLis`] sessions and
+//! process whole traffic ticks in parallel.
+//!
+//! Sessions are owned by *shards* (session id → shard by FNV-1a hash).  A
+//! tick is a `Vec<(SessionId, Batch)>`; [`Engine::ingest_tick`] partitions
+//! the tick by shard, processes the shards in parallel with fork-join
+//! recursion over `split_at_mut` (disjoint shards, no locks — the same
+//! pattern the vEB batch operations use for disjoint clusters), and returns
+//! per-batch [`IngestReport`]s in the original tick order.  Batches
+//! addressed to the same session within one tick are applied in tick order,
+//! because a session lives in exactly one shard and each shard replays its
+//! work list sequentially.
+
+use crate::session::{Backend, IngestReport, StreamingLis};
+use std::collections::HashMap;
+
+/// Name of one independent stream within an [`Engine`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(String);
+
+impl SessionId {
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for SessionId {
+    fn from(s: &str) -> Self {
+        SessionId(s.to_string())
+    }
+}
+
+impl From<String> for SessionId {
+    fn from(s: String) -> Self {
+        SessionId(s)
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Engine-wide configuration, applied to every session it creates.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Value universe `[0, universe)` for every session.
+    pub universe: u64,
+    /// Tail-set backend for every session.
+    pub backend: Backend,
+    /// Number of shards sessions are spread over.  Defaults to the
+    /// hardware parallelism.
+    pub shards: usize,
+    /// Batch size at which a session switches to the parallel merge path.
+    pub par_threshold: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            universe: 1 << 32,
+            backend: Backend::Auto,
+            shards: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            par_threshold: crate::session::DEFAULT_PAR_THRESHOLD,
+        }
+    }
+}
+
+/// What one [`Engine::ingest_tick`] call did.
+#[derive(Debug, Clone)]
+pub struct TickReport {
+    /// One report per input batch, in the original tick order.
+    pub reports: Vec<(SessionId, IngestReport)>,
+    /// Total elements ingested across all batches.
+    pub total_ingested: usize,
+    /// Number of distinct sessions that received data.
+    pub sessions_touched: usize,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    sessions: HashMap<String, StreamingLis>,
+}
+
+/// One batch of a tick, borrowed from the caller: original tick position,
+/// target session, payload.
+type WorkItem<'a> = (usize, &'a SessionId, &'a [u64]);
+
+impl Shard {
+    /// Apply this shard's slice of the tick, in tick order, creating
+    /// sessions on first contact.
+    fn process(
+        &mut self,
+        work: Vec<WorkItem<'_>>,
+        config: &EngineConfig,
+    ) -> Vec<(usize, SessionId, IngestReport)> {
+        work.into_iter()
+            .map(|(index, id, batch)| {
+                let session = self.sessions.entry(id.as_str().to_string()).or_insert_with(|| {
+                    StreamingLis::new(config.universe, config.backend)
+                        .with_par_threshold(config.par_threshold)
+                });
+                let report = session.ingest(batch);
+                (index, id.clone(), report)
+            })
+            .collect()
+    }
+}
+
+/// A sharded multiplexer of independent [`StreamingLis`] sessions.
+///
+/// See the crate docs for a usage example.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    shards: Vec<Shard>,
+}
+
+impl Engine {
+    pub fn new(mut config: EngineConfig) -> Self {
+        config.shards = config.shards.max(1);
+        let shards = (0..config.shards).map(|_| Shard::default()).collect();
+        Engine { config, shards }
+    }
+
+    /// Engine with default config over the given universe.
+    pub fn with_universe(universe: u64) -> Self {
+        Engine::new(EngineConfig { universe, ..EngineConfig::default() })
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    fn shard_index(&self, id: &str) -> usize {
+        // FNV-1a; any stable hash works, but the std RandomState hasher is
+        // seeded per-process and would make shard assignment (and therefore
+        // parallel schedules) non-reproducible across runs.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in id.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Create an empty session; returns `false` if it already exists.
+    /// (Sessions are also created implicitly on first ingest.)
+    pub fn create_session(&mut self, id: impl Into<SessionId>) -> bool {
+        let id = id.into();
+        let shard = self.shard_index(id.as_str());
+        let config = &self.config;
+        let fresh = !self.shards[shard].sessions.contains_key(id.as_str());
+        if fresh {
+            self.shards[shard].sessions.insert(
+                id.as_str().to_string(),
+                StreamingLis::new(config.universe, config.backend)
+                    .with_par_threshold(config.par_threshold),
+            );
+        }
+        fresh
+    }
+
+    /// Drop a session and all its state; returns `true` if it existed.
+    pub fn remove_session(&mut self, id: &str) -> bool {
+        let shard = self.shard_index(id);
+        self.shards[shard].sessions.remove(id).is_some()
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.shards.iter().map(|s| s.sessions.len()).sum()
+    }
+
+    /// All session ids, sorted.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.sessions.keys().map(|k| SessionId::from(k.clone())))
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Read access to one session's full query API.
+    pub fn session(&self, id: &str) -> Option<&StreamingLis> {
+        self.shards[self.shard_index(id)].sessions.get(id)
+    }
+
+    /// Current LIS length of a session, if it exists.
+    pub fn lis_length(&self, id: &str) -> Option<u32> {
+        self.session(id).map(StreamingLis::lis_length)
+    }
+
+    /// Ingest one traffic tick: many `(session, batch)` pairs, processed
+    /// shard-parallel.  Unknown sessions are created on the fly.
+    pub fn ingest_tick(&mut self, tick: Vec<(SessionId, Vec<u64>)>) -> TickReport {
+        self.ingest_tick_ref(&tick)
+    }
+
+    /// As [`Engine::ingest_tick`], but borrowing the tick — callers that
+    /// replay a prepared schedule (benchmarks, log replays) avoid deep
+    /// copies of every batch.
+    pub fn ingest_tick_ref(&mut self, tick: &[(SessionId, Vec<u64>)]) -> TickReport {
+        let batch_count = tick.len();
+        // Partition the tick by shard, remembering original positions.
+        let mut work: Vec<Vec<WorkItem<'_>>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (index, (id, batch)) in tick.iter().enumerate() {
+            let shard = self.shard_index(id.as_str());
+            work[shard].push((index, id, batch.as_slice()));
+        }
+
+        let mut labeled = process_shards(&mut self.shards, &mut work, &self.config);
+        labeled.sort_unstable_by_key(|&(index, _, _)| index);
+        debug_assert_eq!(labeled.len(), batch_count);
+
+        let total_ingested = labeled.iter().map(|(_, _, r)| r.ingested).sum();
+        let sessions_touched = {
+            let mut names: Vec<&str> = labeled.iter().map(|(_, id, _)| id.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            names.len()
+        };
+        TickReport {
+            reports: labeled.into_iter().map(|(_, id, r)| (id, r)).collect(),
+            total_ingested,
+            sessions_touched,
+        }
+    }
+
+    /// Cross-check invariants of every session; used by the test suites.
+    pub fn check_invariants(&self) {
+        for shard in &self.shards {
+            for session in shard.sessions.values() {
+                session.check_invariants();
+            }
+        }
+    }
+}
+
+/// Fork-join over disjoint shards: split both the shard slice and the
+/// per-shard work lists, recurse in parallel, concatenate the reports.
+fn process_shards(
+    shards: &mut [Shard],
+    work: &mut [Vec<WorkItem<'_>>],
+    config: &EngineConfig,
+) -> Vec<(usize, SessionId, IngestReport)> {
+    debug_assert_eq!(shards.len(), work.len());
+    match shards.len() {
+        0 => Vec::new(),
+        1 => shards[0].process(std::mem::take(&mut work[0]), config),
+        n => {
+            let mid = n / 2;
+            let (shards_lo, shards_hi) = shards.split_at_mut(mid);
+            let (work_lo, work_hi) = work.split_at_mut(mid);
+            let (mut lo, hi) = rayon::join(
+                || process_shards(shards_lo, work_lo, config),
+                || process_shards(shards_hi, work_hi, config),
+            );
+            lo.extend(hi);
+            lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn tick_reports_preserve_input_order() {
+        let mut engine =
+            Engine::new(EngineConfig { universe: 1 << 16, shards: 4, ..EngineConfig::default() });
+        let tick: Vec<(SessionId, Vec<u64>)> = (0..20)
+            .map(|i| (SessionId::from(format!("s{}", i % 7)), vec![i as u64, i as u64 + 1]))
+            .collect();
+        let expect_ids: Vec<SessionId> = tick.iter().map(|(id, _)| id.clone()).collect();
+        let report = engine.ingest_tick(tick);
+        let got_ids: Vec<SessionId> = report.reports.iter().map(|(id, _)| id.clone()).collect();
+        assert_eq!(got_ids, expect_ids);
+        assert_eq!(report.total_ingested, 40);
+        assert_eq!(report.sessions_touched, 7);
+        assert_eq!(engine.session_count(), 7);
+        engine.check_invariants();
+    }
+
+    #[test]
+    fn multiplexed_sessions_match_dedicated_sessions() {
+        let mut state = 0xFEED_BEEFu64;
+        let universe = 1u64 << 14;
+        let session_names = ["alpha", "bravo", "charlie", "delta", "echo"];
+        let mut engine = Engine::new(EngineConfig {
+            universe,
+            shards: 3,
+            par_threshold: 64,
+            ..EngineConfig::default()
+        });
+        let mut reference: HashMap<&str, StreamingLis> = session_names
+            .iter()
+            .map(|&name| (name, StreamingLis::new(universe, Backend::Auto).with_par_threshold(64)))
+            .collect();
+        for _round in 0..12 {
+            let mut tick = Vec::new();
+            for &name in &session_names {
+                let len = (xorshift(&mut state) % 200) as usize;
+                let batch: Vec<u64> = (0..len).map(|_| xorshift(&mut state) % universe).collect();
+                reference.get_mut(name).unwrap().ingest(&batch);
+                tick.push((SessionId::from(name), batch));
+            }
+            engine.ingest_tick(tick);
+        }
+        for &name in &session_names {
+            let live = engine.session(name).expect("session exists");
+            let want = &reference[name];
+            assert_eq!(live.ranks(), want.ranks(), "session {name}");
+            assert_eq!(live.tails(), want.tails(), "session {name}");
+        }
+        engine.check_invariants();
+    }
+
+    #[test]
+    fn same_session_twice_in_one_tick_applies_in_order() {
+        let mut engine = Engine::with_universe(1 << 10);
+        let report = engine.ingest_tick(vec![
+            (SessionId::from("s"), vec![100, 200]),
+            (SessionId::from("s"), vec![150, 300]),
+        ]);
+        assert_eq!(report.reports.len(), 2);
+        assert_eq!(report.sessions_touched, 1);
+        // 100 < 200 then 150 does not extend, 300 does: LIS = 100, 200, 300.
+        assert_eq!(engine.lis_length("s"), Some(3));
+        let session = engine.session("s").unwrap();
+        assert_eq!(session.values(), &[100, 200, 150, 300]);
+        assert_eq!(session.ranks(), &[1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn create_remove_and_lookup() {
+        let mut engine = Engine::with_universe(1 << 8);
+        assert!(engine.create_session("x"));
+        assert!(!engine.create_session("x"));
+        assert_eq!(engine.session_count(), 1);
+        assert_eq!(engine.lis_length("x"), Some(0));
+        assert_eq!(engine.lis_length("missing"), None);
+        assert!(engine.remove_session("x"));
+        assert!(!engine.remove_session("x"));
+        assert_eq!(engine.session_count(), 0);
+    }
+
+    #[test]
+    fn single_shard_engine_still_works() {
+        let mut engine =
+            Engine::new(EngineConfig { universe: 1 << 10, shards: 1, ..EngineConfig::default() });
+        let report = engine.ingest_tick(vec![
+            (SessionId::from("a"), vec![1, 2, 3]),
+            (SessionId::from("b"), vec![3, 2, 1]),
+        ]);
+        assert_eq!(report.total_ingested, 6);
+        assert_eq!(engine.lis_length("a"), Some(3));
+        assert_eq!(engine.lis_length("b"), Some(1));
+    }
+
+    #[test]
+    fn session_ids_are_sorted_and_complete() {
+        let mut engine = Engine::with_universe(64);
+        for name in ["zeta", "alpha", "mid"] {
+            engine.create_session(name);
+        }
+        let ids: Vec<String> =
+            engine.session_ids().iter().map(|id| id.as_str().to_string()).collect();
+        assert_eq!(ids, vec!["alpha", "mid", "zeta"]);
+    }
+}

@@ -1,0 +1,51 @@
+//! `plis-engine` — an online/streaming LIS engine on top of the
+//! batch-parallel vEB machinery.
+//!
+//! The offline algorithms of the paper answer "what is the LIS of this
+//! array" one-shot.  This crate turns them into a *service*: data arrives
+//! continuously in batches, and LIS state is maintained incrementally
+//! instead of recomputed from scratch.
+//!
+//! * [`StreamingLis`] — a single session.  It keeps the classic *tails*
+//!   array `B[r]` = smallest value ending an increasing subsequence of
+//!   length `r + 1` over everything ingested so far, mirrored in a value
+//!   domain structure selected by [`Backend`]: either a [`plis_veb::VebTree`]
+//!   (kept in sync with the paper's parallel `batch_insert` /
+//!   `batch_delete`, Theorems 5.1/5.2) or a plain sorted vector for small
+//!   universes.  [`StreamingLis::ingest`] appends a batch and returns an
+//!   [`IngestReport`]; large batches take a parallel merge path that runs
+//!   Algorithm 1 (the tournament-tree LIS) over `tails ++ batch` — see the
+//!   module docs of [`session`] for why that is exact.
+//! * [`Engine`] — a front that multiplexes many independent named sessions
+//!   ([`SessionId`]), shards them across the fork-join pool, and processes a
+//!   whole `Vec<(SessionId, Batch)>` tick in parallel: the "heavy traffic"
+//!   shape of the ROADMAP.
+//!
+//! # Quick start
+//!
+//! ```
+//! use plis_engine::{Backend, Engine, EngineConfig, SessionId};
+//!
+//! let mut engine = Engine::new(EngineConfig {
+//!     universe: 1 << 16,
+//!     backend: Backend::Veb,
+//!     ..EngineConfig::default()
+//! });
+//! let tick = vec![
+//!     (SessionId::from("alice"), vec![5u64, 3, 4, 8]),
+//!     (SessionId::from("bob"), vec![9u64, 1, 2]),
+//!     (SessionId::from("alice"), vec![6u64, 9]),
+//! ];
+//! let report = engine.ingest_tick(tick);
+//! assert_eq!(report.total_ingested, 9);
+//! assert_eq!(engine.lis_length("alice"), Some(4)); // 3 < 4 < 6 < 9
+//! assert_eq!(engine.lis_length("bob"), Some(2));   // 1 < 2
+//! let lis = engine.session("alice").unwrap().reconstruct_lis();
+//! assert_eq!(lis.len(), 4);
+//! ```
+
+pub mod engine;
+pub mod session;
+
+pub use engine::{Engine, EngineConfig, SessionId, TickReport};
+pub use session::{Backend, IngestPath, IngestReport, StreamingLis};

@@ -1,0 +1,552 @@
+//! A single streaming-LIS session: incremental LIS state over an
+//! append-only stream of `u64` values, ingested batch by batch.
+//!
+//! # State
+//!
+//! The session keeps the *patience* invariant of Seq-BS: after ingesting a
+//! prefix, `tails[r]` is the smallest value that ends an increasing
+//! subsequence of length `r + 1` within the prefix.  `tails` is strictly
+//! increasing, its length is the current LIS length, and it is the complete
+//! summary of the prefix as far as future dp values are concerned.  The
+//! session also records every element's *rank* (the length of the LIS ending
+//! at it — its dp value).  A rank only depends on the elements before it, so
+//! ranks never change once computed: streaming queries are exact, not
+//! approximate.
+//!
+//! # Batch ingestion
+//!
+//! Small batches take the sequential path: each element binary-searches
+//! `tails` (`O(log k)`) and overwrites one slot.
+//!
+//! Large batches take the **parallel merge path**, which is where the
+//! paper's machinery earns its keep.  Observe that for dp purposes the
+//! entire old prefix is interchangeable with the array `tails` itself: an
+//! increasing subsequence of length `r` with all values `< x` exists in the
+//! prefix iff `tails[r - 1] < x`, and `tails` is strictly increasing, so
+//! within `tails` alone every `tails[j]` has dp exactly `j + 1`.  Hence
+//! running Algorithm 1 — the parallel tournament-tree LIS ([`lis_ranks_u64`])
+//! — over the concatenation `tails ++ batch` yields, at the batch positions,
+//! exactly the dp values of the batch elements in the full stream.  The new
+//! tails array is then `new_tails[r] = min(old_tails[r], min {b : b in batch,
+//! dp(b) = r + 1})`, computed by grouping the batch by rank with the
+//! counting-sort primitive ([`group_by_rank`]).
+//!
+//! # Backends
+//!
+//! [`Backend`] (mirroring `DominantMaxBackend` from `plis-lis`) selects the
+//! value-domain mirror of the tail set:
+//!
+//! * [`Backend::Veb`] maintains a [`VebTree`] over the session universe and
+//!   applies every ingest's tail-set delta with the paper's parallel
+//!   [`VebTree::batch_insert`] / [`VebTree::batch_delete`] (Theorems
+//!   5.1/5.2).  Value-domain queries ([`StreamingLis::tail_pred`],
+//!   [`StreamingLis::tail_succ`]) then cost `O(log log U)`.
+//! * [`Backend::SortedVec`] keeps no extra structure and answers
+//!   value-domain queries by binary search over `tails` — the right choice
+//!   for small universes where the vEB constant factors dominate.
+//! * [`Backend::Auto`] picks between them from the universe size.
+
+use plis_lis::lis_ranks_u64;
+use plis_primitives::group_by_rank;
+use plis_veb::VebTree;
+
+/// Universe size at or below which [`Backend::Auto`] resolves to
+/// [`Backend::SortedVec`]: tiny universes mean short tail arrays, and a
+/// binary search beats the vEB constant factors.
+pub const AUTO_VEB_UNIVERSE_THRESHOLD: u64 = 1 << 12;
+
+/// Default batch size at which [`StreamingLis::ingest`] switches from the
+/// sequential per-element path to the parallel merge path.
+pub const DEFAULT_PAR_THRESHOLD: usize = 512;
+
+/// Which value-domain structure mirrors the tail set of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Decide from the universe size (vEB above
+    /// [`AUTO_VEB_UNIVERSE_THRESHOLD`], sorted vector at or below it).
+    Auto,
+    /// Tails mirrored in a [`VebTree`], maintained with the paper's batch
+    /// insert / delete.
+    Veb,
+    /// No mirror; value-domain queries binary-search the tails array.
+    SortedVec,
+}
+
+impl Backend {
+    fn resolve(self, universe: u64) -> Backend {
+        match self {
+            Backend::Auto => {
+                if universe > AUTO_VEB_UNIVERSE_THRESHOLD {
+                    Backend::Veb
+                } else {
+                    Backend::SortedVec
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// Which code path an ingest took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestPath {
+    /// Per-element binary search + point updates.
+    Sequential,
+    /// Algorithm 1 over `tails ++ batch`, delta applied with vEB batch ops.
+    ParallelMerge,
+}
+
+/// What one [`StreamingLis::ingest`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Number of elements appended by this call.
+    pub ingested: usize,
+    /// LIS length of the stream before the batch.
+    pub lis_before: u32,
+    /// LIS length of the stream after the batch.
+    pub lis_after: u32,
+    /// Code path taken.
+    pub path: IngestPath,
+    /// Values inserted into the tail set (new or replacement tails).
+    pub tail_inserts: usize,
+    /// Values removed from the tail set (tails displaced by better ones).
+    pub tail_removals: usize,
+}
+
+impl IngestReport {
+    fn empty(k: u32, path: IngestPath) -> Self {
+        IngestReport {
+            ingested: 0,
+            lis_before: k,
+            lis_after: k,
+            path,
+            tail_inserts: 0,
+            tail_removals: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum TailStore {
+    SortedVec,
+    Veb(VebTree),
+}
+
+/// Incremental LIS over an append-only stream.  See the module docs for the
+/// algorithm; see [`crate::Engine`] for multiplexing many sessions.
+#[derive(Debug, Clone)]
+pub struct StreamingLis {
+    /// Every ingested value, in arrival order.
+    values: Vec<u64>,
+    /// `ranks[i]` = dp value of `values[i]` (length of the LIS ending there).
+    ranks: Vec<u32>,
+    /// The patience tails: `tails[r]` = smallest value ending an increasing
+    /// subsequence of length `r + 1`.  Strictly increasing.
+    tails: Vec<u64>,
+    /// Value-domain mirror of `tails`, per the chosen backend.
+    store: TailStore,
+    universe: u64,
+    par_threshold: usize,
+}
+
+impl StreamingLis {
+    /// Create a session over the value universe `[0, universe)`.
+    ///
+    /// # Panics
+    /// Panics if `universe == 0`.
+    pub fn new(universe: u64, backend: Backend) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        let store = match backend.resolve(universe) {
+            Backend::Veb => TailStore::Veb(VebTree::new(universe)),
+            Backend::SortedVec => TailStore::SortedVec,
+            Backend::Auto => unreachable!("resolve() never returns Auto"),
+        };
+        StreamingLis {
+            values: Vec::new(),
+            ranks: Vec::new(),
+            tails: Vec::new(),
+            store,
+            universe,
+            par_threshold: DEFAULT_PAR_THRESHOLD,
+        }
+    }
+
+    /// Override the batch size at which ingestion switches to the parallel
+    /// merge path (mainly for tests and benchmarks).
+    pub fn with_par_threshold(mut self, threshold: usize) -> Self {
+        self.par_threshold = threshold.max(1);
+        self
+    }
+
+    /// Number of elements ingested so far.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True before the first element arrives.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Current LIS length of the whole stream.
+    pub fn lis_length(&self) -> u32 {
+        self.tails.len() as u32
+    }
+
+    /// The universe this session was created over.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Which backend the session resolved to.
+    pub fn backend_name(&self) -> &'static str {
+        match self.store {
+            TailStore::Veb(_) => "veb",
+            TailStore::SortedVec => "sorted-vec",
+        }
+    }
+
+    /// Every ingested value, in arrival order.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Per-element ranks (dp values).  `ranks()[i]` is the length of the
+    /// longest increasing subsequence ending at element `i`; it is exact and
+    /// final from the moment element `i` is ingested.
+    pub fn ranks(&self) -> &[u32] {
+        &self.ranks
+    }
+
+    /// The rank of the `i`-th ingested element, if it exists.
+    pub fn rank_of(&self, i: usize) -> Option<u32> {
+        self.ranks.get(i).copied()
+    }
+
+    /// The current patience tails (strictly increasing; one entry per LIS
+    /// length `1..=k`).
+    pub fn tails(&self) -> &[u64] {
+        &self.tails
+    }
+
+    /// Length of the longest increasing subsequence all of whose values are
+    /// strictly below `x` — the rank a hypothetical next element `x` would
+    /// receive, minus one.
+    pub fn lis_length_below(&self, x: u64) -> u32 {
+        self.tails.partition_point(|&t| t < x) as u32
+    }
+
+    /// Largest tail value strictly below `x`, if any.  `O(log log U)` on the
+    /// vEB backend, `O(log k)` on the sorted-vec backend.
+    pub fn tail_pred(&self, x: u64) -> Option<u64> {
+        match &self.store {
+            TailStore::Veb(v) => v.pred(x.min(v.universe())),
+            TailStore::SortedVec => {
+                let p = self.tails.partition_point(|&t| t < x);
+                p.checked_sub(1).map(|i| self.tails[i])
+            }
+        }
+    }
+
+    /// Smallest tail value at or above `x`, if any.  Probes at or beyond the
+    /// universe return `None` (all tails are inside the universe).
+    pub fn tail_succ(&self, x: u64) -> Option<u64> {
+        match &self.store {
+            TailStore::Veb(v) => {
+                if x >= v.universe() {
+                    None
+                } else if v.contains(x) {
+                    Some(x)
+                } else {
+                    v.succ(x)
+                }
+            }
+            TailStore::SortedVec => {
+                let p = self.tails.partition_point(|&t| t < x);
+                self.tails.get(p).copied()
+            }
+        }
+    }
+
+    /// Indices (in arrival order) of one longest increasing subsequence of
+    /// the whole stream, recovered from the stored ranks as in Appendix A.
+    pub fn reconstruct_lis(&self) -> Vec<usize> {
+        plis_lis::lis_indices_from_ranks(&self.values, &self.ranks, self.lis_length())
+    }
+
+    /// Append `batch` to the stream and update all LIS state.
+    ///
+    /// # Panics
+    /// Panics if any value is outside the session universe.
+    pub fn ingest(&mut self, batch: &[u64]) -> IngestReport {
+        for &v in batch {
+            assert!(v < self.universe, "value {v} outside session universe {}", self.universe);
+        }
+        if batch.is_empty() {
+            return IngestReport::empty(self.lis_length(), IngestPath::Sequential);
+        }
+        if batch.len() >= self.par_threshold {
+            self.ingest_parallel(batch)
+        } else {
+            self.ingest_sequential(batch)
+        }
+    }
+
+    /// The sequential path: seeded patience, one element at a time.
+    fn ingest_sequential(&mut self, batch: &[u64]) -> IngestReport {
+        let lis_before = self.lis_length();
+        let mut inserts = 0usize;
+        let mut removals = 0usize;
+        for &x in batch {
+            let pos = self.tails.partition_point(|&t| t < x);
+            self.ranks.push(pos as u32 + 1);
+            if pos == self.tails.len() {
+                self.tails.push(x);
+                if let TailStore::Veb(v) = &mut self.store {
+                    v.insert(x);
+                }
+                inserts += 1;
+            } else if x < self.tails[pos] {
+                let displaced = std::mem::replace(&mut self.tails[pos], x);
+                if let TailStore::Veb(v) = &mut self.store {
+                    v.delete(displaced);
+                    v.insert(x);
+                }
+                inserts += 1;
+                removals += 1;
+            }
+        }
+        self.values.extend_from_slice(batch);
+        IngestReport {
+            ingested: batch.len(),
+            lis_before,
+            lis_after: self.lis_length(),
+            path: IngestPath::Sequential,
+            tail_inserts: inserts,
+            tail_removals: removals,
+        }
+    }
+
+    /// The parallel merge path: Algorithm 1 over `tails ++ batch`, then a
+    /// grouped rebuild of the tails and a vEB batch delta.
+    fn ingest_parallel(&mut self, batch: &[u64]) -> IngestReport {
+        let lis_before = self.lis_length();
+        let k = self.tails.len();
+
+        let mut merged = Vec::with_capacity(k + batch.len());
+        merged.extend_from_slice(&self.tails);
+        merged.extend_from_slice(batch);
+        let (merged_ranks, new_k) = lis_ranks_u64(&merged);
+        debug_assert!(
+            merged_ranks[..k].iter().enumerate().all(|(j, &r)| r == j as u32 + 1),
+            "strictly increasing tails must have dp == position + 1"
+        );
+
+        let batch_ranks = &merged_ranks[k..];
+        self.ranks.extend_from_slice(batch_ranks);
+        self.values.extend_from_slice(batch);
+
+        // Group the batch by rank (counting sort) and take the per-rank min.
+        let rank_keys: Vec<usize> = batch_ranks.iter().map(|&r| (r - 1) as usize).collect();
+        let groups = group_by_rank(&rank_keys, new_k as usize);
+        let old_tails = std::mem::take(&mut self.tails);
+        let new_tails: Vec<u64> = (0..new_k as usize)
+            .map(|r| {
+                let from_old = old_tails.get(r).copied().unwrap_or(u64::MAX);
+                let from_batch = groups[r].iter().map(|&i| batch[i]).min().unwrap_or(u64::MAX);
+                from_old.min(from_batch)
+            })
+            .collect();
+        debug_assert!(
+            new_tails.windows(2).all(|w| w[0] < w[1]),
+            "tails must stay strictly increasing"
+        );
+
+        // Apply the tail-set delta through the paper's batch operations.
+        let (removed, added) = sorted_diff(&old_tails, &new_tails);
+        if let TailStore::Veb(v) = &mut self.store {
+            v.batch_delete(&removed);
+            v.batch_insert(&added);
+        }
+        self.tails = new_tails;
+
+        IngestReport {
+            ingested: batch.len(),
+            lis_before,
+            lis_after: self.lis_length(),
+            path: IngestPath::ParallelMerge,
+            tail_inserts: added.len(),
+            tail_removals: removed.len(),
+        }
+    }
+
+    /// Cross-check every invariant; used by the test suites.
+    pub fn check_invariants(&self) {
+        assert_eq!(self.values.len(), self.ranks.len());
+        assert!(self.tails.windows(2).all(|w| w[0] < w[1]), "tails not strictly increasing");
+        let k = self.ranks.iter().copied().max().unwrap_or(0);
+        assert_eq!(k, self.lis_length(), "max rank must equal the tail count");
+        if let TailStore::Veb(v) = &self.store {
+            assert_eq!(v.iter_keys(), self.tails, "vEB mirror out of sync with tails");
+        }
+    }
+}
+
+/// Symmetric difference of two strictly increasing slices:
+/// `(only_in_a, only_in_b)`, both sorted.
+fn sorted_diff(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let mut only_a = Vec::new();
+    let mut only_b = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                only_a.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                only_b.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    only_a.extend_from_slice(&a[i..]);
+    only_b.extend_from_slice(&b[j..]);
+    (only_a, only_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn paper_example_one_batch() {
+        let input = [52u64, 31, 45, 26, 61, 10, 39, 44];
+        for backend in [Backend::Veb, Backend::SortedVec] {
+            let mut s = StreamingLis::new(64, backend);
+            let report = s.ingest(&input);
+            assert_eq!(report.ingested, 8);
+            assert_eq!(report.lis_after, 3);
+            assert_eq!(s.ranks(), &[1, 1, 2, 1, 3, 1, 2, 3]);
+            assert_eq!(s.lis_length(), 3);
+            s.check_invariants();
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_paths_agree() {
+        let mut state = 0x5DEECE66Du64;
+        let input: Vec<u64> = (0..3_000).map(|_| xorshift(&mut state) % 10_000).collect();
+        let mut seq = StreamingLis::new(10_000, Backend::Veb).with_par_threshold(usize::MAX);
+        let mut par = StreamingLis::new(10_000, Backend::Veb).with_par_threshold(1);
+        for chunk in input.chunks(97) {
+            let rs = seq.ingest(chunk);
+            let rp = par.ingest(chunk);
+            assert_eq!(rs.path, IngestPath::Sequential);
+            assert_eq!(rp.path, IngestPath::ParallelMerge);
+            assert_eq!(rs.lis_after, rp.lis_after);
+        }
+        assert_eq!(seq.ranks(), par.ranks());
+        assert_eq!(seq.tails(), par.tails());
+        seq.check_invariants();
+        par.check_invariants();
+    }
+
+    #[test]
+    fn backends_agree_and_answer_value_queries() {
+        let mut state = 0xBADC0FFEu64;
+        let input: Vec<u64> = (0..2_000).map(|_| xorshift(&mut state) % 4_096).collect();
+        let mut veb = StreamingLis::new(4_096, Backend::Veb);
+        let mut vec = StreamingLis::new(4_096, Backend::SortedVec);
+        for chunk in input.chunks(333) {
+            veb.ingest(chunk);
+            vec.ingest(chunk);
+        }
+        assert_eq!(veb.ranks(), vec.ranks());
+        assert_eq!(veb.tails(), vec.tails());
+        // Probes include the universe boundary and beyond: both backends
+        // must agree there too, not just on in-universe keys.
+        for probe in [0u64, 1, 17, 1_000, 4_095, 4_096, 10_000, u64::MAX] {
+            assert_eq!(veb.tail_pred(probe), vec.tail_pred(probe), "pred {probe}");
+            assert_eq!(veb.tail_succ(probe), vec.tail_succ(probe), "succ {probe}");
+            assert_eq!(veb.lis_length_below(probe), vec.lis_length_below(probe));
+        }
+        veb.check_invariants();
+        vec.check_invariants();
+    }
+
+    #[test]
+    fn auto_backend_resolves_by_universe() {
+        let small = StreamingLis::new(256, Backend::Auto);
+        assert_eq!(small.backend_name(), "sorted-vec");
+        let large = StreamingLis::new(1 << 20, Backend::Auto);
+        assert_eq!(large.backend_name(), "veb");
+    }
+
+    #[test]
+    fn reports_track_tail_churn() {
+        let mut s = StreamingLis::new(1 << 10, Backend::Veb);
+        let r = s.ingest(&[10, 20, 30]);
+        assert_eq!(r.tail_inserts, 3);
+        assert_eq!(r.tail_removals, 0);
+        assert_eq!(r.lis_after, 3);
+        // 5 displaces 10; 15 displaces 20.
+        let r = s.ingest(&[5, 15]);
+        assert_eq!(r.tail_inserts, 2);
+        assert_eq!(r.tail_removals, 2);
+        assert_eq!(r.lis_after, 3);
+        assert_eq!(s.tails(), &[5, 15, 30]);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut s = StreamingLis::new(100, Backend::Auto);
+        s.ingest(&[3, 1, 4]);
+        let before = s.tails().to_vec();
+        let r = s.ingest(&[]);
+        assert_eq!(r.ingested, 0);
+        assert_eq!(r.lis_before, r.lis_after);
+        assert_eq!(s.tails(), before.as_slice());
+    }
+
+    #[test]
+    fn reconstruction_is_valid_and_optimal() {
+        let mut state = 0x1234_5678u64;
+        let input: Vec<u64> = (0..1_500).map(|_| xorshift(&mut state) % 2_000).collect();
+        let mut s = StreamingLis::new(2_000, Backend::Auto).with_par_threshold(200);
+        for chunk in input.chunks(170) {
+            s.ingest(chunk);
+        }
+        let lis = s.reconstruct_lis();
+        assert_eq!(lis.len() as u32, s.lis_length());
+        assert!(lis.windows(2).all(|w| w[0] < w[1]));
+        assert!(lis.windows(2).all(|w| input[w[0]] < input[w[1]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside session universe")]
+    fn out_of_universe_value_panics() {
+        let mut s = StreamingLis::new(16, Backend::SortedVec);
+        s.ingest(&[16]);
+    }
+
+    #[test]
+    fn sorted_diff_basics() {
+        assert_eq!(sorted_diff(&[1, 3, 5, 7], &[3, 4, 7, 9]), (vec![1, 5], vec![4, 9]));
+        assert_eq!(sorted_diff(&[], &[1]), (vec![], vec![1]));
+        assert_eq!(sorted_diff(&[2], &[]), (vec![2], vec![]));
+        assert_eq!(sorted_diff(&[1, 2], &[1, 2]), (vec![], vec![]));
+    }
+}

@@ -55,7 +55,11 @@ pub fn lis_indices_from_ranks<T: Ord>(values: &[T], ranks: &[u32], k: u32) -> Ve
 mod tests {
     use super::*;
 
-    fn assert_valid_lis<T: Ord + std::fmt::Debug>(values: &[T], indices: &[usize], expected_len: u32) {
+    fn assert_valid_lis<T: Ord + std::fmt::Debug>(
+        values: &[T],
+        indices: &[usize],
+        expected_len: u32,
+    ) {
         assert_eq!(indices.len(), expected_len as usize);
         assert!(indices.windows(2).all(|w| w[0] < w[1]), "indices must increase: {indices:?}");
         assert!(

@@ -138,10 +138,7 @@ mod tests {
         let a: Vec<(u32, char)> = vec![(1, 'a'), (2, 'a'), (2, 'a'), (5, 'a')];
         let b: Vec<(u32, char)> = vec![(2, 'b'), (3, 'b'), (5, 'b')];
         let got = merge_by_key(&a, &b, |x| x.0);
-        assert_eq!(
-            got,
-            vec![(1, 'a'), (2, 'a'), (2, 'a'), (2, 'b'), (3, 'b'), (5, 'a'), (5, 'b')]
-        );
+        assert_eq!(got, vec![(1, 'a'), (2, 'a'), (2, 'a'), (2, 'b'), (3, 'b'), (5, 'a'), (5, 'b')]);
     }
 
     #[test]

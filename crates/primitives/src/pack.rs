@@ -15,21 +15,12 @@ use rayon::prelude::*;
 /// Panics if `a.len() != flags.len()`.
 pub fn pack<T: Clone + Send + Sync>(a: &[T], flags: &[bool]) -> Vec<T> {
     assert_eq!(a.len(), flags.len(), "pack: length mismatch");
-    a.par_iter()
-        .zip(flags.par_iter())
-        .filter(|(_, &f)| f)
-        .map(|(x, _)| x.clone())
-        .collect()
+    a.par_iter().zip(flags.par_iter()).filter(|(_, &f)| f).map(|(x, _)| x.clone()).collect()
 }
 
 /// Return the *indices* `i` for which `flags[i]` is true, in increasing order.
 pub fn pack_index(flags: &[bool]) -> Vec<usize> {
-    flags
-        .par_iter()
-        .enumerate()
-        .filter(|(_, &f)| f)
-        .map(|(i, _)| i)
-        .collect()
+    flags.par_iter().enumerate().filter(|(_, &f)| f).map(|(i, _)| i).collect()
 }
 
 /// Return the indices `i` in `0..n` for which `pred(i)` holds, in increasing

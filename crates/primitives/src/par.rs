@@ -65,9 +65,7 @@ where
 {
     assert!(chunk_size > 0, "chunk_size must be positive");
     use rayon::prelude::*;
-    data.par_chunks_mut(chunk_size)
-        .enumerate()
-        .for_each(|(i, chunk)| f(i, chunk));
+    data.par_chunks_mut(chunk_size).enumerate().for_each(|(i, chunk)| f(i, chunk));
 }
 
 #[cfg(test)]

@@ -24,7 +24,7 @@ where
     }
     // Up-sweep: compute the sum of each block; down-sweep: scan each block
     // with the block prefix as the carry-in.
-    let nblocks = (n + GRAIN - 1) / GRAIN;
+    let nblocks = n.div_ceil(GRAIN);
     if nblocks == 1 {
         let mut acc = id.clone();
         for i in 0..n {
@@ -56,16 +56,15 @@ where
     // Down-sweep each block in parallel.
     {
         use rayon::prelude::*;
-        out.par_chunks_mut(GRAIN)
-            .zip(a.par_chunks(GRAIN))
-            .enumerate()
-            .for_each(|(b, (ochunk, achunk))| {
+        out.par_chunks_mut(GRAIN).zip(a.par_chunks(GRAIN)).enumerate().for_each(
+            |(b, (ochunk, achunk))| {
                 let mut acc = carries[b].clone();
                 for (o, item) in ochunk.iter_mut().zip(achunk.iter()) {
                     *o = acc.clone();
                     acc = op(&acc, item);
                 }
-            });
+            },
+        );
     }
     (out, total)
 }
@@ -79,9 +78,7 @@ where
     let (mut ex, _total) = exclusive_scan(a, id, &op);
     {
         use rayon::prelude::*;
-        ex.par_iter_mut()
-            .zip(a.par_iter())
-            .for_each(|(o, x)| *o = op(o, x));
+        ex.par_iter_mut().zip(a.par_iter()).for_each(|(o, x)| *o = op(o, x));
     }
     ex
 }

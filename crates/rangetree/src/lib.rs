@@ -114,10 +114,7 @@ impl RangeMaxTree {
         }
         let mut order: Vec<(u64, u64)> = points.iter().map(|p| (p.x, p.y)).collect();
         order.par_sort_unstable();
-        assert!(
-            order.windows(2).all(|w| w[0] != w[1]),
-            "duplicate points are not supported"
-        );
+        assert!(order.windows(2).all(|w| w[0] != w[1]), "duplicate points are not supported");
         let xs: Vec<u64> = order.iter().map(|p| p.0).collect();
         let ys_by_pos: Vec<u64> = order.iter().map(|p| p.1).collect();
         let mut nodes: Vec<Option<NodeData>> = Vec::new();
@@ -205,7 +202,7 @@ impl RangeMaxTree {
             if pos < left.hi {
                 node_idx = left_idx;
             } else {
-                node_idx = node_idx + 2 * (left.hi - left.lo);
+                node_idx += 2 * (left.hi - left.lo);
             }
         }
     }
@@ -226,7 +223,7 @@ impl RangeMaxTree {
             if pos < left.hi {
                 node_idx = left_idx;
             } else {
-                node_idx = node_idx + 2 * (left.hi - left.lo);
+                node_idx += 2 * (left.hi - left.lo);
             }
         }
     }
@@ -249,7 +246,7 @@ fn build(nodes: &mut [Option<NodeData>], ys_by_pos: &[u64], lo: usize, hi: usize
         nodes[0] = Some(NodeData::new(lo, hi, vec![ys_by_pos[lo]]));
         return;
     }
-    let half = (m + 1) / 2;
+    let half = m.div_ceil(2);
     let (this, rest) = nodes.split_first_mut().expect("non-empty");
     let (left, right) = rest.split_at_mut(2 * half - 1);
     maybe_join(
@@ -269,12 +266,7 @@ mod tests {
     use super::*;
 
     fn brute_dominant_max(points: &[(Point2, u64)], qx: u64, qy: u64) -> u64 {
-        points
-            .iter()
-            .filter(|(p, _)| p.x < qx && p.y < qy)
-            .map(|(_, s)| *s)
-            .max()
-            .unwrap_or(0)
+        points.iter().filter(|(p, _)| p.x < qx && p.y < qy).map(|(_, s)| *s).max().unwrap_or(0)
     }
 
     #[test]
@@ -317,14 +309,13 @@ mod tests {
         ];
         let points: Vec<Point2> = raw.iter().map(|&(x, y, _)| Point2 { x, y }).collect();
         let t = RangeMaxTree::new(&points);
-        let updates: Vec<ScoreUpdate> = raw
-            .iter()
-            .map(|&(x, y, s)| ScoreUpdate { point: Point2 { x, y }, score: s })
-            .collect();
+        let updates: Vec<ScoreUpdate> =
+            raw.iter().map(|&(x, y, s)| ScoreUpdate { point: Point2 { x, y }, score: s }).collect();
         t.update_batch(&updates);
         assert_eq!(t.dominant_max(10, 6), 8);
         // And exhaustive spot checks against brute force.
-        let scored: Vec<(Point2, u64)> = raw.iter().map(|&(x, y, s)| (Point2 { x, y }, s)).collect();
+        let scored: Vec<(Point2, u64)> =
+            raw.iter().map(|&(x, y, s)| (Point2 { x, y }, s)).collect();
         for qx in 0..20 {
             for qy in 0..12 {
                 assert_eq!(

@@ -86,10 +86,7 @@ impl RangeVeb {
         {
             let mut ys: Vec<u64> = order.iter().map(|p| p.1).collect();
             ys.par_sort_unstable();
-            assert!(
-                ys.windows(2).all(|w| w[0] != w[1]),
-                "y coordinates must be pairwise distinct"
-            );
+            assert!(ys.windows(2).all(|w| w[0] != w[1]), "y coordinates must be pairwise distinct");
         }
         let xs: Vec<u64> = order.iter().map(|p| p.0).collect();
         let ys_by_pos: Vec<u64> = order.iter().map(|p| p.1).collect();
@@ -189,15 +186,10 @@ fn build(nodes: &mut [Option<VNode>], ys_by_pos: &[u64], lo: usize, hi: usize) {
     let m = hi - lo;
     debug_assert_eq!(nodes.len(), 2 * m - 1);
     if m == 1 {
-        nodes[0] = Some(VNode {
-            lo,
-            hi,
-            ys: vec![ys_by_pos[lo]],
-            inner: MonoVeb::new(1),
-        });
+        nodes[0] = Some(VNode { lo, hi, ys: vec![ys_by_pos[lo]], inner: MonoVeb::new(1) });
         return;
     }
-    let half = (m + 1) / 2;
+    let half = m.div_ceil(2);
     let (this, rest) = nodes.split_first_mut().expect("non-empty");
     let (left, right) = rest.split_at_mut(2 * half - 1);
     maybe_join(
@@ -226,7 +218,7 @@ fn distribute(nodes: &mut [VNode], updates: &[(usize, u64, u64)]) {
         apply_to_node(&mut nodes[0], updates);
         return;
     }
-    let half = (m + 1) / 2;
+    let half = m.div_ceil(2);
     let (this, rest) = nodes.split_first_mut().expect("non-empty");
     let split_pos = this.lo + half;
     let cut = updates.partition_point(|&(pos, _, _)| pos < split_pos);
@@ -312,10 +304,8 @@ mod tests {
         ];
         let points: Vec<Point2> = raw.iter().map(|&(x, y, _)| Point2 { x, y }).collect();
         let mut r = RangeVeb::new(&points);
-        let updates: Vec<ScoreUpdate> = raw
-            .iter()
-            .map(|&(x, y, s)| ScoreUpdate { point: Point2 { x, y }, score: s })
-            .collect();
+        let updates: Vec<ScoreUpdate> =
+            raw.iter().map(|&(x, y, s)| ScoreUpdate { point: Point2 { x, y }, score: s }).collect();
         r.update_batch(&updates);
         assert_eq!(r.dominant_max(10, 6), 7);
         let scored: Vec<(Point2, Option<u64>)> =
@@ -342,8 +332,7 @@ mod tests {
         for i in (1..n).rev() {
             ys.swap(i, (rng() as usize) % (i + 1));
         }
-        let points: Vec<Point2> =
-            (0..n).map(|i| Point2 { x: rng() % 150, y: ys[i] }).collect();
+        let points: Vec<Point2> = (0..n).map(|i| Point2 { x: rng() % 150, y: ys[i] }).collect();
         let points: Vec<Point2> = {
             // Make (x, y) pairs unique by construction (y already unique).
             points

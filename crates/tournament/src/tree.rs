@@ -50,7 +50,7 @@ impl<T: Ord + Copy + Send + Sync> TournamentTree<T> {
             return Self { tree: Vec::new(), n, inf, remaining: 0 };
         }
         let mut tree = vec![inf; 2 * n - 1];
-        build(&mut tree, values, inf);
+        build(&mut tree, values);
         Self { tree, n, inf, remaining: n }
     }
 
@@ -181,34 +181,30 @@ impl Sink for Collect {
 }
 
 /// Build the contiguous-layout tree over `values`; `tree.len() == 2·values.len() − 1`.
-fn build<T: Ord + Copy + Send + Sync>(tree: &mut [T], values: &[T], inf: T) {
+fn build<T: Ord + Copy + Send + Sync>(tree: &mut [T], values: &[T]) {
     let m = values.len();
     debug_assert_eq!(tree.len(), 2 * m - 1);
     if m == 1 {
         tree[0] = values[0];
         return;
     }
-    let half = (m + 1) / 2;
+    let half = m.div_ceil(2);
     let (root, rest) = tree.split_first_mut().expect("non-empty tree");
     let (left, right) = rest.split_at_mut(2 * half - 1);
-    let ((), ()) = maybe_join(
-        m,
-        GRAIN,
-        || build(left, &values[..half], inf),
-        || build(right, &values[half..], inf),
-    );
+    let ((), ()) =
+        maybe_join(m, GRAIN, || build(left, &values[..half]), || build(right, &values[half..]));
     *root = left[0].min(right[0]);
 }
 
 /// Read the current value of original leaf `i` by walking down the layout.
 fn leaf_value<T: Copy>(tree: &[T], mut i: usize) -> T {
-    let mut m = (tree.len() + 1) / 2;
+    let mut m = tree.len().div_ceil(2);
     let mut off = 0usize;
     loop {
         if m == 1 {
             return tree[off];
         }
-        let half = (m + 1) / 2;
+        let half = m.div_ceil(2);
         if i < half {
             off += 1;
             m = half;
@@ -276,7 +272,7 @@ where
         out.push(base);
         return FrontierStats { frontier_size: 1, nodes_visited: 1 };
     }
-    let half = (m + 1) / 2;
+    let half = m.div_ceil(2);
     let (root, rest) = tree.split_first_mut().expect("internal node");
     let (left, right) = rest.split_at_mut(2 * half - 1);
     let (rank_l, rank_r) = rank.split_at_mut(half);
@@ -409,7 +405,8 @@ mod tests {
             let n = 1 + (trial * 137) % 3000;
             let a: Vec<u64> = (0..n)
                 .map(|_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                     state >> 40
                 })
                 .collect();
@@ -453,8 +450,8 @@ mod tests {
     fn leaf_accessor_reflects_removals() {
         let a = [9u64, 2, 7, 4];
         let mut tree = TournamentTree::new(&a, u64::MAX);
-        for i in 0..4 {
-            assert_eq!(tree.leaf(i), a[i]);
+        for (i, &v) in a.iter().enumerate() {
+            assert_eq!(tree.leaf(i), v);
         }
         let mut rank = vec![0u32; 4];
         tree.process_frontier(1, &mut rank);
@@ -474,7 +471,7 @@ mod tests {
         let mut rank = vec![0u32; a.len()];
         let stats = tree.process_frontier(1, &mut rank);
         assert!(stats.nodes_visited >= stats.frontier_size);
-        assert!(stats.nodes_visited <= 2 * a.len() - 1);
+        assert!(stats.nodes_visited < 2 * a.len());
     }
 
     #[test]

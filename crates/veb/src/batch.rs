@@ -99,10 +99,7 @@ impl VebTree {
 
 /// Panic unless `keys` is strictly increasing.
 fn assert_sorted_unique(keys: &[u64]) {
-    assert!(
-        keys.windows(2).all(|w| w[0] < w[1]),
-        "batch must be sorted and duplicate-free"
-    );
+    assert!(keys.windows(2).all(|w| w[0] < w[1]), "batch must be sorted and duplicate-free");
 }
 
 /// Build a node directly from a sorted, duplicate-free, non-empty key slice.
@@ -119,14 +116,7 @@ fn from_sorted_node(bits: u32, keys: &[u64]) -> Node {
     let min = keys[0];
     let max = *keys.last().unwrap();
     let mid: &[u64] = if keys.len() <= 2 { &[] } else { &keys[1..keys.len() - 1] };
-    let mut node = Internal {
-        lo_bits,
-        hi_bits,
-        min,
-        max,
-        summary: None,
-        clusters: Vec::new(),
-    };
+    let mut node = Internal { lo_bits, hi_bits, min, max, summary: None, clusters: Vec::new() };
     if !mid.is_empty() {
         node.clusters = (0..(1usize << hi_bits)).map(|_| None).collect();
         let groups = group_by_high(mid, lo_bits);
@@ -341,9 +331,11 @@ fn survivor_maps(root: &Node, batch: &[u64]) -> (Vec<Option<u64>>, Vec<Option<u6
     // right-to-left for S.  The first element's predecessor can never be in
     // the batch, so after the pass `None` genuinely means −∞ (dually +∞).
     let carry = |a: &Entry, b: &Entry| if b.resolved { *b } else { *a };
-    let p_scanned = plis_primitives::inclusive_scan(&p_raw, Entry { value: None, resolved: false }, carry);
+    let p_scanned =
+        plis_primitives::inclusive_scan(&p_raw, Entry { value: None, resolved: false }, carry);
     let s_rev: Vec<Entry> = s_raw.iter().rev().copied().collect();
-    let mut s_scanned = plis_primitives::inclusive_scan(&s_rev, Entry { value: None, resolved: false }, carry);
+    let mut s_scanned =
+        plis_primitives::inclusive_scan(&s_rev, Entry { value: None, resolved: false }, carry);
     s_scanned.reverse();
     let p = p_scanned.into_iter().map(|e| e.value).collect();
     let s = s_scanned.into_iter().map(|e| e.value).collect();

@@ -56,8 +56,8 @@
 //! ```
 
 mod batch;
-mod node;
 mod mono;
+mod node;
 mod range;
 mod tree;
 

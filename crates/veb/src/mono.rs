@@ -212,7 +212,7 @@ impl MonoVeb {
         let mut lo = cur;
         let mut hi = e;
         while lo < hi {
-            let mid_point = lo + (hi - lo + 1) / 2;
+            let mid_point = lo + (hi - lo).div_ceil(2);
             let mid = if self.veb.contains(mid_point) {
                 mid_point
             } else {
@@ -293,7 +293,7 @@ mod tests {
                     .points
                     .range(..=p.key)
                     .next_back()
-                    .map(|(&k, &s)| (k < p.key && s >= p.score) || (k == p.key && s >= p.score))
+                    .map(|(&k, &s)| k <= p.key && s >= p.score)
                     .unwrap_or(false);
                 if covered {
                     continue;
@@ -348,10 +348,7 @@ mod tests {
         m.insert_staircase(&pts(&[(2, 1), (4, 2), (6, 4), (10, 6), (14, 7), (16, 10)]));
         m.insert_staircase(&pts(&[(3, 5), (12, 8)]));
         assert!(m.is_staircase());
-        assert_eq!(
-            m.points(),
-            pts(&[(2, 1), (3, 5), (10, 6), (12, 8), (16, 10)])
-        );
+        assert_eq!(m.points(), pts(&[(2, 1), (3, 5), (10, 6), (12, 8), (16, 10)]));
     }
 
     #[test]

@@ -231,10 +231,8 @@ impl Node {
             Node::Leaf(bits) => bits.count_ones() as usize,
             Node::Internal(n) => {
                 let mut c = if n.min == n.max { 1 } else { 2 };
-                for slot in &n.clusters {
-                    if let Some(s) = slot {
-                        c += s.count();
-                    }
+                for s in n.clusters.iter().flatten() {
+                    c += s.count();
                 }
                 c
             }
@@ -381,9 +379,8 @@ impl Internal {
                 }
             }
             if let Some(h2) = s.succ(h) {
-                let c = self.clusters[h2 as usize]
-                    .as_ref()
-                    .expect("summary and clusters out of sync");
+                let c =
+                    self.clusters[h2 as usize].as_ref().expect("summary and clusters out of sync");
                 return Some(index(h2, c.min(), self.lo_bits));
             }
         }
@@ -407,9 +404,8 @@ impl Internal {
                 }
             }
             if let Some(h2) = s.pred(h) {
-                let c = self.clusters[h2 as usize]
-                    .as_ref()
-                    .expect("summary and clusters out of sync");
+                let c =
+                    self.clusters[h2 as usize].as_ref().expect("summary and clusters out of sync");
                 return Some(index(h2, c.max(), self.lo_bits));
             }
         }

@@ -107,7 +107,7 @@ fn build_tree(root: &Node, lo: u64, hi: u64) -> ResTree {
         return ResTree::leaf(lo);
     }
     // The predecessor of the midpoint is in [lo, hi): hi > mid_point - 1 >= lo.
-    let mid_point = lo + (hi - lo + 1) / 2; // = ceil((lo + hi) / 2) without overflow
+    let mid_point = lo + (hi - lo).div_ceil(2); // = ceil((lo + hi) / 2) without overflow
     let mid = if root.contains(mid_point) {
         mid_point
     } else {
@@ -207,7 +207,11 @@ mod tests {
 
     #[test]
     fn range_count_full_equals_len() {
-        let keys: Vec<u64> = (0..1000).map(|i| i * 7 % 4096).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let keys: Vec<u64> = (0..1000)
+            .map(|i| i * 7 % 4096)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
         let v = VebTree::from_sorted(4096, &keys);
         assert_eq!(v.range_count(0, 4095), v.len());
     }

@@ -33,7 +33,8 @@ fn assert_same(tree: &VebTree, oracle: &BTreeSet<u64>, context: &str) {
 
 #[test]
 fn from_sorted_matches_inserts() {
-    let keys: Vec<u64> = (0..3000u64).map(|i| i * 7 % 8192).collect::<BTreeSet<_>>().into_iter().collect();
+    let keys: Vec<u64> =
+        (0..3000u64).map(|i| i * 7 % 8192).collect::<BTreeSet<_>>().into_iter().collect();
     let bulk = VebTree::from_sorted(8192, &keys);
     let mut incremental = VebTree::new(8192);
     for &k in &keys {
@@ -88,7 +89,8 @@ fn batch_delete_min_max_replacement() {
 #[test]
 fn batch_delete_leaves_single_survivor_between_batch_keys() {
     let mut v = VebTree::new(1 << 16);
-    let keys: Vec<u64> = (0..200u64).map(|i| i * 317 % 65536).collect::<BTreeSet<_>>().into_iter().collect();
+    let keys: Vec<u64> =
+        (0..200u64).map(|i| i * 317 % 65536).collect::<BTreeSet<_>>().into_iter().collect();
     v.batch_insert(&keys);
     // Delete everything except one key in the middle.
     let survivor = keys[keys.len() / 2];
@@ -106,7 +108,7 @@ fn random_batch_operations_match_btreeset() {
         let mut oracle: BTreeSet<u64> = BTreeSet::new();
         for round in 0..30 {
             let batch = random_sorted_batch(&mut state, universe, 400);
-            if xorshift(&mut state) % 3 == 0 {
+            if xorshift(&mut state).is_multiple_of(3) {
                 tree.batch_delete(&batch);
                 for k in &batch {
                     oracle.remove(k);
@@ -200,4 +202,39 @@ fn alternating_batches_interleave_correctly() {
     v.batch_delete(&fours);
     let want: Vec<u64> = (0..universe).filter(|k| k % 4 != 0).collect();
     assert_eq!(v.iter_keys(), want);
+}
+
+#[test]
+fn delta_churn_large_universe_matches_btreeset() {
+    // The usage shape of the streaming-LIS engine: a resident "tails" set
+    // over a huge universe receives, every round, a batch_delete of
+    // displaced keys followed by a batch_insert of their replacements.
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let universe = 1u64 << 40;
+    let mut tree = VebTree::new(universe);
+    let mut oracle: BTreeSet<u64> = BTreeSet::new();
+    let seedset = random_sorted_batch(&mut state, universe, 600);
+    tree.batch_insert(&seedset);
+    oracle.extend(seedset.iter().copied());
+    for round in 0..40 {
+        // Displace a random subset of the residents...
+        let resident: Vec<u64> = oracle.iter().copied().collect();
+        let removed: Vec<u64> =
+            resident.iter().copied().filter(|_| xorshift(&mut state).is_multiple_of(3)).collect();
+        tree.batch_delete(&removed);
+        for k in &removed {
+            oracle.remove(k);
+        }
+        // ...and replace them with fresh keys.
+        let added = random_sorted_batch(&mut state, universe, removed.len().max(1));
+        tree.batch_insert(&added);
+        oracle.extend(added.iter().copied());
+        assert_same(&tree, &oracle, &format!("churn round {round}"));
+        // Predecessor/successor stay consistent at the far ends of the
+        // universe, where high bits exercise the deep recursion levels.
+        for probe in [0u64, 1, universe / 2, universe - 2, universe - 1] {
+            assert_eq!(tree.pred(probe), oracle.range(..probe).next_back().copied());
+            assert_eq!(tree.succ(probe), oracle.range(probe + 1..).next().copied());
+        }
+    }
 }

@@ -87,6 +87,109 @@ pub fn uniform_weights(n: usize, max_weight: u64, seed: u64) -> Vec<u64> {
     (0..n).map(|_| rng.gen_range(1..=max_weight)).collect()
 }
 
+/// Streaming arrivals: the offline generators above, chopped into the
+/// batched-arrival shape consumed by `plis-engine`.
+///
+/// A *stream* is a `Vec` of batches; a *fleet* is many named streams, which
+/// is what the engine's tick API and the streaming benchmark consume.
+pub mod streaming {
+    use super::{line_pattern, random_permutation, range_pattern, rng_for};
+    use rand::Rng;
+
+    /// Which offline generator feeds a stream.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum StreamPattern {
+        /// `range_pattern`: uniform values in `[1, k_prime]`.
+        Range { k_prime: u64 },
+        /// `line_pattern`: increasing trend `t` plus uniform noise.
+        Line { t: u64, noise: u64 },
+        /// `random_permutation` of `0..n`.
+        Permutation,
+    }
+
+    impl StreamPattern {
+        /// Materialize the underlying offline sequence.
+        pub fn generate(self, n: usize, seed: u64) -> Vec<u64> {
+            match self {
+                StreamPattern::Range { k_prime } => range_pattern(n, k_prime, seed),
+                StreamPattern::Line { t, noise } => line_pattern(n, t, noise, seed),
+                StreamPattern::Permutation => random_permutation(n, seed),
+            }
+        }
+
+        /// Smallest universe size that accommodates every generated value.
+        pub fn universe(self, n: usize) -> u64 {
+            match self {
+                StreamPattern::Range { k_prime } => k_prime + 1,
+                StreamPattern::Line { t, noise } => t * n as u64 + noise.max(1),
+                StreamPattern::Permutation => n as u64,
+            }
+        }
+
+        /// Short name for benchmark output.
+        pub fn name(self) -> &'static str {
+            match self {
+                StreamPattern::Range { .. } => "range",
+                StreamPattern::Line { .. } => "line",
+                StreamPattern::Permutation => "permutation",
+            }
+        }
+    }
+
+    /// Chop `values` into arrival batches whose sizes are uniform in
+    /// `[max(1, mean/2), mean·3/2]` — deterministic in the seed.
+    pub fn into_batches(values: &[u64], mean_batch: usize, seed: u64) -> Vec<Vec<u64>> {
+        assert!(mean_batch >= 1, "batches must be non-empty");
+        let lo = (mean_batch / 2).max(1);
+        let hi = (mean_batch + mean_batch / 2).max(lo);
+        let mut rng = rng_for(seed ^ 0x5EED_BA7C);
+        let mut batches = Vec::new();
+        let mut rest = values;
+        while !rest.is_empty() {
+            let take = rng.gen_range(lo..=hi).min(rest.len());
+            let (head, tail) = rest.split_at(take);
+            batches.push(head.to_vec());
+            rest = tail;
+        }
+        batches
+    }
+
+    /// A batched stream of `n` elements following `pattern`.
+    pub fn stream(pattern: StreamPattern, n: usize, mean_batch: usize, seed: u64) -> Vec<Vec<u64>> {
+        into_batches(&pattern.generate(n, seed), mean_batch, seed)
+    }
+
+    /// One named stream of a fleet: `(session_name, batches)`.
+    pub type SessionStream = (String, Vec<Vec<u64>>);
+
+    /// A fleet of `sessions` named streams cycling through the three
+    /// patterns, each `n_per_session` elements in batches of ~`mean_batch`.
+    /// Returns the [`SessionStream`]s plus a universe bound that covers
+    /// every stream.
+    pub fn session_fleet(
+        sessions: usize,
+        n_per_session: usize,
+        mean_batch: usize,
+        seed: u64,
+    ) -> (Vec<SessionStream>, u64) {
+        let patterns = [
+            StreamPattern::Range { k_prime: (n_per_session as f64).sqrt().max(2.0) as u64 },
+            StreamPattern::Line { t: 1, noise: (n_per_session as u64 / 8).max(1) },
+            StreamPattern::Permutation,
+        ];
+        let mut universe = 1;
+        let fleet = (0..sessions)
+            .map(|i| {
+                let pattern = patterns[i % patterns.len()];
+                universe = universe.max(pattern.universe(n_per_session));
+                let name = format!("{}-{i}", pattern.name());
+                (name, stream(pattern, n_per_session, mean_batch, seed + i as u64))
+            })
+            .collect();
+        (fleet, universe)
+    }
+}
+
 /// Adversarial / degenerate patterns used by the test suite.
 pub mod adversarial {
     /// Strictly increasing sequence (LIS length `n`).
@@ -188,7 +291,10 @@ mod tests {
         let n = 50_000usize;
         let small = lis_len(&with_target_rank(n, 500, 5));
         let large = lis_len(&with_target_rank(n, 20_000, 5));
-        assert!(large > 4 * small, "large-target rank {large} should dwarf small-target rank {small}");
+        assert!(
+            large > 4 * small,
+            "large-target rank {large} should dwarf small-target rank {small}"
+        );
         assert!(large as usize <= n);
         // Saturation at the sequence length.
         assert_eq!(lis_len(&with_target_rank(1000, 1_000_000, 5)), 1000);
@@ -198,6 +304,36 @@ mod tests {
     fn weights_are_in_range() {
         let w = uniform_weights(10_000, 7, 3);
         assert!(w.iter().all(|&x| (1..=7).contains(&x)));
+    }
+
+    #[test]
+    fn streaming_batches_concatenate_to_the_offline_sequence() {
+        let pattern = streaming::StreamPattern::Line { t: 1, noise: 500 };
+        let offline = pattern.generate(10_000, 9);
+        let batches = streaming::into_batches(&offline, 128, 9);
+        let glued: Vec<u64> = batches.iter().flatten().copied().collect();
+        assert_eq!(glued, offline);
+        assert!(batches.iter().all(|b| !b.is_empty() && b.len() <= 192));
+        // Deterministic in the seed.
+        assert_eq!(batches, streaming::into_batches(&offline, 128, 9));
+    }
+
+    #[test]
+    fn streaming_fleet_covers_universe_and_patterns() {
+        let (fleet, universe) = streaming::session_fleet(6, 1_000, 64, 3);
+        assert_eq!(fleet.len(), 6);
+        for (name, batches) in &fleet {
+            let total: usize = batches.iter().map(Vec::len).sum();
+            assert_eq!(total, 1_000, "stream {name}");
+            assert!(
+                batches.iter().flatten().all(|&v| v < universe),
+                "stream {name} exceeds universe {universe}"
+            );
+        }
+        // All three patterns appear in the naming.
+        for prefix in ["range-", "line-", "permutation-"] {
+            assert!(fleet.iter().any(|(n, _)| n.starts_with(prefix)), "{prefix} missing");
+        }
     }
 
     #[test]

@@ -22,8 +22,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2024);
 
     // Deadlines drift upwards but with heavy jitter, payouts are skewed.
-    let deadlines: Vec<u64> =
-        (0..n).map(|i| (i as u64) / 4 + rng.gen_range(0..50_000)).collect();
+    let deadlines: Vec<u64> = (0..n).map(|i| (i as u64) / 4 + rng.gen_range(0..50_000)).collect();
     let payouts: Vec<u64> = (0..n).map(|_| 1 + rng.gen_range(0..100u64).pow(2) / 100).collect();
 
     // Weighted LIS: the best total payout over offers with increasing deadlines.

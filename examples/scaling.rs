@@ -19,10 +19,8 @@ fn time<F: FnMut() -> R, R>(mut f: F) -> (f64, R) {
 }
 
 fn main() {
-    let n: usize = std::env::var("PLIS_EXAMPLE_N")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5_000_000);
+    let n: usize =
+        std::env::var("PLIS_EXAMPLE_N").ok().and_then(|s| s.parse().ok()).unwrap_or(5_000_000);
     let target_k = 1_000u64;
 
     let line = with_target_rank(n, target_k, 1);
@@ -39,7 +37,10 @@ fn main() {
     let mut threads = 1usize;
     let mut base_line = 0.0f64;
     let mut base_range = 0.0f64;
-    println!("{:>8} {:>12} {:>12} {:>10} {:>10}", "threads", "line (s)", "range (s)", "su-line", "su-range");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>10}",
+        "threads", "line (s)", "range (s)", "su-line", "su-range"
+    );
     while threads <= max_threads {
         let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
         let (t_line, k1) = pool.install(|| time(|| lis_ranks_u64(&line).1));

@@ -1,0 +1,66 @@
+//! Streaming sessions: serve LIS queries over data that arrives in batches,
+//! for many independent sessions at once, with the `plis-engine` subsystem.
+//!
+//! Run with: `cargo run --release --example streaming_sessions`
+
+use plis::prelude::*;
+use plis::workloads::streaming::{session_fleet, StreamPattern};
+
+fn main() {
+    // --- One session, step by step -------------------------------------
+    // A sensor emits readings in small bursts; we keep the LIS of the whole
+    // history live, without ever recomputing from scratch.
+    let mut session = StreamingLis::new(1 << 16, Backend::Veb);
+    for (day, burst) in
+        [&[520u64, 310, 450][..], &[260, 610, 100][..], &[390, 440, 700][..]].iter().enumerate()
+    {
+        let report = session.ingest(burst);
+        println!(
+            "day {day}: +{} readings, LIS {} -> {} ({:?} path)",
+            report.ingested, report.lis_before, report.lis_after, report.path
+        );
+    }
+    // Ranks are exact dp values: element 8 (value 700) ends a LIS of length 4.
+    assert_eq!(session.ranks(), &[1, 1, 2, 1, 3, 1, 2, 3, 4]);
+    let lis: Vec<u64> = session.reconstruct_lis().iter().map(|&i| session.values()[i]).collect();
+    println!("one LIS of the stream: {lis:?}");
+    assert_eq!(lis.len(), 4);
+
+    // Value-domain queries go straight to the vEB tail set.
+    println!("longest run strictly below 450: {}", session.lis_length_below(450));
+
+    // --- A fleet of sessions, tick by tick ------------------------------
+    // The heavy-traffic shape: many sessions, batched arrivals, one parallel
+    // ingest call per tick.
+    let (fleet, universe) = session_fleet(6, 30_000, 512, 7);
+    let mut engine =
+        Engine::new(EngineConfig { universe, backend: Backend::Auto, ..EngineConfig::default() });
+    let rounds = fleet.iter().map(|(_, batches)| batches.len()).max().unwrap();
+    for round in 0..rounds {
+        let tick: Vec<(SessionId, Vec<u64>)> = fleet
+            .iter()
+            .filter_map(|(name, batches)| {
+                batches.get(round).map(|b| (SessionId::from(name.as_str()), b.clone()))
+            })
+            .collect();
+        engine.ingest_tick(tick);
+    }
+    println!("fleet after {rounds} ticks:");
+    for id in engine.session_ids() {
+        let session = engine.session(id.as_str()).unwrap();
+        println!(
+            "  {id:<16} n = {:>6}  LIS = {:>5}  backend = {}",
+            session.len(),
+            session.lis_length(),
+            session.backend_name()
+        );
+    }
+
+    // The streaming answer equals the offline oracle on the full history.
+    let perm = StreamPattern::Permutation.generate(30_000, 7 + 2);
+    let (oracle_ranks, oracle_k) = lis_ranks_u64(&perm);
+    let streamed = engine.session("permutation-2").unwrap();
+    assert_eq!(streamed.lis_length(), oracle_k);
+    assert_eq!(streamed.ranks(), oracle_ranks.as_slice());
+    println!("streamed ranks match the offline oracle (k = {oracle_k})");
+}

@@ -15,8 +15,10 @@
 //! * [`baselines`] — Seq-BS, Seq-AVL, the SWGS-style baseline, and the
 //!   reference oracles from the evaluation section.
 //! * [`workloads`] — the line-pattern / range-pattern input generators of
-//!   the evaluation.
+//!   the evaluation, plus batched streaming arrivals.
 //! * [`primitives`] — the fork-join scan/pack/merge/sort substrate.
+//! * [`engine`] — the streaming-LIS engine: incremental per-session LIS
+//!   state over batched arrivals, multiplexed and sharded across sessions.
 //!
 //! # Quick start
 //!
@@ -34,6 +36,7 @@
 //! ```
 
 pub use plis_baselines as baselines;
+pub use plis_engine as engine;
 pub use plis_lis as lis;
 pub use plis_primitives as primitives;
 pub use plis_rangetree as rangetree;
@@ -45,6 +48,9 @@ pub use plis_workloads as workloads;
 /// The most commonly used items, importable with `use plis::prelude::*`.
 pub mod prelude {
     pub use plis_baselines::{seq_avl, seq_bs, seq_bs_length, swgs_lis, swgs_wlis};
+    pub use plis_engine::{
+        Backend, Engine, EngineConfig, IngestReport, SessionId, StreamingLis, TickReport,
+    };
     pub use plis_lis::{
         lis_indices, lis_length, lis_ranks, lis_ranks_u64, wlis_rangetree, wlis_rangeveb,
     };

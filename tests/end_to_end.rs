@@ -78,9 +78,8 @@ fn lis_results_are_identical_across_thread_counts() {
     let reference_dp = wlis_rangetree(&input[..20_000], &weights);
     for threads in [1usize, 2, 3, 8] {
         let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
-        let (ranks, dp) = pool.install(|| {
-            (lis_ranks_u64(&input).0, wlis_rangetree(&input[..20_000], &weights))
-        });
+        let (ranks, dp) =
+            pool.install(|| (lis_ranks_u64(&input).0, wlis_rangetree(&input[..20_000], &weights)));
         assert_eq!(ranks, reference_ranks, "{threads} threads: LIS ranks changed");
         assert_eq!(dp, reference_dp, "{threads} threads: WLIS dp changed");
     }
@@ -131,10 +130,7 @@ fn veb_tree_supports_the_full_ordered_set_workflow() {
         oracle.remove(r);
     }
     assert_eq!(set.iter_keys(), oracle.iter().copied().collect::<Vec<_>>());
-    assert_eq!(
-        set.range(1000, 5000),
-        oracle.range(1000..=5000).copied().collect::<Vec<_>>()
-    );
+    assert_eq!(set.range(1000, 5000), oracle.range(1000..=5000).copied().collect::<Vec<_>>());
     assert_eq!(set.min(), oracle.first().copied());
     assert_eq!(set.max(), oracle.last().copied());
 }
@@ -157,10 +153,10 @@ fn mono_veb_staircase_integrates_with_wlis_scores() {
     assert!(stair.is_staircase());
     // prefix_best(q) must equal the max dp among indices < q.
     let mut running_max = 0u64;
-    for q in 0..n {
+    for (q, &dp_q) in dp.iter().enumerate() {
         let expected = if q == 0 { None } else { Some(running_max) };
         assert_eq!(stair.prefix_best(q as u64), expected, "prefix {q}");
-        running_max = running_max.max(dp[q]);
+        running_max = running_max.max(dp_q);
     }
 }
 
@@ -177,4 +173,50 @@ fn workload_targets_are_respected_end_to_end() {
             "target {target}, measured {k}"
         );
     }
+}
+
+#[test]
+fn streaming_engine_agrees_with_every_offline_algorithm() {
+    // The full pipeline check for the streaming subsystem: one engine
+    // session per workload, fed in batches; the final state must agree with
+    // the offline parallel algorithm AND the sequential baseline on the
+    // concatenated stream.
+    let n = 20_000usize;
+    let cases = [
+        ("range", workloads::range_pattern(n, 300, 11)),
+        ("line", workloads::line_pattern(n, 1, 2_000, 12)),
+        ("perm", workloads::random_permutation(n, 13)),
+    ];
+    let universe = cases.iter().flat_map(|(_, v)| v.iter().copied()).max().unwrap() + 1;
+    let mut engine =
+        Engine::new(EngineConfig { universe, backend: Backend::Auto, ..EngineConfig::default() });
+    let mut state = 0xA5A5_5A5A_1234_4321u64;
+    let mut cursors = [0usize; 3];
+    while cursors.iter().zip(&cases).any(|(&c, (_, v))| c < v.len()) {
+        let mut tick: Vec<(SessionId, Vec<u64>)> = Vec::new();
+        for (i, (name, values)) in cases.iter().enumerate() {
+            if cursors[i] < values.len() {
+                let take =
+                    ((xorshift(&mut state) % 900) as usize + 1).min(values.len() - cursors[i]);
+                tick.push((SessionId::from(*name), values[cursors[i]..cursors[i] + take].to_vec()));
+                cursors[i] += take;
+            }
+        }
+        engine.ingest_tick(tick);
+    }
+    for (name, values) in &cases {
+        let session = engine.session(name).expect("session exists");
+        let (par_ranks, par_k) = lis_ranks_u64(values);
+        let (bs_ranks, bs_k) = seq_bs(values);
+        assert_eq!(session.lis_length(), par_k, "{name} vs parallel");
+        assert_eq!(session.lis_length(), bs_k, "{name} vs Seq-BS");
+        assert_eq!(session.ranks(), par_ranks.as_slice(), "{name} ranks vs parallel");
+        assert_eq!(session.ranks(), bs_ranks.as_slice(), "{name} ranks vs Seq-BS");
+        // Reconstruction through the umbrella prelude still works on the
+        // streamed ranks.
+        let lis = session.reconstruct_lis();
+        assert_eq!(lis.len() as u32, par_k, "{name} reconstruction length");
+        assert!(lis.windows(2).all(|w| values[w[0]] < values[w[1]]));
+    }
+    engine.check_invariants();
 }

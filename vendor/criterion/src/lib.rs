@@ -1,0 +1,252 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark framework.
+//!
+//! Implements the API subset used by this workspace's `benches/` targets:
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.  Instead of criterion's statistical machinery it
+//! runs a short warm-up followed by a fixed number of timed samples and
+//! reports the minimum and mean wall-clock time per iteration — enough to
+//! compare configurations offline.  Honors `--bench`-style invocation by
+//! ignoring unknown CLI arguments.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` setup output is sized; irrelevant for the stand-in.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up_time = d;
+        self
+    }
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.criterion, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.criterion, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(label: &str, config: &Criterion, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up: run until the warm-up budget is consumed.
+    let warm_up_end = Instant::now() + config.warm_up_time;
+    let mut bencher = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+    while Instant::now() < warm_up_end {
+        bencher.elapsed = Duration::ZERO;
+        bencher.iterations = 0;
+        f(&mut bencher);
+        if bencher.iterations == 0 {
+            break; // the closure never called iter(); nothing to measure
+        }
+    }
+    // Timed samples.
+    let mut per_iter: Vec<f64> = Vec::with_capacity(config.sample_size);
+    let deadline = Instant::now() + config.measurement_time.saturating_mul(4);
+    for _ in 0..config.sample_size {
+        bencher.elapsed = Duration::ZERO;
+        bencher.iterations = 0;
+        f(&mut bencher);
+        if bencher.iterations > 0 {
+            per_iter.push(bencher.elapsed.as_secs_f64() / bencher.iterations as f64);
+        }
+        if Instant::now() > deadline {
+            break;
+        }
+    }
+    if per_iter.is_empty() {
+        println!("{label:<50} (no measurements)");
+        return;
+    }
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!("{label:<50} min {:>12} mean {:>12}", format_secs(min), format_secs(mean));
+}
+
+fn format_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Passed to the benchmark closure; accumulates timed iterations.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut config = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        let mut calls = 0u64;
+        let mut group = config.benchmark_group("smoke");
+        group.bench_function("add", |b| {
+            b.iter(|| {
+                calls += 1;
+                1u64 + 1
+            })
+        });
+        group.finish();
+        assert!(calls >= 2);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `num_cpus` crate, backed by
+//! `std::thread::available_parallelism`.
+
+/// Number of logical CPUs available to this process (at least 1).
+pub fn get() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn at_least_one() {
+        assert!(super::get() >= 1);
+    }
+}

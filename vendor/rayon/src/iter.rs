@@ -1,0 +1,130 @@
+//! Sequential stand-ins for rayon's parallel-iterator entry points.
+//!
+//! `par_iter()` / `par_iter_mut()` / `into_par_iter()` / `par_chunks*()`
+//! return a [`Par`] wrapper around the ordinary std iterator.  `Par`
+//! implements [`Iterator`] by delegation, so the full std combinator
+//! vocabulary works unchanged; the few rayon methods whose signatures
+//! *differ* from std (`map` so the wrapper survives chaining, and the
+//! identity-taking `reduce`) are provided as inherent methods, which take
+//! precedence over the `Iterator` trait methods of the same name.
+//! [`ParallelIteratorExt`] supplies rayon-only tuning adapters
+//! (`with_min_len`, `with_max_len`) as no-ops on every iterator.
+
+/// Sequential iterator posing as a rayon parallel iterator.
+#[derive(Debug, Clone)]
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Iterator for Par<I> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: DoubleEndedIterator> DoubleEndedIterator for Par<I> {
+    fn next_back(&mut self) -> Option<I::Item> {
+        self.0.next_back()
+    }
+}
+
+impl<I: ExactSizeIterator> ExactSizeIterator for Par<I> {}
+
+impl<I: Iterator> Par<I> {
+    /// Same shape as both `Iterator::map` and rayon's `map`; returns a `Par`
+    /// so rayon-specific consumers (like [`Par::reduce`]) stay reachable.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    /// Rayon's `reduce`: fold from an identity element.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+}
+
+/// `into_par_iter()` for any owned iterable (ranges, `Vec`, ...).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> Par<Self::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+/// `par_iter()` for `&collection`.
+pub trait IntoParallelRefIterator<'a> {
+    type Iter;
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter_mut()` for `&mut collection`.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Iter;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+{
+    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// Rayon-only tuning adapters that are meaningless for sequential iterators.
+pub trait ParallelIteratorExt: Sized {
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+    fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelIteratorExt for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ref_and_owned_iteration() {
+        let v = vec![1u64, 2, 3];
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: u64 = (0u64..10).into_par_iter().with_min_len(2).sum();
+        assert_eq!(sum, 45);
+        let mut w = vec![1u64, 2, 3];
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn rayon_style_reduce() {
+        let v = vec![1u64, 2, 3, 4];
+        let total = v.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 10);
+        // Empty input returns the identity.
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(empty.par_iter().map(|&x| x).reduce(|| 7, |a, b| a + b), 7);
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal, API-compatible subset of rayon sufficient for this codebase:
+//!
+//! * [`join`] provides **real** fork-join parallelism on top of
+//!   `std::thread::scope`, with a global budget of live helper threads so
+//!   deeply recursive divide-and-conquer does not oversubscribe the machine.
+//!   The algorithms in `plis-primitives` funnel all of their parallelism
+//!   through `join` (via `maybe_join` / `parallel_for`), so the hot paths
+//!   still run on multiple cores.
+//! * The parallel-iterator surface ([`prelude`], [`slice`], [`iter`])
+//!   delegates to the equivalent *sequential* std iterators.  This keeps
+//!   every call site compiling with identical semantics; the convenience
+//!   `par_iter()` pipelines lose parallelism, which is acceptable for an
+//!   offline stand-in (and they are not the asymptotically interesting
+//!   parts of the reproduction).
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] model thread-count
+//!   scoping with a thread-local, which [`current_num_threads`] reads and
+//!   [`join`] respects (`num_threads(1)` forces sequential execution, which
+//!   is what the benchmark harness's `on_threads(1, ..)` relies on).
+//!
+//! Swapping the real rayon back in is a one-line change in the workspace
+//! manifest; no source file needs to change.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod iter;
+pub mod slice;
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIteratorExt,
+    };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Live helper threads spawned by [`join`] across the whole process.
+static LIVE_HELPERS: AtomicUsize = AtomicUsize::new(0);
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Number of threads of the "current pool": the installed override if one is
+/// active on this thread, otherwise the hardware parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|c| c.get()).unwrap_or_else(hardware_threads)
+}
+
+fn try_reserve_helper() -> bool {
+    // Allow a healthy oversubscription factor: scoped helper threads block
+    // in `join` while their children run, so more live threads than cores
+    // are needed to keep every core busy in deep recursions.
+    let limit = hardware_threads().saturating_mul(4).max(4);
+    LIVE_HELPERS
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+            if n < limit {
+                Some(n + 1)
+            } else {
+                None
+            }
+        })
+        .is_ok()
+}
+
+/// Run `oper_a` and `oper_b`, potentially in parallel, and return both
+/// results.  Matches `rayon::join`'s signature and panic propagation.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || !try_reserve_helper() {
+        return (oper_a(), oper_b());
+    }
+    // Release the helper slot even when a panic unwinds through the scope —
+    // otherwise caught panics (catch_unwind, #[should_panic] tests) would
+    // leak slots until every join degrades to sequential.
+    struct ReleaseHelper;
+    impl Drop for ReleaseHelper {
+        fn drop(&mut self) {
+            LIVE_HELPERS.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let _release = ReleaseHelper;
+    std::thread::scope(|s| {
+        let handle = s.spawn(move || {
+            // Propagate the pool-size override into the helper thread so
+            // nested joins see the same budget.
+            POOL_THREADS.with(|c| c.set(Some(threads)));
+            oper_a()
+        });
+        let rb = oper_b();
+        let ra = match handle.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; never actually
+/// produced by this stand-in.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` (rayon's convention) selects the hardware default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads.unwrap_or_else(hardware_threads) })
+    }
+}
+
+/// A "pool" is just a thread-count scope: [`ThreadPool::install`] sets the
+/// count that [`current_num_threads`] and [`join`] observe while `f` runs.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = POOL_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn nested_joins_work() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 1_000 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (l, r) = join(|| sum(lo, mid), || sum(mid, hi));
+                l + r
+            }
+        }
+        assert_eq!(sum(0, 100_000), 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        assert_eq!(current_num_threads(), hardware_threads());
+    }
+
+    #[test]
+    fn join_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            join(|| panic!("left side"), || 7);
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn caught_panics_do_not_leak_helper_slots() {
+        // Burn far more caught panics than the helper budget; joins must
+        // still be able to go parallel afterwards.
+        let budget = hardware_threads().saturating_mul(4).max(4);
+        for _ in 0..budget * 2 {
+            let _ = std::panic::catch_unwind(|| {
+                join(|| panic!("boom"), || ());
+            });
+        }
+        // Other tests in this binary may hold slots transiently; wait for
+        // the counter to drain rather than asserting an instant zero.
+        for _ in 0..200 {
+            if LIVE_HELPERS.load(Ordering::Relaxed) == 0 {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("helper slots leaked: {}", LIVE_HELPERS.load(Ordering::Relaxed));
+    }
+}

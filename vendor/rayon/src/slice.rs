@@ -1,0 +1,96 @@
+//! Sequential stand-ins for `rayon::slice`: chunking and sorting on slices.
+
+use crate::iter::Par;
+use std::cmp::Ordering;
+
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(chunk_size))
+    }
+}
+
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: FnMut(&T, &T) -> Ordering;
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: FnMut(&T, &T) -> Ordering;
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K;
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size))
+    }
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: FnMut(&T, &T) -> Ordering,
+    {
+        self.sort_by(cmp);
+    }
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: FnMut(&T, &T) -> Ordering,
+    {
+        self.sort_unstable_by(cmp);
+    }
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K,
+    {
+        self.sort_by_key(key);
+    }
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K,
+    {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_and_sort() {
+        let mut v = vec![3u64, 1, 2];
+        v.par_sort();
+        assert_eq!(v, vec![1, 2, 3]);
+        let chunks: Vec<&[u64]> = v.par_chunks(2).collect();
+        assert_eq!(chunks, vec![&[1u64, 2][..], &[3u64][..]]);
+    }
+}
