@@ -9,9 +9,12 @@
 //! Knobs (see `DESIGN.md`): `PLIS_BENCH_N` (elements per session, default
 //! 100,000), `PLIS_BENCH_REPEATS`, `PLIS_BENCH_SESSIONS` (comma-separated
 //! session counts, default `1,4,16`), `PLIS_BENCH_BATCH` (comma-separated
-//! mean batch sizes, default `64,512,4096`).
+//! mean batch sizes, default `64,512,4096`), `PLIS_BENCH_THREADS` (pin the
+//! rayon pool; recorded as the `threads` JSON field).
 
-use plis_bench::{bench_repeats, env_usize_list, json_line, time_min};
+use plis_bench::{
+    bench_repeats, effective_threads, env_usize_list, json_line, time_min, with_bench_threads,
+};
 use plis_engine::{Backend, Engine, EngineConfig, SessionId};
 use plis_workloads::streaming::session_fleet;
 
@@ -38,9 +41,10 @@ fn main() {
     let n = n_per_session();
     let session_counts = env_usize_list("PLIS_BENCH_SESSIONS", &[1, 4, 16]);
     let batch_sizes = env_usize_list("PLIS_BENCH_BATCH", &[64, 512, 4096]);
+    let threads = effective_threads();
     eprintln!(
         "streaming sweep: n_per_session = {n}, sessions = {session_counts:?}, \
-         mean batch = {batch_sizes:?}, repeats = {}",
+         mean batch = {batch_sizes:?}, repeats = {}, threads = {threads}",
         bench_repeats()
     );
 
@@ -59,17 +63,19 @@ fn main() {
                 };
                 let config = EngineConfig { universe, backend, ..EngineConfig::default() };
                 let shards = config.shards;
-                let (secs, final_lis_sum) = time_min(|| {
-                    let mut engine = Engine::new(config.clone());
-                    for tick in &ticks {
-                        engine.ingest_tick_ref(tick);
-                    }
-                    engine
-                        .session_ids()
-                        .iter()
-                        .filter_map(|id| engine.lis_length(id.as_str()))
-                        .map(|k| k as u64)
-                        .sum::<u64>()
+                let (secs, final_lis_sum) = with_bench_threads(|| {
+                    time_min(|| {
+                        let mut engine = Engine::new(config.clone());
+                        for tick in &ticks {
+                            engine.ingest_tick_ref(tick);
+                        }
+                        engine
+                            .session_ids()
+                            .iter()
+                            .filter_map(|id| engine.lis_length(id.as_str()))
+                            .map(|k| k as u64)
+                            .sum::<u64>()
+                    })
                 });
                 println!(
                     "{}",
@@ -80,6 +86,7 @@ fn main() {
                         ("n_per_session", n.into()),
                         ("backend", backend_name.into()),
                         ("shards", shards.into()),
+                        ("threads", threads.into()),
                         ("ticks", ticks.len().into()),
                         ("total_elems", total_elems.into()),
                         ("secs", secs.into()),

@@ -11,6 +11,8 @@
 //!   session for the streaming sweep (default 1,000,000 / 100,000).
 //! * `PLIS_BENCH_REPEATS` — timed repetitions per cell; the minimum is
 //!   reported (default 3).
+//! * `PLIS_BENCH_THREADS` — pin the rayon pool for the whole run (`0` or
+//!   unset: the hardware default).  Sweeps record the effective count.
 //! * `PLIS_BENCH_SESSIONS` / `PLIS_BENCH_BATCH` — comma-separated sweep
 //!   overrides for the `streaming` binary.
 //!
@@ -47,6 +49,28 @@ pub fn time_min<R>(mut f: impl FnMut() -> R) -> (f64, R) {
 /// Run `f` on a dedicated rayon pool with `threads` workers.
 pub fn on_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
     rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool").install(f)
+}
+
+/// Thread-count pin requested via `PLIS_BENCH_THREADS` (`0` or unset means
+/// "no pin": use the hardware default).
+pub fn bench_threads() -> Option<usize> {
+    std::env::var("PLIS_BENCH_THREADS").ok().and_then(|s| s.parse().ok()).filter(|&t| t > 0)
+}
+
+/// Effective worker count a sweep runs with: the `PLIS_BENCH_THREADS` pin
+/// if set, otherwise the hardware parallelism.
+pub fn effective_threads() -> usize {
+    bench_threads()
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Run `f` under the `PLIS_BENCH_THREADS` pin (a dedicated pool when set,
+/// the ambient pool otherwise).
+pub fn with_bench_threads<R: Send>(f: impl FnOnce() -> R + Send) -> R {
+    match bench_threads() {
+        Some(threads) => on_threads(threads, f),
+        None => f(),
+    }
 }
 
 /// Geometrically spaced target ranks from 1 to `max` (inclusive-ish),
@@ -228,5 +252,12 @@ mod tests {
     fn on_threads_runs_on_requested_pool() {
         let n = on_threads(2, rayon::current_num_threads);
         assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn effective_threads_is_positive() {
+        // The env var is process-global, so only sanity-check the fallback
+        // semantics here; the parse path is covered by bench_threads' type.
+        assert!(effective_threads() >= 1);
     }
 }

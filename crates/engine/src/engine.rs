@@ -3,15 +3,18 @@
 //!
 //! Sessions are owned by *shards* (session id → shard by FNV-1a hash).  A
 //! tick is a `Vec<(SessionId, Batch)>`; [`Engine::ingest_tick`] partitions
-//! the tick by shard, processes the shards in parallel with fork-join
-//! recursion over `split_at_mut` (disjoint shards, no locks — the same
-//! pattern the vEB batch operations use for disjoint clusters), and returns
-//! per-batch [`IngestReport`]s in the original tick order.  Batches
-//! addressed to the same session within one tick are applied in tick order,
-//! because a session lives in exactly one shard and each shard replays its
-//! work list sequentially.
+//! the tick by shard and processes the shards through the join-splitting
+//! `par_iter` surface with a one-shard grain (disjoint shards, no locks —
+//! the same isolation argument the vEB batch operations use for disjoint
+//! clusters), then returns per-batch [`IngestReport`]s in the original tick
+//! order.  Batches addressed to the same session within one tick are
+//! applied in tick order, because a session lives in exactly one shard and
+//! each shard replays its work list sequentially.  [`TickReport`] exposes
+//! how many distinct worker threads actually participated, which the
+//! determinism and parallelism tests assert on.
 
 use crate::session::{Backend, IngestReport, StreamingLis};
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Name of one independent stream within an [`Engine`].
@@ -76,6 +79,12 @@ pub struct TickReport {
     pub total_ingested: usize,
     /// Number of distinct sessions that received data.
     pub sessions_touched: usize,
+    /// Number of distinct worker threads that processed shards in this
+    /// tick.  Purely observational (scheduling-dependent): it is 1 under a
+    /// 1-thread pool and may exceed 1 when the pool and the helper-thread
+    /// budget allow real parallelism.  Excluded from determinism
+    /// comparisons, which use [`TickReport::reports`] and the totals.
+    pub worker_threads: usize,
 }
 
 #[derive(Debug, Default)]
@@ -212,7 +221,28 @@ impl Engine {
             work[shard].push((index, id, batch.as_slice()));
         }
 
-        let mut labeled = process_shards(&mut self.shards, &mut work, &self.config);
+        // Process the disjoint shards through the parallel-iterator surface.
+        // `with_max_len(1)` makes every shard its own piece: shards are few
+        // but heavy, so the default element-count grain would under-split.
+        type ShardOutput = (Vec<(usize, SessionId, IngestReport)>, std::thread::ThreadId);
+        let config = &self.config;
+        let per_shard: Vec<ShardOutput> = self
+            .shards
+            .par_iter_mut()
+            .zip(work.par_iter_mut())
+            .with_max_len(1)
+            .map(|(shard, work)| {
+                (shard.process(std::mem::take(work), config), std::thread::current().id())
+            })
+            .collect();
+        let worker_threads = per_shard
+            .iter()
+            .map(|(_, id)| *id)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            .max(1);
+        let mut labeled: Vec<(usize, SessionId, IngestReport)> =
+            per_shard.into_iter().flat_map(|(reports, _)| reports).collect();
         labeled.sort_unstable_by_key(|&(index, _, _)| index);
         debug_assert_eq!(labeled.len(), batch_count);
 
@@ -227,6 +257,7 @@ impl Engine {
             reports: labeled.into_iter().map(|(_, id, r)| (id, r)).collect(),
             total_ingested,
             sessions_touched,
+            worker_threads,
         }
     }
 
@@ -236,31 +267,6 @@ impl Engine {
             for session in shard.sessions.values() {
                 session.check_invariants();
             }
-        }
-    }
-}
-
-/// Fork-join over disjoint shards: split both the shard slice and the
-/// per-shard work lists, recurse in parallel, concatenate the reports.
-fn process_shards(
-    shards: &mut [Shard],
-    work: &mut [Vec<WorkItem<'_>>],
-    config: &EngineConfig,
-) -> Vec<(usize, SessionId, IngestReport)> {
-    debug_assert_eq!(shards.len(), work.len());
-    match shards.len() {
-        0 => Vec::new(),
-        1 => shards[0].process(std::mem::take(&mut work[0]), config),
-        n => {
-            let mid = n / 2;
-            let (shards_lo, shards_hi) = shards.split_at_mut(mid);
-            let (work_lo, work_hi) = work.split_at_mut(mid);
-            let (mut lo, hi) = rayon::join(
-                || process_shards(shards_lo, work_lo, config),
-                || process_shards(shards_hi, work_hi, config),
-            );
-            lo.extend(hi);
-            lo
         }
     }
 }

@@ -5,8 +5,6 @@
 //! only the relative order of the inputs ever matters, exactly as the paper
 //! requires ("we assume general input and only use comparisons").
 
-use rayon::prelude::*;
-
 /// Map every element of `values` to its dense rank: the number of distinct
 /// values strictly smaller than it.  Equal values share a rank, so the
 /// strict comparison `rank(a) < rank(b)` holds exactly when `a < b`.
@@ -18,7 +16,7 @@ pub fn compress_to_ranks<T: Ord + Sync>(values: &[T]) -> Vec<u64> {
         return Vec::new();
     }
     let mut order: Vec<u32> = (0..n as u32).collect();
-    order.par_sort_by(|&a, &b| values[a as usize].cmp(&values[b as usize]));
+    plis_primitives::par_sort_by(&mut order, |&a, &b| values[a as usize].cmp(&values[b as usize]));
     // Assign ranks along the sorted order; ties keep the previous rank.
     let mut ranks = vec![0u64; n];
     let mut current = 0u64;

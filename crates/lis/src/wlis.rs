@@ -15,8 +15,7 @@
 //! (Theorem 1.2).
 
 use crate::compress::compress_to_ranks;
-use plis_primitives::group_by_rank;
-use rayon::prelude::*;
+use plis_primitives::{group_by_rank, par_map_collect};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A dominant-max structure usable by the WLIS driver (the `RangeStruct` of
@@ -107,16 +106,16 @@ pub fn wlis_with<T: Ord + Sync, S: DominantMaxBackend>(values: &[T], weights: &[
     let dp: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     for frontier in &frontiers {
         // Queries of one frontier are independent: all dependencies have
-        // strictly smaller ranks and are already in the structure.
-        let updates: Vec<(u64, u64, u64)> = frontier
-            .par_iter()
-            .map(|&j| {
-                let best = structure.dominant_max(xranks[j], j as u64);
-                let value = best + weights[j];
-                dp[j].store(value, Ordering::Relaxed);
-                (xranks[j], j as u64, value)
-            })
-            .collect();
+        // strictly smaller ranks and are already in the structure.  The
+        // join-splitting parallel map keeps the update list in frontier
+        // order, so the batch write-back is identical for any thread count.
+        let updates: Vec<(u64, u64, u64)> = par_map_collect(frontier.len(), |idx| {
+            let j = frontier[idx];
+            let best = structure.dominant_max(xranks[j], j as u64);
+            let value = best + weights[j];
+            dp[j].store(value, Ordering::Relaxed);
+            (xranks[j], j as u64, value)
+        });
         structure.update_batch(&updates);
     }
     dp.into_iter().map(AtomicU64::into_inner).collect()

@@ -41,26 +41,86 @@ pub fn histogram(keys: &[usize], num_keys: usize) -> Vec<usize> {
 ///
 /// This is how the WLIS driver turns the rank array produced by the LIS pass
 /// into frontiers (`groups[r]` = indices of all objects with rank `r`).
+///
+/// The fill itself runs in parallel (a two-pass counting sort: per-chunk
+/// histograms → per-(chunk, key) write cursors → disjoint scatter), so the
+/// whole grouping keeps `O(n)` work and polylogarithmic span.  With one
+/// chunk or a 1-thread pool it degrades to the plain sequential pass; the
+/// output is identical either way because every chunk writes its indices in
+/// increasing order at precomputed cursor positions.
 pub fn group_by_rank(keys: &[usize], num_keys: usize) -> Vec<Vec<usize>> {
+    use crate::par::par_map_collect_with_grain;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     if num_keys == 0 {
         assert!(keys.is_empty(), "non-empty keys with num_keys == 0");
         return Vec::new();
     }
-    let mut groups: Vec<Vec<usize>> = Vec::with_capacity(num_keys);
-    let counts = histogram(keys, num_keys);
-    for c in &counts {
-        groups.push(Vec::with_capacity(*c));
+    let n = keys.len();
+    // Same chunking rule as `histogram`: per-chunk histograms stay O(n)
+    // total because chunks are at least num_keys/4 wide.
+    let chunk = crate::par::GRAIN.max(num_keys / 4 + 1);
+    let nchunks = n.div_ceil(chunk);
+    if rayon::current_num_threads() <= 1 || nchunks <= 1 {
+        let counts = histogram(keys, num_keys);
+        let mut groups: Vec<Vec<usize>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            groups[k].push(i);
+        }
+        return groups;
     }
-    // Filling the groups in parallel per-key: each key's bucket is
-    // independent, so parallelise over the buckets and scan the key array
-    // once per non-empty bucket is too much work (O(n·k)).  Instead do one
-    // sequential pass, which is O(n) and in practice dominated by the LIS
-    // pass itself; the parallel histogram above already gives exact
-    // capacities so no reallocation happens.
-    for (i, &k) in keys.iter().enumerate() {
-        groups[k].push(i);
-    }
-    groups
+
+    // Pass 1: per-chunk histograms (each index is a coarse block ⇒ grain 1).
+    let chunk_hists: Vec<Vec<usize>> = par_map_collect_with_grain(nchunks, 1, |c| {
+        let part = &keys[c * chunk..((c + 1) * chunk).min(n)];
+        let mut h = vec![0usize; num_keys];
+        for &k in part {
+            assert!(k < num_keys, "key {k} out of range (num_keys = {num_keys})");
+            h[k] += 1;
+        }
+        h
+    });
+    // Per-key totals, block offsets, and per-(key, chunk) write cursors.
+    // Each key index costs O(nchunks) (and the final gather O(counts[k])),
+    // i.e. far more than one element of an ordinary map — so use a small
+    // explicit grain instead of the element-calibrated default floor, which
+    // would serialize these stages whenever num_keys < 512.
+    let threads = rayon::current_num_threads();
+    let key_grain = num_keys.div_ceil(threads * 4).max(64);
+    let counts: Vec<usize> =
+        par_map_collect_with_grain(num_keys, key_grain, |k| chunk_hists.iter().map(|h| h[k]).sum());
+    let mut offsets = counts.clone();
+    let total = crate::scan::scan_inplace(&mut offsets);
+    debug_assert_eq!(total, n);
+    let starts_by_key: Vec<Vec<usize>> = par_map_collect_with_grain(num_keys, key_grain, |k| {
+        let mut run = offsets[k];
+        chunk_hists
+            .iter()
+            .map(|h| {
+                let s = run;
+                run += h[k];
+                s
+            })
+            .collect()
+    });
+
+    // Pass 2: scatter every index into its key's block.  Slots are disjoint
+    // by construction; the atomics only provide shared writable storage.
+    let flat: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    par_map_collect_with_grain(nchunks, 1, |c| {
+        let base = c * chunk;
+        let part = &keys[base..(base + chunk).min(n)];
+        let mut cursors: Vec<usize> = (0..num_keys).map(|k| starts_by_key[k][c]).collect();
+        for (i, &k) in part.iter().enumerate() {
+            flat[cursors[k]].store(base + i, Ordering::Relaxed);
+            cursors[k] += 1;
+        }
+    });
+
+    // Slice the flat array back into one Vec per key.
+    par_map_collect_with_grain(num_keys, key_grain, |k| {
+        flat[offsets[k]..offsets[k] + counts[k]].iter().map(|s| s.load(Ordering::Relaxed)).collect()
+    })
 }
 
 #[cfg(test)]
@@ -117,6 +177,21 @@ mod tests {
             assert!(g.windows(2).all(|w| w[0] < w[1]), "indices must be increasing");
             assert!(g.iter().all(|&i| keys[i] == key));
         }
+    }
+
+    #[test]
+    fn group_by_rank_parallel_matches_sequential() {
+        let n = 300_000usize;
+        let k = 733usize;
+        let keys: Vec<usize> = (0..n).map(|i| (i * 48271 + i / 7) % k).collect();
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| group_by_rank(&keys, k))
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq, par, "grouping must be identical for any thread count");
+        assert_eq!(par.iter().map(Vec::len).sum::<usize>(), n);
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub mod sort;
 pub use group::{group_by_rank, histogram};
 pub use merge::{merge_by, merge_by_key, parallel_merge};
 pub use pack::{pack, pack_index, pack_indices_where, partition_flags};
-pub use par::{maybe_join, par_chunks_mut_for, parallel_for, GRAIN};
+pub use par::{
+    adaptive_grain, maybe_join, par_chunks_mut_for, par_for_each_chunk, par_map_collect,
+    par_map_collect_with_grain, parallel_for, GRAIN, MIN_ADAPTIVE_GRAIN,
+};
 pub use scan::{exclusive_scan, inclusive_scan, prefix_max, prefix_min, scan_inplace, suffix_min};
 pub use sort::{par_sort, par_sort_by, par_sort_by_key, par_sort_unstable};

@@ -62,9 +62,9 @@ where
     if a.len() >= b.len() {
         let amid = a.len() / 2;
         let pivot = &a[amid];
-        // First position in b strictly greater than pivot keeps stability
-        // (ties from `a` first).
-        let bmid = partition_point(b, |x| cmp(x, pivot) != std::cmp::Ordering::Greater);
+        // Send b-elements equal to the pivot right, where a's equal run
+        // (starting at a[amid]) precedes them — ties from `a` first.
+        let bmid = partition_point(b, |x| cmp(x, pivot) == std::cmp::Ordering::Less);
         let (out_l, out_r) = out.split_at_mut(amid + bmid);
         maybe_join(
             n,
@@ -139,6 +139,36 @@ mod tests {
         let b: Vec<(u32, char)> = vec![(2, 'b'), (3, 'b'), (5, 'b')];
         let got = merge_by_key(&a, &b, |x| x.0);
         assert_eq!(got, vec![(1, 'a'), (2, 'a'), (2, 'a'), (2, 'b'), (3, 'b'), (5, 'a'), (5, 'b')]);
+    }
+
+    #[test]
+    fn merge_is_stable_on_ties_through_the_parallel_path() {
+        // Heavy-duplicate input large enough to take the splitting path:
+        // stability must hold even when the split pivot lands inside a run
+        // of ties (this was a latent bug while nothing parallel-sorted).
+        let a: Vec<(u32, usize)> = (0..40_000).map(|i| ((i % 5) as u32, i)).collect();
+        let b: Vec<(u32, usize)> = (0..40_000).map(|i| ((i % 5) as u32, 100_000 + i)).collect();
+        let mut asorted = a.clone();
+        asorted.sort_by_key(|p| p.0);
+        let mut bsorted = b.clone();
+        bsorted.sort_by_key(|p| p.0);
+        let got = merge_by_key(&asorted, &bsorted, |p| p.0);
+        for w in got.windows(2) {
+            if w[0].0 == w[1].0 {
+                // Within a tie run: all of a's elements (ids < 100_000) come
+                // before b's, and each side keeps its own order.
+                assert!(
+                    !(w[0].1 >= 100_000 && w[1].1 < 100_000),
+                    "b-element {:?} precedes a-element {:?}",
+                    w[0],
+                    w[1]
+                );
+                let same_side = (w[0].1 < 100_000) == (w[1].1 < 100_000);
+                if same_side {
+                    assert!(w[0].1 < w[1].1, "within-side order broken: {:?} {:?}", w[0], w[1]);
+                }
+            }
+        }
     }
 
     #[test]

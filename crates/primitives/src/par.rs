@@ -7,11 +7,30 @@
 //! paper's central practical argument, so we never fork for tiny subproblems.
 
 use rayon::join;
+use std::mem::MaybeUninit;
 
 /// Default granularity (sequential cutoff) for the divide-and-conquer
 /// primitives in this crate.  Chosen to amortize the cost of a rayon task
 /// spawn over a few microseconds of useful work.
 pub const GRAIN: usize = 2048;
+
+/// Smallest piece the adaptive helpers will fork for.  The vendored rayon's
+/// `join` spawns a real scoped thread per fork, so pieces must amortize a
+/// thread spawn, not just a task push.
+pub const MIN_ADAPTIVE_GRAIN: usize = 512;
+
+/// Piece size for a parallel loop over `n` items: aim for a few pieces per
+/// worker thread (to absorb imbalance) but never below
+/// [`MIN_ADAPTIVE_GRAIN`].  Returns `usize::MAX` (never fork) when the
+/// current rayon pool has a single thread, so `num_threads(1)` keeps every
+/// helper in this module exactly sequential.
+pub fn adaptive_grain(n: usize) -> usize {
+    let threads = rayon::current_num_threads();
+    if threads <= 1 {
+        return usize::MAX;
+    }
+    n.div_ceil(threads * 4).max(MIN_ADAPTIVE_GRAIN)
+}
 
 /// Run `left` and `right` in parallel if `size` is at least `grain`,
 /// otherwise run them sequentially (left first).
@@ -68,6 +87,82 @@ where
     data.par_chunks_mut(chunk_size).enumerate().for_each(|(i, chunk)| f(i, chunk));
 }
 
+/// Apply `f(offset, chunk)` to disjoint chunks of `data` of an
+/// [`adaptive_grain`]-chosen size, in parallel.  `offset` is the index of
+/// the chunk's first element within `data`, so callers can address sibling
+/// arrays.  Never calls `f` on an empty chunk.
+pub fn par_for_each_chunk<T, F>(data: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(usize, &[T]) + Sync,
+{
+    fn go<T: Sync, F: Fn(usize, &[T]) + Sync>(offset: usize, s: &[T], grain: usize, f: &F) {
+        if s.is_empty() {
+            return;
+        }
+        if s.len() <= grain {
+            f(offset, s);
+            return;
+        }
+        let mid = s.len() / 2;
+        let (lo, hi) = s.split_at(mid);
+        join(|| go(offset, lo, grain, f), || go(offset + mid, hi, grain, f));
+    }
+    go(0, data, adaptive_grain(data.len()), &f);
+}
+
+/// `Vec` of `f(0), f(1), …, f(n-1)`, computed in parallel with an adaptive
+/// grain.  This is the order-preserving "parallel map" that the WLIS
+/// frontier queries and the workload generators go through: equivalent to
+/// `(0..n).map(f).collect()` for any thread count.
+///
+/// If `f` panics, the panic propagates; already-computed elements are leaked
+/// (not dropped) in that case, which is safe but not tidy — acceptable for
+/// the algorithmic payloads used here.
+pub fn par_map_collect<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_collect_with_grain(n, adaptive_grain(n), f)
+}
+
+/// [`par_map_collect`] with an explicit grain (indices per sequential
+/// piece).  Use `grain = 1` when every index already stands for a coarse
+/// block of work (e.g. one chunk of a larger array).
+pub fn par_map_collect_with_grain<R, F>(n: usize, grain: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    fn fill<R: Send, F: Fn(usize) -> R + Sync>(
+        lo: usize,
+        slots: &mut [MaybeUninit<R>],
+        grain: usize,
+        f: &F,
+    ) {
+        if slots.len() <= grain {
+            for (k, slot) in slots.iter_mut().enumerate() {
+                slot.write(f(lo + k));
+            }
+            return;
+        }
+        let mid = slots.len() / 2;
+        let (a, b) = slots.split_at_mut(mid);
+        join(|| fill(lo, a, grain, f), || fill(lo + mid, b, grain, f));
+    }
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    if n == 0 {
+        return out;
+    }
+    let grain = grain.max(1);
+    fill(0, &mut out.spare_capacity_mut()[..n], grain, &f);
+    // SAFETY: `fill` wrote every one of the first `n` slots exactly once
+    // (the recursion partitions `0..n` into disjoint, covering pieces).
+    unsafe { out.set_len(n) };
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +214,65 @@ mod tests {
     fn par_chunks_mut_rejects_zero_chunk() {
         let mut v = vec![0u8; 4];
         par_chunks_mut_for(&mut v, 0, |_, _| {});
+    }
+
+    #[test]
+    fn par_map_collect_matches_sequential_map() {
+        let n = 100_000usize;
+        let got = par_map_collect(n, |i| (i as u64) * 3 + 1);
+        let want: Vec<u64> = (0..n).map(|i| (i as u64) * 3 + 1).collect();
+        assert_eq!(got, want);
+        assert!(par_map_collect(0, |_| 0u8).is_empty());
+        // Non-Copy payloads work too.
+        let strings = par_map_collect(2_000, |i| format!("x{i}"));
+        assert_eq!(strings[1999], "x1999");
+    }
+
+    #[test]
+    fn par_map_collect_splits_across_threads_when_possible() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut best = 1usize;
+        for _attempt in 0..20 {
+            let seen = Mutex::new(HashSet::new());
+            let out = pool.install(|| {
+                par_map_collect(50_000, |i| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    i as u64
+                })
+            });
+            assert_eq!(out.len(), 50_000);
+            assert!(out.iter().enumerate().all(|(i, &x)| x == i as u64));
+            best = best.max(seen.lock().unwrap().len());
+            if best > 1 {
+                break;
+            }
+        }
+        assert!(best > 1, "par_map_collect must engage >1 thread under a 4-thread pool");
+    }
+
+    #[test]
+    fn par_for_each_chunk_covers_disjointly_in_offset_order() {
+        let n = 75_000usize;
+        let data: Vec<u64> = (0..n as u64).collect();
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        par_for_each_chunk(&data, |offset, chunk| {
+            for (k, &v) in chunk.iter().enumerate() {
+                assert_eq!(v, (offset + k) as u64, "offset must address the parent slice");
+                hits[offset + k].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        par_for_each_chunk::<u64, _>(&[], |_, _| panic!("must not run on empty input"));
+    }
+
+    #[test]
+    fn adaptive_grain_is_sequential_on_one_thread() {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(pool.install(|| adaptive_grain(1 << 20)), usize::MAX);
+        let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let g = pool4.install(|| adaptive_grain(1 << 20));
+        assert!((MIN_ADAPTIVE_GRAIN..1 << 20).contains(&g));
     }
 }

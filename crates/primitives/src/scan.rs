@@ -6,7 +6,7 @@
 //! place frontier elements into an output array.  Both are classic two-pass
 //! (up-sweep / down-sweep) scans with `O(n)` work and `O(log n)` span.
 
-use crate::par::GRAIN;
+use crate::par::{par_chunks_mut_for, par_map_collect_with_grain, GRAIN};
 
 /// Exclusive scan with identity `id` and associative operation `op`.
 /// Returns `(prefix, total)` where `prefix[i] = op(id, a[0], …, a[i-1])`.
@@ -33,18 +33,15 @@ where
         }
         return (out, acc);
     }
-    let block_sums: Vec<T> = {
-        use rayon::prelude::*;
-        a.par_chunks(GRAIN)
-            .map(|chunk| {
-                let mut acc = id.clone();
-                for item in chunk {
-                    acc = op(&acc, item);
-                }
-                acc
-            })
-            .collect()
-    };
+    // Each index stands for a GRAIN-sized block of work ⇒ grain 1.
+    let block_sums: Vec<T> = par_map_collect_with_grain(nblocks, 1, |b| {
+        let chunk = &a[b * GRAIN..((b + 1) * GRAIN).min(n)];
+        let mut acc = id.clone();
+        for item in chunk {
+            acc = op(&acc, item);
+        }
+        acc
+    });
     // Sequential scan over the (small) block sums.
     let mut carries = vec![id.clone(); nblocks];
     let mut acc = id.clone();
@@ -54,18 +51,14 @@ where
     }
     let total = acc;
     // Down-sweep each block in parallel.
-    {
-        use rayon::prelude::*;
-        out.par_chunks_mut(GRAIN).zip(a.par_chunks(GRAIN)).enumerate().for_each(
-            |(b, (ochunk, achunk))| {
-                let mut acc = carries[b].clone();
-                for (o, item) in ochunk.iter_mut().zip(achunk.iter()) {
-                    *o = acc.clone();
-                    acc = op(&acc, item);
-                }
-            },
-        );
-    }
+    par_chunks_mut_for(&mut out, GRAIN, |b, ochunk| {
+        let achunk = &a[b * GRAIN..b * GRAIN + ochunk.len()];
+        let mut acc = carries[b].clone();
+        for (o, item) in ochunk.iter_mut().zip(achunk.iter()) {
+            *o = acc.clone();
+            acc = op(&acc, item);
+        }
+    });
     (out, total)
 }
 
@@ -76,10 +69,12 @@ where
     F: Fn(&T, &T) -> T + Sync,
 {
     let (mut ex, _total) = exclusive_scan(a, id, &op);
-    {
-        use rayon::prelude::*;
-        ex.par_iter_mut().zip(a.par_iter()).for_each(|(o, x)| *o = op(o, x));
-    }
+    par_chunks_mut_for(&mut ex, GRAIN, |b, chunk| {
+        let achunk = &a[b * GRAIN..b * GRAIN + chunk.len()];
+        for (o, x) in chunk.iter_mut().zip(achunk.iter()) {
+            *o = op(o, x);
+        }
+    });
     ex
 }
 

@@ -9,37 +9,80 @@
 //!
 //! These wrappers exist so the rest of the workspace never calls rayon's
 //! slice sorts directly; if the scheduling substrate changes, only this
-//! module does.
+//! module does.  They are real join-based parallel merge sorts: the slice is
+//! split recursively, leaves are sorted with std's (stable) sorts, and
+//! siblings are combined with the parallel [`crate::merge`] machinery — the
+//! `T: Clone` bound pays for the merge buffer.  Under a 1-thread pool the
+//! recursion never forks and the result is exactly std's.
 
-use rayon::slice::ParallelSliceMut;
+use crate::merge::merge_by;
+use crate::par::GRAIN;
+use std::cmp::Ordering;
 
-/// Stable parallel sort of a slice of `Ord` elements (parallel merge sort).
-pub fn par_sort<T: Ord + Send>(a: &mut [T]) {
-    a.par_sort();
+/// Leaf size for the parallel merge sort: a few [`GRAIN`]s so std's sort
+/// amortizes the merge passes, shrunk adaptively so every worker thread of
+/// the current pool gets work on large inputs.
+fn sort_grain(n: usize) -> usize {
+    let threads = rayon::current_num_threads();
+    if threads <= 1 {
+        return usize::MAX;
+    }
+    n.div_ceil(threads * 2).max(GRAIN * 4)
 }
 
-/// Unstable parallel sort (parallel pattern-defeating quicksort).
-pub fn par_sort_unstable<T: Ord + Send>(a: &mut [T]) {
-    a.par_sort_unstable();
+fn merge_sort_by<T, F>(a: &mut [T], cmp: &F, grain: usize, stable: bool)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    if a.len() <= grain {
+        if stable {
+            a.sort_by(|x, y| cmp(x, y));
+        } else {
+            a.sort_unstable_by(|x, y| cmp(x, y));
+        }
+        return;
+    }
+    let mid = a.len() / 2;
+    let (lo, hi) = a.split_at_mut(mid);
+    rayon::join(|| merge_sort_by(lo, cmp, grain, stable), || merge_sort_by(hi, cmp, grain, stable));
+    // Parallel stable merge into a buffer, then copy back in parallel too —
+    // a sequential copy-back would put an O(n) pass on the critical path of
+    // every recursion level.
+    let merged = merge_by(lo, hi, |x, y| cmp(x, y));
+    let chunk = crate::par::adaptive_grain(a.len()).max(GRAIN);
+    crate::par::par_chunks_mut_for(a, chunk, |ci, piece| {
+        piece.clone_from_slice(&merged[ci * chunk..ci * chunk + piece.len()]);
+    });
+}
+
+/// Stable parallel sort of a slice of `Ord` elements (parallel merge sort).
+pub fn par_sort<T: Ord + Clone + Send + Sync>(a: &mut [T]) {
+    par_sort_by(a, T::cmp);
+}
+
+/// Unstable parallel sort (same merge sort with unstable leaves).
+pub fn par_sort_unstable<T: Ord + Clone + Send + Sync>(a: &mut [T]) {
+    merge_sort_by(a, &T::cmp, sort_grain(a.len()), false);
 }
 
 /// Stable parallel sort with a custom comparator.
 pub fn par_sort_by<T, F>(a: &mut [T], cmp: F)
 where
-    T: Send,
-    F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
 {
-    a.par_sort_by(cmp);
+    merge_sort_by(a, &cmp, sort_grain(a.len()), true);
 }
 
 /// Stable parallel sort by key.
 pub fn par_sort_by_key<T, K, F>(a: &mut [T], key: F)
 where
-    T: Send,
+    T: Clone + Send + Sync,
     K: Ord,
     F: Fn(&T) -> K + Sync,
 {
-    a.par_sort_by_key(key);
+    par_sort_by(a, |x, y| key(x).cmp(&key(y)));
 }
 
 /// Returns true if the slice is sorted in non-decreasing order.  Handy for
@@ -102,5 +145,23 @@ mod tests {
         let mut a = vec![3u8, 1, 4, 1, 5, 9, 2, 6];
         par_sort_by(&mut a, |x, y| y.cmp(x));
         assert_eq!(a, vec![9, 6, 5, 4, 3, 2, 1, 1]);
+    }
+
+    #[test]
+    fn parallel_pool_sort_matches_one_thread_sort() {
+        let base: Vec<(u32, usize)> =
+            (0..200_000).map(|i| (((i * 48271) % 4096) as u32, i)).collect();
+        let run = |threads: usize| {
+            let mut v = base.clone();
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| par_sort_by_key(&mut v, |p| p.0));
+            v
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq, par, "sorting must be deterministic across thread counts");
+        let mut want = base.clone();
+        want.sort_by_key(|p| p.0);
+        assert_eq!(par, want);
     }
 }

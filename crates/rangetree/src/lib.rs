@@ -25,8 +25,7 @@
 //! (scores only grow, and `max` is commutative and associative, so the
 //! result is identical to any sequential order).
 
-use plis_primitives::par::{maybe_join, GRAIN};
-use rayon::prelude::*;
+use plis_primitives::par::{maybe_join, par_for_each_chunk, GRAIN};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A 2D point; `x` and `y` are the coordinates used by dominance queries
@@ -113,7 +112,7 @@ impl RangeMaxTree {
             return RangeMaxTree { n, xs: Vec::new(), ys_by_pos: Vec::new(), nodes: Vec::new() };
         }
         let mut order: Vec<(u64, u64)> = points.iter().map(|p| (p.x, p.y)).collect();
-        order.par_sort_unstable();
+        plis_primitives::par_sort_unstable(&mut order);
         assert!(order.windows(2).all(|w| w[0] != w[1]), "duplicate points are not supported");
         let xs: Vec<u64> = order.iter().map(|p| p.0).collect();
         let ys_by_pos: Vec<u64> = order.iter().map(|p| p.1).collect();
@@ -179,7 +178,13 @@ impl RangeMaxTree {
     /// # Panics
     /// Panics if an update refers to a point that is not in the tree.
     pub fn update_batch(&self, updates: &[ScoreUpdate]) {
-        updates.par_iter().with_min_len(GRAIN / 16 + 1).for_each(|u| self.update_one(u));
+        // Atomic fetch_max makes per-point updates commutative, so chunks
+        // can run in any interleaving with identical results.
+        par_for_each_chunk(updates, |_, chunk| {
+            for u in chunk {
+                self.update_one(u);
+            }
+        });
     }
 
     /// Raise the score of a single point.

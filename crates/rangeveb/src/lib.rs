@@ -25,7 +25,6 @@
 
 use plis_primitives::par::{maybe_join, GRAIN};
 use plis_veb::{MonoVeb, ScoredPoint};
-use rayon::prelude::*;
 
 /// A 2D point (same convention as `plis_rangetree::Point2`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,14 +77,14 @@ impl RangeVeb {
             return RangeVeb { n, xs: Vec::new(), ys_by_pos: Vec::new(), nodes: Vec::new() };
         }
         let mut order: Vec<(u64, u64)> = points.iter().map(|p| (p.x, p.y)).collect();
-        order.par_sort_unstable();
+        plis_primitives::par_sort_unstable(&mut order);
         assert!(order.windows(2).all(|w| w[0] != w[1]), "duplicate points are not supported");
         // The `y` coordinates must be pairwise distinct: they are the keys of
         // the inner Mono-vEB trees (in WLIS they are the input indices, which
         // are unique by construction).
         {
             let mut ys: Vec<u64> = order.iter().map(|p| p.1).collect();
-            ys.par_sort_unstable();
+            plis_primitives::par_sort_unstable(&mut ys);
             assert!(ys.windows(2).all(|w| w[0] != w[1]), "y coordinates must be pairwise distinct");
         }
         let xs: Vec<u64> = order.iter().map(|p| p.0).collect();
@@ -154,16 +153,15 @@ impl RangeVeb {
         }
         // Route updates by their x-sorted position so the recursion can
         // split them contiguously at every outer node.
-        let mut routed: Vec<(usize, u64, u64)> = updates
-            .par_iter()
-            .map(|u| {
+        let mut routed: Vec<(usize, u64, u64)> =
+            plis_primitives::par_map_collect(updates.len(), |i| {
+                let u = &updates[i];
                 let pos = self.position_of(u.point).unwrap_or_else(|| {
                     panic!("point ({}, {}) is not in the structure", u.point.x, u.point.y)
                 });
                 (pos, u.point.y, u.score)
-            })
-            .collect();
-        routed.par_sort_unstable();
+            });
+        plis_primitives::par_sort_unstable(&mut routed);
         let nodes = &mut self.nodes[..];
         distribute(nodes, &routed);
     }

@@ -166,6 +166,10 @@ pub mod streaming {
     /// patterns, each `n_per_session` elements in batches of ~`mean_batch`.
     /// Returns the [`SessionStream`]s plus a universe bound that covers
     /// every stream.
+    ///
+    /// The streams are generated in parallel (one seed per session), so the
+    /// fleet is identical for any thread count and generation keeps up with
+    /// the parallel ingest side on large sweeps.
     pub fn session_fleet(
         sessions: usize,
         n_per_session: usize,
@@ -177,15 +181,16 @@ pub mod streaming {
             StreamPattern::Line { t: 1, noise: (n_per_session as u64 / 8).max(1) },
             StreamPattern::Permutation,
         ];
-        let mut universe = 1;
-        let fleet = (0..sessions)
-            .map(|i| {
-                let pattern = patterns[i % patterns.len()];
-                universe = universe.max(pattern.universe(n_per_session));
-                let name = format!("{}-{i}", pattern.name());
-                (name, stream(pattern, n_per_session, mean_batch, seed + i as u64))
-            })
-            .collect();
+        let universe = patterns[..patterns.len().min(sessions)]
+            .iter()
+            .map(|p| p.universe(n_per_session))
+            .fold(1u64, u64::max);
+        // Whole sessions are coarse work items: grain 1.
+        let fleet = plis_primitives::par_map_collect_with_grain(sessions, 1, |i| {
+            let pattern = patterns[i % patterns.len()];
+            let name = format!("{}-{i}", pattern.name());
+            (name, stream(pattern, n_per_session, mean_batch, seed + i as u64))
+        });
         (fleet, universe)
     }
 }

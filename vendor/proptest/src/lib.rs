@@ -195,6 +195,11 @@ macro_rules! prop_assert_ne {
 
 /// The test-defining macro.  Each `fn name(arg in strategy, ..) { body }`
 /// becomes a `#[test]` that runs `body` for `config.cases` sampled inputs.
+///
+/// When a case fails (any panic, including `prop_assert!`), the runner
+/// prints the 0-based case index and the `Debug` rendering of every sampled
+/// argument to stderr before re-raising the panic, so regressions in the
+/// oracle suites are reproducible without shrinking support.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -218,7 +223,31 @@ macro_rules! __proptest_impl {
             let mut rng = $crate::TestRng::deterministic(stringify!($name));
             for _case in 0..config.cases {
                 $( let $arg = $crate::Strategy::sample(&($strategy), &mut rng); )*
-                $body
+                // Render the inputs before the body runs (the body may
+                // consume them), so a failing case can be reported.
+                let __case_inputs: ::std::string::String = {
+                    let mut __s = ::std::string::String::new();
+                    $(
+                        __s.push_str("\n    ");
+                        __s.push_str(stringify!($arg));
+                        __s.push_str(" = ");
+                        __s.push_str(&format!("{:?}", &$arg));
+                    )*
+                    __s
+                };
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| { $body }),
+                );
+                if let ::std::result::Result::Err(__payload) = __result {
+                    eprintln!(
+                        "proptest `{}`: case {} of {} failed with inputs:{}",
+                        stringify!($name),
+                        _case,
+                        config.cases,
+                        __case_inputs,
+                    );
+                    ::std::panic::resume_unwind(__payload);
+                }
             }
         }
     )*};
@@ -257,5 +286,40 @@ mod tests {
         let mut a = super::TestRng::deterministic("t");
         let mut b = super::TestRng::deterministic("t");
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    // A proptest body that always fails, used below to check that the
+    // runner reports the case index and inputs.  Not annotated #[test]:
+    // it is invoked (and its panic caught) by `failures_report_inputs`.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        fn always_fails(x in 5u64..6) {
+            prop_assert!(x != 5, "x is always 5");
+        }
+    }
+
+    #[test]
+    fn failures_report_inputs() {
+        // The report goes to stderr (visible in test output); here we only
+        // check that the panic itself still propagates with the original
+        // assertion message after the diagnostics are printed.
+        let err = std::panic::catch_unwind(always_fails).expect_err("must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("x is always 5"), "unexpected panic payload: {msg}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        /// Bodies that consume their inputs still compile: the diagnostics
+        /// string is rendered before the body takes ownership.
+        #[test]
+        fn bodies_may_consume_inputs(v in vec(0u64..10, 1..5)) {
+            let owned: Vec<u64> = v;
+            prop_assert!(owned.len() < 5);
+        }
     }
 }

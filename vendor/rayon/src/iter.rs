@@ -1,114 +1,701 @@
-//! Sequential stand-ins for rayon's parallel-iterator entry points.
+//! Join-backed parallel iterators: the core of the rayon stand-in.
 //!
-//! `par_iter()` / `par_iter_mut()` / `into_par_iter()` / `par_chunks*()`
-//! return a [`Par`] wrapper around the ordinary std iterator.  `Par`
-//! implements [`Iterator`] by delegation, so the full std combinator
-//! vocabulary works unchanged; the few rayon methods whose signatures
-//! *differ* from std (`map` so the wrapper survives chaining, and the
-//! identity-taking `reduce`) are provided as inherent methods, which take
-//! precedence over the `Iterator` trait methods of the same name.
-//! [`ParallelIteratorExt`] supplies rayon-only tuning adapters
-//! (`with_min_len`, `with_max_len`) as no-ops on every iterator.
+//! Unlike the first-generation stand-in (which wrapped std iterators and ran
+//! everything sequentially), this module implements a real, if small,
+//! parallel-iterator framework: every pipeline is a tree of *splittable*
+//! stages over an indexable source (slice, `Vec`, integer range, or slice
+//! chunks), and every driver (`for_each`, `collect`, `reduce`, `sum`,
+//! `count`) executes by recursively halving the source with [`crate::join`]
+//! until pieces reach a grain size, then draining each piece sequentially.
+//! Combining is order-preserving (`collect` concatenates left-to-right), so
+//! results are identical to the sequential run for any thread count — the
+//! invariant the engine's determinism tests rely on.
+//!
+//! Grain selection: a driver aims for ~4 pieces per worker thread
+//! ([`TASKS_PER_THREAD`]) but never below a per-source floor
+//! ([`DEFAULT_GRAIN_FLOOR`] items for element-wise sources, a single item
+//! for `par_chunks*`, whose items are already coarse blocks).  `join` in
+//! this stand-in spawns real scoped threads, so pieces must amortize a
+//! thread spawn — that is why the floor is hundreds of items, not one.
+//! rayon's `with_min_len` / `with_max_len` adapters override the floor and
+//! cap the grain respectively; `with_max_len(1)` forces one piece per item,
+//! which callers with few-but-heavy items (e.g. engine shards) use.
+//! When the current pool has a single thread the drivers never split and
+//! the pipeline runs exactly like its sequential counterpart.
 
-/// Sequential iterator posing as a rayon parallel iterator.
-#[derive(Debug, Clone)]
-pub struct Par<I>(pub I);
+use std::sync::Arc;
 
-impl<I: Iterator> Iterator for Par<I> {
-    type Item = I::Item;
-    fn next(&mut self) -> Option<I::Item> {
-        self.0.next()
+/// Target number of pieces per worker thread when splitting.
+const TASKS_PER_THREAD: usize = 4;
+
+/// Default smallest piece (in source items) worth forking a thread for.
+pub(crate) const DEFAULT_GRAIN_FLOOR: usize = 512;
+
+/// Compute the sequential-piece size for a pipeline of `len` source items.
+fn effective_grain(
+    len: usize,
+    floor: Option<usize>,
+    cap: Option<usize>,
+    default_floor: usize,
+) -> usize {
+    let threads = crate::current_num_threads();
+    if threads <= 1 {
+        return usize::MAX; // num_threads(1) ⇒ fully sequential
     }
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.0.size_hint()
-    }
+    let floor = floor.unwrap_or(default_floor).max(1);
+    let grain = len.div_ceil(threads * TASKS_PER_THREAD).max(floor);
+    grain.min(cap.unwrap_or(usize::MAX)).max(1)
 }
 
-impl<I: DoubleEndedIterator> DoubleEndedIterator for Par<I> {
-    fn next_back(&mut self) -> Option<I::Item> {
-        self.0.next_back()
-    }
+fn grain_of<P: ParallelIterator>(p: &P) -> usize {
+    effective_grain(p.par_len(), p.grain_floor_hint(), p.grain_cap_hint(), p.default_grain_floor())
 }
 
-impl<I: ExactSizeIterator> ExactSizeIterator for Par<I> {}
+/// A splittable, exactly-sized pipeline of items.
+///
+/// `par_len` counts *source positions*; adapters that drop items (`filter`)
+/// keep the source count, so splitting stays balanced over the input.
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
 
-impl<I: Iterator> Par<I> {
-    /// Same shape as both `Iterator::map` and rayon's `map`; returns a `Par`
-    /// so rayon-specific consumers (like [`Par::reduce`]) stay reachable.
-    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
-        Par(self.0.map(f))
+    /// Number of remaining source positions.
+    fn par_len(&self) -> usize;
+
+    /// Split into the first `index` source positions and the rest.
+    fn par_split_at(self, index: usize) -> (Self, Self);
+
+    /// Sequentially evaluate this piece of the pipeline into `sink`.
+    fn par_drain(self, sink: &mut dyn FnMut(Self::Item));
+
+    /// Grain floor installed by [`ParallelIterator::with_min_len`], if any.
+    #[doc(hidden)]
+    fn grain_floor_hint(&self) -> Option<usize> {
+        None
     }
 
-    /// Rayon's `reduce`: fold from an identity element.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// Grain cap installed by [`ParallelIterator::with_max_len`], if any.
+    #[doc(hidden)]
+    fn grain_cap_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Source-specific grain floor (chunk sources are already coarse).
+    #[doc(hidden)]
+    fn default_grain_floor(&self) -> usize {
+        DEFAULT_GRAIN_FLOOR
+    }
+
+    // ----- adapters ---------------------------------------------------
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
     where
-        ID: Fn() -> I::Item,
-        OP: FnMut(I::Item, I::Item) -> I::Item,
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
     {
-        self.0.fold(identity(), op)
+        Map { base: self, f: Arc::new(f) }
+    }
+
+    fn filter<F>(self, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        Filter { base: self, pred: Arc::new(pred) }
+    }
+
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        T: Copy + Send + Sync + 'a,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Copied { base: self }
+    }
+
+    fn cloned<'a, T>(self) -> Cloned<Self>
+    where
+        T: Clone + Send + Sync + 'a,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Cloned { base: self }
+    }
+
+    /// Pair every item with its source index (valid before any `filter`).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self, offset: 0 }
+    }
+
+    /// Iterate two equally-split pipelines in lockstep (shorter one wins).
+    fn zip<Q: ParallelIterator>(self, other: Q) -> Zip<Self, Q> {
+        Zip { a: self, b: other }
+    }
+
+    /// Never split below `min` source items per piece.
+    fn with_min_len(self, min: usize) -> WithGrainHint<Self> {
+        WithGrainHint { base: self, floor: Some(min.max(1)), cap: None }
+    }
+
+    /// Never run more than `max` source items in one sequential piece.
+    fn with_max_len(self, max: usize) -> WithGrainHint<Self> {
+        WithGrainHint { base: self, floor: None, cap: Some(max.max(1)) }
+    }
+
+    // ----- drivers ----------------------------------------------------
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let grain = grain_of(&self);
+        for_each_rec(self, grain, &f);
+    }
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Fold from `identity` with an associative `op` (rayon's `reduce`).
+    /// The combining tree's shape depends on the grain, so `op` must be
+    /// associative for the result to be thread-count independent.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let grain = grain_of(&self);
+        reduce_rec(self, grain, &identity, &op)
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let grain = grain_of(&self);
+        sum_rec(self, grain)
+    }
+
+    fn count(self) -> usize {
+        let grain = grain_of(&self);
+        count_rec(self, grain)
     }
 }
 
-/// `into_par_iter()` for any owned iterable (ranges, `Vec`, ...).
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    fn into_par_iter(self) -> Par<Self::IntoIter> {
-        Par(self.into_iter())
-    }
-}
-
-impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
-
-/// `par_iter()` for `&collection`.
-pub trait IntoParallelRefIterator<'a> {
-    type Iter;
-    fn par_iter(&'a self) -> Par<Self::Iter>;
-}
-
-impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+fn for_each_rec<P, F>(p: P, grain: usize, f: &F)
 where
-    &'a C: IntoIterator,
+    P: ParallelIterator,
+    F: Fn(P::Item) + Send + Sync,
 {
-    type Iter = <&'a C as IntoIterator>::IntoIter;
-    fn par_iter(&'a self) -> Par<Self::Iter> {
-        Par(self.into_iter())
+    let n = p.par_len();
+    if n <= grain {
+        p.par_drain(&mut |x| f(x));
+        return;
+    }
+    let (a, b) = p.par_split_at(n / 2);
+    crate::join(|| for_each_rec(a, grain, f), || for_each_rec(b, grain, f));
+}
+
+fn collect_rec<P: ParallelIterator>(p: P, grain: usize) -> Vec<P::Item> {
+    let n = p.par_len();
+    if n <= grain {
+        let mut out = Vec::with_capacity(n);
+        p.par_drain(&mut |x| out.push(x));
+        return out;
+    }
+    let (a, b) = p.par_split_at(n / 2);
+    let (mut va, vb) = crate::join(|| collect_rec(a, grain), || collect_rec(b, grain));
+    va.extend(vb);
+    va
+}
+
+fn reduce_rec<P, ID, OP>(p: P, grain: usize, identity: &ID, op: &OP) -> P::Item
+where
+    P: ParallelIterator,
+    ID: Fn() -> P::Item + Send + Sync,
+    OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
+{
+    let n = p.par_len();
+    if n <= grain {
+        let mut acc = Some(identity());
+        p.par_drain(&mut |x| {
+            let prev = acc.take().expect("accumulator is always present");
+            acc = Some(op(prev, x));
+        });
+        return acc.expect("accumulator is always present");
+    }
+    let (a, b) = p.par_split_at(n / 2);
+    let (ra, rb) =
+        crate::join(|| reduce_rec(a, grain, identity, op), || reduce_rec(b, grain, identity, op));
+    op(ra, rb)
+}
+
+fn sum_rec<P, S>(p: P, grain: usize) -> S
+where
+    P: ParallelIterator,
+    S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+{
+    let n = p.par_len();
+    if n <= grain {
+        let mut items = Vec::with_capacity(n);
+        p.par_drain(&mut |x| items.push(x));
+        return items.into_iter().sum();
+    }
+    let (a, b) = p.par_split_at(n / 2);
+    let (sa, sb) = crate::join(|| sum_rec::<P, S>(a, grain), || sum_rec::<P, S>(b, grain));
+    [sa, sb].into_iter().sum()
+}
+
+fn count_rec<P: ParallelIterator>(p: P, grain: usize) -> usize {
+    let n = p.par_len();
+    if n <= grain {
+        let mut count = 0usize;
+        p.par_drain(&mut |_| count += 1);
+        return count;
+    }
+    let (a, b) = p.par_split_at(n / 2);
+    let (ca, cb) = crate::join(|| count_rec(a, grain), || count_rec(b, grain));
+    ca + cb
+}
+
+/// Order-preserving parallel collection (only `Vec` is needed here).
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self {
+        let grain = grain_of(&p);
+        collect_rec(p, grain)
+    }
+}
+
+// --------------------------- adapters --------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Send + Sync,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.par_split_at(index);
+        (Map { base: a, f: Arc::clone(&self.f) }, Map { base: b, f: self.f })
+    }
+    fn par_drain(self, sink: &mut dyn FnMut(R)) {
+        let f = self.f;
+        self.base.par_drain(&mut |x| sink(f(x)));
+    }
+    fn grain_floor_hint(&self) -> Option<usize> {
+        self.base.grain_floor_hint()
+    }
+    fn grain_cap_hint(&self) -> Option<usize> {
+        self.base.grain_cap_hint()
+    }
+    fn default_grain_floor(&self) -> usize {
+        self.base.default_grain_floor()
+    }
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<P, F> {
+    base: P,
+    pred: Arc<F>,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Send + Sync,
+{
+    type Item = P::Item;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.par_split_at(index);
+        (Filter { base: a, pred: Arc::clone(&self.pred) }, Filter { base: b, pred: self.pred })
+    }
+    fn par_drain(self, sink: &mut dyn FnMut(P::Item)) {
+        let pred = self.pred;
+        self.base.par_drain(&mut |x| {
+            if pred(&x) {
+                sink(x);
+            }
+        });
+    }
+    fn grain_floor_hint(&self) -> Option<usize> {
+        self.base.grain_floor_hint()
+    }
+    fn grain_cap_hint(&self) -> Option<usize> {
+        self.base.grain_cap_hint()
+    }
+    fn default_grain_floor(&self) -> usize {
+        self.base.default_grain_floor()
+    }
+}
+
+/// See [`ParallelIterator::copied`].
+pub struct Copied<P> {
+    base: P,
+}
+
+impl<'a, T, P> ParallelIterator for Copied<P>
+where
+    T: Copy + Send + Sync + 'a,
+    P: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.par_split_at(index);
+        (Copied { base: a }, Copied { base: b })
+    }
+    fn par_drain(self, sink: &mut dyn FnMut(T)) {
+        self.base.par_drain(&mut |x| sink(*x));
+    }
+    fn grain_floor_hint(&self) -> Option<usize> {
+        self.base.grain_floor_hint()
+    }
+    fn grain_cap_hint(&self) -> Option<usize> {
+        self.base.grain_cap_hint()
+    }
+    fn default_grain_floor(&self) -> usize {
+        self.base.default_grain_floor()
+    }
+}
+
+/// See [`ParallelIterator::cloned`].
+pub struct Cloned<P> {
+    base: P,
+}
+
+impl<'a, T, P> ParallelIterator for Cloned<P>
+where
+    T: Clone + Send + Sync + 'a,
+    P: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.par_split_at(index);
+        (Cloned { base: a }, Cloned { base: b })
+    }
+    fn par_drain(self, sink: &mut dyn FnMut(T)) {
+        self.base.par_drain(&mut |x| sink(x.clone()));
+    }
+    fn grain_floor_hint(&self) -> Option<usize> {
+        self.base.grain_floor_hint()
+    }
+    fn grain_cap_hint(&self) -> Option<usize> {
+        self.base.grain_cap_hint()
+    }
+    fn default_grain_floor(&self) -> usize {
+        self.base.default_grain_floor()
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.par_split_at(index);
+        (
+            Enumerate { base: a, offset: self.offset },
+            Enumerate { base: b, offset: self.offset + index },
+        )
+    }
+    fn par_drain(self, sink: &mut dyn FnMut((usize, P::Item))) {
+        let len = self.base.par_len();
+        let mut index = self.offset;
+        self.base.par_drain(&mut |x| {
+            sink((index, x));
+            index += 1;
+        });
+        // Enumerating a pipeline that drops items (e.g. after `filter`)
+        // would number survivors per split piece and give thread-count
+        // dependent indices; real rayon rejects that statically via
+        // IndexedParallelIterator.  Catch it here instead: every source
+        // position must have produced exactly one item.
+        debug_assert_eq!(
+            index - self.offset,
+            len,
+            "enumerate() must come before adapters that drop items (e.g. filter)"
+        );
+    }
+    fn grain_floor_hint(&self) -> Option<usize> {
+        self.base.grain_floor_hint()
+    }
+    fn grain_cap_hint(&self) -> Option<usize> {
+        self.base.grain_cap_hint()
+    }
+    fn default_grain_floor(&self) -> usize {
+        self.base.default_grain_floor()
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<P, Q> {
+    a: P,
+    b: Q,
+}
+
+fn merged_floor(a: Option<usize>, b: Option<usize>) -> Option<usize> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
+    }
+}
+
+impl<P: ParallelIterator, Q: ParallelIterator> ParallelIterator for Zip<P, Q> {
+    type Item = (P::Item, Q::Item);
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.par_split_at(index);
+        let (bl, br) = self.b.par_split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+    fn par_drain(self, sink: &mut dyn FnMut((P::Item, Q::Item))) {
+        let mut va = Vec::with_capacity(self.a.par_len());
+        self.a.par_drain(&mut |x| va.push(x));
+        let mut vb = Vec::with_capacity(self.b.par_len());
+        self.b.par_drain(&mut |y| vb.push(y));
+        for pair in va.into_iter().zip(vb) {
+            sink(pair);
+        }
+    }
+    fn grain_floor_hint(&self) -> Option<usize> {
+        merged_floor(self.a.grain_floor_hint(), self.b.grain_floor_hint())
+    }
+    fn grain_cap_hint(&self) -> Option<usize> {
+        merged_floor(self.a.grain_cap_hint(), self.b.grain_cap_hint())
+    }
+    fn default_grain_floor(&self) -> usize {
+        self.a.default_grain_floor().min(self.b.default_grain_floor())
+    }
+}
+
+/// See [`ParallelIterator::with_min_len`] / [`ParallelIterator::with_max_len`].
+pub struct WithGrainHint<P> {
+    base: P,
+    floor: Option<usize>,
+    cap: Option<usize>,
+}
+
+impl<P: ParallelIterator> ParallelIterator for WithGrainHint<P> {
+    type Item = P::Item;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.par_split_at(index);
+        (
+            WithGrainHint { base: a, floor: self.floor, cap: self.cap },
+            WithGrainHint { base: b, floor: self.floor, cap: self.cap },
+        )
+    }
+    fn par_drain(self, sink: &mut dyn FnMut(P::Item)) {
+        self.base.par_drain(sink);
+    }
+    fn grain_floor_hint(&self) -> Option<usize> {
+        self.floor.or(self.base.grain_floor_hint())
+    }
+    fn grain_cap_hint(&self) -> Option<usize> {
+        self.cap.or(self.base.grain_cap_hint())
+    }
+    fn default_grain_floor(&self) -> usize {
+        self.base.default_grain_floor()
+    }
+}
+
+// --------------------------- sources ---------------------------------
+
+/// `par_iter()` over a slice.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index);
+        (SliceIter { slice: a }, SliceIter { slice: b })
+    }
+    fn par_drain(self, sink: &mut dyn FnMut(&'a T)) {
+        for x in self.slice {
+            sink(x);
+        }
+    }
+}
+
+/// `par_iter_mut()` over a slice.
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(index);
+        (SliceIterMut { slice: a }, SliceIterMut { slice: b })
+    }
+    fn par_drain(self, sink: &mut dyn FnMut(&'a mut T)) {
+        for x in self.slice {
+            sink(x);
+        }
+    }
+}
+
+/// `into_par_iter()` over an owned vector.
+pub struct VecIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn par_len(&self) -> usize {
+        self.vec.len()
+    }
+    fn par_split_at(mut self, index: usize) -> (Self, Self) {
+        let rest = self.vec.split_off(index);
+        (self, VecIter { vec: rest })
+    }
+    fn par_drain(self, sink: &mut dyn FnMut(T)) {
+        for x in self.vec {
+            sink(x);
+        }
+    }
+}
+
+/// `into_par_iter()` over an integer range.
+pub struct RangeIter<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! impl_range_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            fn par_len(&self) -> usize {
+                (self.range.end.saturating_sub(self.range.start)) as usize
+            }
+            fn par_split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    RangeIter { range: self.range.start..mid },
+                    RangeIter { range: mid..self.range.end },
+                )
+            }
+            fn par_drain(self, sink: &mut dyn FnMut($t)) {
+                for x in self.range {
+                    sink(x);
+                }
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter { range: self }
+            }
+        }
+    )*};
+}
+
+impl_range_iter!(u32, u64, usize);
+
+// --------------------------- entry traits ----------------------------
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { vec: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `par_iter()` for `&collection` (slices and everything that derefs to one).
+pub trait IntoParallelRefIterator<'a> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
     }
 }
 
 /// `par_iter_mut()` for `&mut collection`.
 pub trait IntoParallelRefMutIterator<'a> {
-    type Iter;
-    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
 }
 
-impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
-where
-    &'a mut C: IntoIterator,
-{
-    type Iter = <&'a mut C as IntoIterator>::IntoIter;
-    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
-        Par(self.into_iter())
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        SliceIterMut { slice: self }
     }
 }
-
-/// Rayon-only tuning adapters that are meaningless for sequential iterators.
-pub trait ParallelIteratorExt: Sized {
-    fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-    fn with_max_len(self, _max: usize) -> Self {
-        self
-    }
-}
-
-impl<I: Iterator> ParallelIteratorExt for I {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
 
     #[test]
     fn ref_and_owned_iteration() {
-        let v = vec![1u64, 2, 3];
+        let v = [1u64, 2, 3];
         let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6]);
         let sum: u64 = (0u64..10).into_par_iter().with_min_len(2).sum();
@@ -116,15 +703,112 @@ mod tests {
         let mut w = vec![1u64, 2, 3];
         w.par_iter_mut().for_each(|x| *x += 1);
         assert_eq!(w, vec![2, 3, 4]);
+        let owned: Vec<u64> = vec![5u64, 6, 7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(owned, vec![6, 7, 8]);
     }
 
     #[test]
     fn rayon_style_reduce() {
-        let v = vec![1u64, 2, 3, 4];
+        let v = [1u64, 2, 3, 4];
         let total = v.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
         assert_eq!(total, 10);
         // Empty input returns the identity.
         let empty: Vec<u64> = Vec::new();
         assert_eq!(empty.par_iter().map(|&x| x).reduce(|| 7, |a, b| a + b), 7);
+    }
+
+    #[test]
+    fn filter_enumerate_zip_copied_match_sequential() {
+        let n = 10_000usize;
+        let a: Vec<u64> = (0..n as u64).map(|i| i * 7 % 1000).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| i * 13 % 1000).collect();
+
+        let got: Vec<(usize, u64)> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .enumerate()
+            .filter(|(i, (&x, &y))| (x + y + *i as u64).is_multiple_of(3))
+            .map(|(i, (&x, &y))| (i, x + y))
+            .collect();
+        let want: Vec<(usize, u64)> = a
+            .iter()
+            .zip(b.iter())
+            .enumerate()
+            .filter(|(i, (&x, &y))| (x + y + *i as u64).is_multiple_of(3))
+            .map(|(i, (&x, &y))| (i, x + y))
+            .collect();
+        assert_eq!(got, want);
+
+        let copied: Vec<u64> = a.par_iter().copied().filter(|&x| x % 2 == 0).collect();
+        let copied_want: Vec<u64> = a.iter().copied().filter(|&x| x % 2 == 0).collect();
+        assert_eq!(copied, copied_want);
+        assert_eq!(a.par_iter().count(), n);
+    }
+
+    /// Satellite test: `par_iter().map().collect()` must preserve input
+    /// order *and* actually split across worker threads when the pool and
+    /// the helper-thread budget allow it.
+    #[test]
+    fn map_collect_preserves_order_and_splits_across_threads() {
+        let n = 50_000usize;
+        let input: Vec<u64> = (0..n as u64).collect();
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut best_observed = 1usize;
+        // The helper budget is shared process-wide, so a single attempt can
+        // be starved by concurrent tests; retry a few times before failing.
+        for _attempt in 0..20 {
+            let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+            let out: Vec<u64> = pool.install(|| {
+                input
+                    .par_iter()
+                    .map(|&x| {
+                        seen.lock().unwrap().insert(std::thread::current().id());
+                        x * 2
+                    })
+                    .collect()
+            });
+            let want: Vec<u64> = (0..n as u64).map(|x| x * 2).collect();
+            assert_eq!(out, want, "parallel collect must preserve order");
+            best_observed = best_observed.max(seen.lock().unwrap().len());
+            if best_observed > 1 {
+                break;
+            }
+        }
+        assert!(
+            best_observed > 1,
+            "expected >1 worker thread through par_iter when num_threads = 4 \
+             (observed {best_observed})"
+        );
+    }
+
+    #[test]
+    fn single_thread_pool_stays_sequential() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let out: Vec<u64> = pool.install(|| {
+            (0u64..100_000)
+                .into_par_iter()
+                .map(|x| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    x
+                })
+                .collect()
+        });
+        assert_eq!(out.len(), 100_000);
+        assert_eq!(seen.lock().unwrap().len(), 1, "num_threads(1) must not split");
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let v: Vec<u64> = (0..40_000u64).map(|i| i * 2654435761 % 100_003).collect();
+        let run = |threads: usize| -> (Vec<u64>, u64) {
+            let pool = crate::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                let mapped: Vec<u64> = v.par_iter().map(|&x| x ^ 0xABCD).collect();
+                let total: u64 = v.par_iter().copied().sum();
+                (mapped, total)
+            })
+        };
+        assert_eq!(run(1), run(4));
     }
 }

@@ -10,15 +10,17 @@
 //!   through `join` (via `maybe_join` / `parallel_for`), so the hot paths
 //!   still run on multiple cores.
 //! * The parallel-iterator surface ([`prelude`], [`slice`], [`iter`])
-//!   delegates to the equivalent *sequential* std iterators.  This keeps
-//!   every call site compiling with identical semantics; the convenience
-//!   `par_iter()` pipelines lose parallelism, which is acceptable for an
-//!   offline stand-in (and they are not the asymptotically interesting
-//!   parts of the reproduction).
+//!   executes **in parallel** as well: pipelines over slices, vectors,
+//!   integer ranges, and chunk views are split recursively with [`join`]
+//!   down to an adaptive grain size and drained sequentially per piece,
+//!   with order-preserving combination — see the [`iter`] module docs.
+//!   `par_sort*` is the one remaining sequential delegate (its callers in
+//!   this workspace route through `plis_primitives::sort` instead).
 //! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] model thread-count
 //!   scoping with a thread-local, which [`current_num_threads`] reads and
-//!   [`join`] respects (`num_threads(1)` forces sequential execution, which
-//!   is what the benchmark harness's `on_threads(1, ..)` relies on).
+//!   both [`join`] and the iterator drivers respect (`num_threads(1)`
+//!   forces fully sequential execution, which is what the benchmark
+//!   harness's `on_threads(1, ..)` and the determinism tests rely on).
 //!
 //! Swapping the real rayon back in is a one-line change in the workspace
 //! manifest; no source file needs to change.
@@ -31,8 +33,8 @@ pub mod slice;
 
 pub mod prelude {
     pub use crate::iter::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
-        ParallelIteratorExt,
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
     };
     pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
@@ -46,7 +48,11 @@ thread_local! {
 static LIVE_HELPERS: AtomicUsize = AtomicUsize::new(0);
 
 fn hardware_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    // `available_parallelism` re-reads cgroup/affinity state on every call
+    // (several µs on Linux); the iterator drivers consult the thread count
+    // once per pipeline, so cache it for the process lifetime.
+    static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
 /// Number of threads of the "current pool": the installed override if one is

@@ -1,20 +1,85 @@
-//! Sequential stand-ins for `rayon::slice`: chunking and sorting on slices.
+//! Slice entry points: chunking (parallel via the [`crate::iter`] drivers)
+//! and sorting.
+//!
+//! `par_chunks` / `par_chunks_mut` yield whole sub-slices, so their grain
+//! floor is a single item — each item already represents a caller-chosen
+//! block of work.
+//!
+//! The `par_sort*` family intentionally delegates to std's sequential sorts:
+//! a buffered parallel merge sort needs either `T: Clone` or unsafe moves,
+//! and rayon's API promises neither.  Workspace code routes sorting through
+//! `plis_primitives::sort`, which implements a join-based parallel merge
+//! sort for the `Clone` types the algorithms use; these methods exist for
+//! API compatibility with the real rayon.
 
-use crate::iter::Par;
+use crate::iter::ParallelIterator;
 use std::cmp::Ordering;
 
+/// `par_chunks()` source: fixed-size sub-slices of a shared slice.
+pub struct Chunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(mid);
+        (Chunks { slice: a, size: self.size }, Chunks { slice: b, size: self.size })
+    }
+    fn par_drain(self, sink: &mut dyn FnMut(&'a [T])) {
+        for chunk in self.slice.chunks(self.size) {
+            sink(chunk);
+        }
+    }
+    fn default_grain_floor(&self) -> usize {
+        1 // each item is already a coarse block
+    }
+}
+
+/// `par_chunks_mut()` source: fixed-size disjoint mutable sub-slices.
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn par_split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        (ChunksMut { slice: a, size: self.size }, ChunksMut { slice: b, size: self.size })
+    }
+    fn par_drain(self, sink: &mut dyn FnMut(&'a mut [T])) {
+        for chunk in self.slice.chunks_mut(self.size) {
+            sink(chunk);
+        }
+    }
+    fn default_grain_floor(&self) -> usize {
+        1 // each item is already a coarse block
+    }
+}
+
 pub trait ParallelSlice<T> {
-    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
 }
 
 impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
-        Par(self.chunks(chunk_size))
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Chunks { slice: self, size: chunk_size }
     }
 }
 
 pub trait ParallelSliceMut<T> {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
     fn par_sort(&mut self)
     where
         T: Ord;
@@ -38,8 +103,9 @@ pub trait ParallelSliceMut<T> {
 }
 
 impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-        Par(self.chunks_mut(chunk_size))
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksMut { slice: self, size: chunk_size }
     }
     fn par_sort(&mut self)
     where
@@ -84,6 +150,7 @@ impl<T> ParallelSliceMut<T> for [T] {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::iter::IntoParallelRefMutIterator;
 
     #[test]
     fn chunk_and_sort() {
@@ -92,5 +159,36 @@ mod tests {
         assert_eq!(v, vec![1, 2, 3]);
         let chunks: Vec<&[u64]> = v.par_chunks(2).collect();
         assert_eq!(chunks, vec![&[1u64, 2][..], &[3u64][..]]);
+    }
+
+    #[test]
+    fn chunks_cover_everything_in_order() {
+        let n = 100_000usize;
+        let v: Vec<usize> = (0..n).collect();
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let sums: Vec<usize> = pool.install(|| {
+            v.par_chunks(1024).map(|c| c.iter().sum::<usize>()).collect::<Vec<usize>>()
+        });
+        assert_eq!(sums.len(), n.div_ceil(1024));
+        assert_eq!(sums.iter().sum::<usize>(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn chunks_mut_are_disjoint_and_ordered() {
+        let mut v = vec![0usize; 50_000];
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            v.par_chunks_mut(777).enumerate().for_each(|(i, chunk)| {
+                for x in chunk.iter_mut() {
+                    *x = i;
+                }
+            })
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i / 777);
+        }
+        // par_iter_mut over the whole slice also works.
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v[0], 1);
     }
 }
