@@ -1,6 +1,8 @@
 //! Streaming-engine throughput sweep: ingest rate (elements/second) of
 //! [`plis_engine::Engine`] as a function of mean batch size and session
-//! count, over a heterogeneous fleet of workload streams.
+//! count, over a heterogeneous fleet of workload streams — plus a
+//! *weighted* sweep driving the engine's weighted session kind (Algorithm
+//! 2 served as live traffic) over both dominant-max stores.
 //!
 //! Emits one JSON object per sweep cell on stdout (one line per cell, see
 //! `plis_bench::json_line`), so results can be appended to `BENCH_*.json`
@@ -10,48 +12,42 @@
 //! 100,000), `PLIS_BENCH_REPEATS`, `PLIS_BENCH_SESSIONS` (comma-separated
 //! session counts, default `1,4,16`), `PLIS_BENCH_BATCH` (comma-separated
 //! mean batch sizes, default `64,512,4096`), `PLIS_BENCH_THREADS` (pin the
-//! rayon pool; recorded as the `threads` JSON field).
+//! rayon pool; recorded as the `threads` JSON field),
+//! `PLIS_BENCH_WEIGHTED_N` (elements per weighted session, default
+//! `PLIS_BENCH_N / 5`; `0` skips the weighted sweep) and
+//! `PLIS_BENCH_MAX_WEIGHT` (uniform weight bound, default 1,000).
 
 use plis_bench::{
     bench_repeats, effective_threads, env_usize_list, json_line, time_min, with_bench_threads,
 };
-use plis_engine::{Backend, Engine, EngineConfig, SessionId};
-use plis_workloads::streaming::session_fleet;
+use plis_engine::{Backend, DominantMaxKind, Engine, EngineConfig, SessionId, SessionKind};
+use plis_workloads::streaming::{round_robin_ticks, session_fleet, weighted_session_fleet};
 
 fn n_per_session() -> usize {
     std::env::var("PLIS_BENCH_N").ok().and_then(|s| s.parse().ok()).unwrap_or(100_000)
 }
 
-/// Round-robin the per-session batch queues into engine ticks.
-fn build_ticks(fleet: &[(String, Vec<Vec<u64>>)]) -> Vec<Vec<(SessionId, Vec<u64>)>> {
-    let rounds = fleet.iter().map(|(_, batches)| batches.len()).max().unwrap_or(0);
-    (0..rounds)
-        .map(|round| {
-            fleet
-                .iter()
-                .filter_map(|(name, batches)| {
-                    batches.get(round).map(|b| (SessionId::from(name.as_str()), b.clone()))
-                })
-                .collect()
-        })
-        .collect()
+/// Elements per weighted session (`PLIS_BENCH_WEIGHTED_N`, default
+/// `PLIS_BENCH_N / 5`): the weighted path rebuilds a dominant-max store
+/// over `frontier ++ batch` per ingest, so cells are denser per element.
+/// `0` disables the weighted sweep.
+fn weighted_n_per_session() -> usize {
+    std::env::var("PLIS_BENCH_WEIGHTED_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| (n_per_session() / 5).max(1_000))
 }
 
-fn main() {
-    let n = n_per_session();
-    let session_counts = env_usize_list("PLIS_BENCH_SESSIONS", &[1, 4, 16]);
-    let batch_sizes = env_usize_list("PLIS_BENCH_BATCH", &[64, 512, 4096]);
-    let threads = effective_threads();
-    eprintln!(
-        "streaming sweep: n_per_session = {n}, sessions = {session_counts:?}, \
-         mean batch = {batch_sizes:?}, repeats = {}, threads = {threads}",
-        bench_repeats()
-    );
+/// Uniform weight bound for the weighted sweep (`PLIS_BENCH_MAX_WEIGHT`).
+fn max_weight() -> u64 {
+    std::env::var("PLIS_BENCH_MAX_WEIGHT").ok().and_then(|s| s.parse().ok()).unwrap_or(1_000)
+}
 
-    for &sessions in &session_counts {
-        for &mean_batch in &batch_sizes {
+fn unweighted_sweep(n: usize, session_counts: &[usize], batch_sizes: &[usize], threads: usize) {
+    for &sessions in session_counts {
+        for &mean_batch in batch_sizes {
             let (fleet, universe) = session_fleet(sessions, n, mean_batch, 0xBEEF);
-            let ticks = build_ticks(&fleet);
+            let ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
             let total_elems: usize =
                 fleet.iter().map(|(_, bs)| bs.iter().map(Vec::len).sum::<usize>()).sum();
 
@@ -99,6 +95,82 @@ fn main() {
     }
 }
 
+/// The weighted sweep: same fleet shape, weighted session kind, both
+/// dominant-max stores.
+fn weighted_sweep(n: usize, session_counts: &[usize], batch_sizes: &[usize], threads: usize) {
+    let max_w = max_weight();
+    for &sessions in session_counts {
+        for &mean_batch in batch_sizes {
+            let (fleet, universe) = weighted_session_fleet(sessions, n, mean_batch, max_w, 0xFEED);
+            let ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
+            let total_elems: usize =
+                fleet.iter().map(|(_, bs)| bs.iter().map(Vec::len).sum::<usize>()).sum();
+
+            for dommax in [DominantMaxKind::RangeTree, DominantMaxKind::RangeVeb] {
+                let config = EngineConfig {
+                    universe,
+                    dommax,
+                    default_kind: SessionKind::Weighted,
+                    ..EngineConfig::default()
+                };
+                let shards = config.shards;
+                let (secs, final_score_sum) = with_bench_threads(|| {
+                    time_min(|| {
+                        let mut engine = Engine::new(config.clone());
+                        for tick in &ticks {
+                            engine.ingest_weighted_tick_ref(tick);
+                        }
+                        engine
+                            .session_ids()
+                            .iter()
+                            .filter_map(|id| engine.best_score(id.as_str()))
+                            .sum::<u64>()
+                    })
+                });
+                println!(
+                    "{}",
+                    json_line(&[
+                        ("bench", "streaming-weighted".into()),
+                        ("sessions", sessions.into()),
+                        ("mean_batch", mean_batch.into()),
+                        ("n_per_session", n.into()),
+                        ("backend", dommax.name().into()),
+                        ("max_weight", max_w.into()),
+                        ("shards", shards.into()),
+                        ("threads", threads.into()),
+                        ("ticks", ticks.len().into()),
+                        ("total_elems", total_elems.into()),
+                        ("secs", secs.into()),
+                        ("elems_per_sec", (total_elems as f64 / secs.max(1e-12)).into()),
+                        (
+                            "mean_final_score",
+                            (final_score_sum as f64 / sessions.max(1) as f64).into(),
+                        ),
+                    ])
+                );
+            }
+        }
+    }
+}
+
+fn main() {
+    let n = n_per_session();
+    let wn = weighted_n_per_session();
+    let session_counts = env_usize_list("PLIS_BENCH_SESSIONS", &[1, 4, 16]);
+    let batch_sizes = env_usize_list("PLIS_BENCH_BATCH", &[64, 512, 4096]);
+    let threads = effective_threads();
+    eprintln!(
+        "streaming sweep: n_per_session = {n}, weighted n = {wn}, sessions = {session_counts:?}, \
+         mean batch = {batch_sizes:?}, repeats = {}, threads = {threads}",
+        bench_repeats()
+    );
+
+    unweighted_sweep(n, &session_counts, &batch_sizes, threads);
+    if wn > 0 {
+        weighted_sweep(wn, &session_counts, &batch_sizes, threads);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,7 +178,17 @@ mod tests {
     #[test]
     fn ticks_cover_every_batch_exactly_once() {
         let (fleet, _) = session_fleet(3, 500, 64, 7);
-        let ticks = build_ticks(&fleet);
+        let ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
+        let from_ticks: usize = ticks.iter().flat_map(|t| t.iter().map(|(_, b)| b.len())).sum();
+        let from_fleet: usize =
+            fleet.iter().map(|(_, bs)| bs.iter().map(Vec::len).sum::<usize>()).sum();
+        assert_eq!(from_ticks, from_fleet);
+    }
+
+    #[test]
+    fn weighted_ticks_cover_every_batch_exactly_once() {
+        let (fleet, _) = weighted_session_fleet(3, 400, 64, 20, 9);
+        let ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
         let from_ticks: usize = ticks.iter().flat_map(|t| t.iter().map(|(_, b)| b.len())).sum();
         let from_fleet: usize =
             fleet.iter().map(|(_, bs)| bs.iter().map(Vec::len).sum::<usize>()).sum();

@@ -1,41 +1,67 @@
-//! The multi-session front: shard many [`StreamingLis`] sessions and
-//! process whole traffic ticks in parallel.
+//! The multi-session front: shard many streaming sessions — unweighted
+//! ([`StreamingLis`]) and weighted ([`WeightedStreamingLis`]) side by side
+//! — and process whole traffic ticks in parallel.
 //!
 //! Sessions are owned by *shards* (session id → shard by FNV-1a hash).  A
-//! tick is a `Vec<(SessionId, Batch)>`; [`Engine::ingest_tick`] partitions
-//! the tick by shard and processes the shards through the join-splitting
-//! `par_iter` surface with a one-shard grain (disjoint shards, no locks —
-//! the same isolation argument the vEB batch operations use for disjoint
-//! clusters), then returns per-batch [`IngestReport`]s in the original tick
-//! order.  Batches addressed to the same session within one tick are
-//! applied in tick order, because a session lives in exactly one shard and
-//! each shard replays its work list sequentially.  [`TickReport`] exposes
-//! how many distinct worker threads actually participated, which the
-//! determinism and parallelism tests assert on.
+//! tick is a list of `(SessionId, batch)` pairs — plain `Vec<u64>` batches,
+//! weighted `Vec<(u64, u64)>` batches, or a [`TickBatch`] mix of both —
+//! and [`Engine::ingest_tick_mixed`] partitions the tick by shard and
+//! processes the shards through the join-splitting `par_iter` surface with
+//! a one-shard grain (disjoint shards, no locks — the same isolation
+//! argument the vEB batch operations use for disjoint clusters), then
+//! returns per-batch [`BatchReport`]s in the original tick order.  Batches
+//! addressed to the same session within one tick are applied in tick
+//! order, because a session lives in exactly one shard and each shard
+//! replays its work list sequentially.  [`TickReport`] exposes how many
+//! distinct worker threads actually participated, which the determinism
+//! and parallelism tests assert on.
+//!
+//! # Session kinds
+//!
+//! Every session has a [`SessionKind`]: *unweighted* sessions serve plain
+//! LIS state, *weighted* sessions serve Algorithm-2 dp scores.  A session's
+//! kind is fixed when it is created — explicitly via
+//! [`Engine::create_session_kind`], or implicitly on first contact: a
+//! weighted batch creates a weighted session, a plain batch creates a
+//! session of the configured [`EngineConfig::default_kind`].  Plain batches
+//! into a weighted session ingest with unit weights; weighted batches into
+//! an unweighted session are a caller error (panic).
 
 use crate::session::{Backend, IngestReport, StreamingLis};
+use crate::wsession::{WeightedIngestReport, WeightedStreamingLis};
+use plis_lis::DominantMaxKind;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Name of one independent stream within an [`Engine`].
+///
+/// Internally an `Arc<str>`: ids are cloned into every per-batch report and
+/// into the shard maps, so cloning must be a reference bump, not a heap
+/// copy.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct SessionId(String);
+pub struct SessionId(Arc<str>);
 
 impl SessionId {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// The shared key, for maps keyed on the same allocation.
+    fn key(&self) -> Arc<str> {
+        Arc::clone(&self.0)
+    }
 }
 
 impl From<&str> for SessionId {
     fn from(s: &str) -> Self {
-        SessionId(s.to_string())
+        SessionId(Arc::from(s))
     }
 }
 
 impl From<String> for SessionId {
     fn from(s: String) -> Self {
-        SessionId(s)
+        SessionId(Arc::from(s))
     }
 }
 
@@ -45,13 +71,83 @@ impl std::fmt::Display for SessionId {
     }
 }
 
+/// Which algorithm a session serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionKind {
+    /// Plain LIS state ([`StreamingLis`]): ranks, tails, LIS length.
+    Unweighted,
+    /// Weighted LIS state ([`WeightedStreamingLis`]): dp scores and the
+    /// Pareto frontier, served by Algorithm 2.
+    Weighted,
+}
+
+/// One batch of a mixed tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TickBatch {
+    /// Unweighted values.
+    Plain(Vec<u64>),
+    /// `(value, weight)` pairs.
+    Weighted(Vec<(u64, u64)>),
+}
+
+impl TickBatch {
+    /// Number of elements in the batch.
+    pub fn len(&self) -> usize {
+        match self {
+            TickBatch::Plain(b) => b.len(),
+            TickBatch::Weighted(b) => b.len(),
+        }
+    }
+
+    /// True when the batch holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u64>> for TickBatch {
+    fn from(b: Vec<u64>) -> Self {
+        TickBatch::Plain(b)
+    }
+}
+
+impl From<Vec<(u64, u64)>> for TickBatch {
+    fn from(b: Vec<(u64, u64)>) -> Self {
+        TickBatch::Weighted(b)
+    }
+}
+
+/// Borrowed view of one tick batch (what the shard workers consume).
+#[derive(Debug, Clone, Copy)]
+enum BatchRef<'a> {
+    Plain(&'a [u64]),
+    Weighted(&'a [(u64, u64)]),
+}
+
+impl BatchRef<'_> {
+    /// The kind a session implicitly created by this batch should get:
+    /// weighted data forces a weighted session; plain data defers to the
+    /// engine default.
+    fn implied_kind(self, default_kind: SessionKind) -> SessionKind {
+        match self {
+            BatchRef::Plain(_) => default_kind,
+            BatchRef::Weighted(_) => SessionKind::Weighted,
+        }
+    }
+}
+
 /// Engine-wide configuration, applied to every session it creates.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Value universe `[0, universe)` for every session.
     pub universe: u64,
-    /// Tail-set backend for every session.
+    /// Tail-set backend for every unweighted session.
     pub backend: Backend,
+    /// Dominant-max store for every weighted session.
+    pub dommax: DominantMaxKind,
+    /// Kind given to sessions created without an explicit kind (by
+    /// [`Engine::create_session`] or implicitly by a plain batch).
+    pub default_kind: SessionKind,
     /// Number of shards sessions are spread over.  Defaults to the
     /// hardware parallelism.
     pub shards: usize,
@@ -64,21 +160,122 @@ impl Default for EngineConfig {
         EngineConfig {
             universe: 1 << 32,
             backend: Backend::Auto,
-            shards: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            dommax: DominantMaxKind::Auto,
+            default_kind: SessionKind::Unweighted,
+            // The cached pool width, NOT std::thread::available_parallelism:
+            // the latter re-reads cgroup state on every call (~10µs), which
+            // is exactly the cost the vendored rayon caches away.
+            shards: rayon::current_num_threads(),
             par_threshold: crate::session::DEFAULT_PAR_THRESHOLD,
         }
     }
 }
 
-/// What one [`Engine::ingest_tick`] call did.
+impl EngineConfig {
+    /// Build a fresh session of the given kind under this configuration.
+    fn new_session(&self, kind: SessionKind) -> SessionState {
+        match kind {
+            SessionKind::Unweighted => SessionState::Unweighted(
+                StreamingLis::new(self.universe, self.backend)
+                    .with_par_threshold(self.par_threshold),
+            ),
+            SessionKind::Weighted => SessionState::Weighted(
+                WeightedStreamingLis::new(self.universe, self.dommax)
+                    .with_par_threshold(self.par_threshold),
+            ),
+        }
+    }
+}
+
+/// A live session of either kind.
+#[derive(Debug, Clone)]
+pub enum SessionState {
+    /// An unweighted (plain-LIS) session.
+    Unweighted(StreamingLis),
+    /// A weighted (Algorithm-2) session.
+    Weighted(WeightedStreamingLis),
+}
+
+impl SessionState {
+    /// Which kind this session is.
+    pub fn kind(&self) -> SessionKind {
+        match self {
+            SessionState::Unweighted(_) => SessionKind::Unweighted,
+            SessionState::Weighted(_) => SessionKind::Weighted,
+        }
+    }
+
+    /// The plain session, if this is one.
+    pub fn as_unweighted(&self) -> Option<&StreamingLis> {
+        match self {
+            SessionState::Unweighted(s) => Some(s),
+            SessionState::Weighted(_) => None,
+        }
+    }
+
+    /// The weighted session, if this is one.
+    pub fn as_weighted(&self) -> Option<&WeightedStreamingLis> {
+        match self {
+            SessionState::Weighted(s) => Some(s),
+            SessionState::Unweighted(_) => None,
+        }
+    }
+
+    fn check_invariants(&self) {
+        match self {
+            SessionState::Unweighted(s) => s.check_invariants(),
+            SessionState::Weighted(s) => s.check_invariants(),
+        }
+    }
+}
+
+/// What one batch of a tick did — the per-kind report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchReport {
+    /// Report from an unweighted session.
+    Unweighted(IngestReport),
+    /// Report from a weighted session.
+    Weighted(WeightedIngestReport),
+}
+
+impl BatchReport {
+    /// Number of elements the batch ingested, whatever the kind.
+    pub fn ingested(&self) -> usize {
+        match self {
+            BatchReport::Unweighted(r) => r.ingested,
+            BatchReport::Weighted(r) => r.ingested,
+        }
+    }
+
+    /// The unweighted report, if this batch hit a plain session.
+    pub fn as_unweighted(&self) -> Option<&IngestReport> {
+        match self {
+            BatchReport::Unweighted(r) => Some(r),
+            BatchReport::Weighted(_) => None,
+        }
+    }
+
+    /// The weighted report, if this batch hit a weighted session.
+    pub fn as_weighted(&self) -> Option<&WeightedIngestReport> {
+        match self {
+            BatchReport::Weighted(r) => Some(r),
+            BatchReport::Unweighted(_) => None,
+        }
+    }
+}
+
+/// What one tick-ingest call did.
 #[derive(Debug, Clone)]
 pub struct TickReport {
     /// One report per input batch, in the original tick order.
-    pub reports: Vec<(SessionId, IngestReport)>,
+    pub reports: Vec<(SessionId, BatchReport)>,
     /// Total elements ingested across all batches.
     pub total_ingested: usize,
     /// Number of distinct sessions that received data.
     pub sessions_touched: usize,
+    /// Of [`TickReport::sessions_touched`], how many were weighted
+    /// sessions — the session-kind axis of the tick.
+    pub weighted_sessions_touched: usize,
     /// Number of distinct worker threads that processed shards in this
     /// tick.  Purely observational (scheduling-dependent): it is 1 under a
     /// 1-thread pool and may exceed 1 when the pool and the helper-thread
@@ -89,12 +286,12 @@ pub struct TickReport {
 
 #[derive(Debug, Default)]
 struct Shard {
-    sessions: HashMap<String, StreamingLis>,
+    sessions: HashMap<Arc<str>, SessionState>,
 }
 
 /// One batch of a tick, borrowed from the caller: original tick position,
 /// target session, payload.
-type WorkItem<'a> = (usize, &'a SessionId, &'a [u64]);
+type WorkItem<'a> = (usize, &'a SessionId, BatchRef<'a>);
 
 impl Shard {
     /// Apply this shard's slice of the tick, in tick order, creating
@@ -103,21 +300,35 @@ impl Shard {
         &mut self,
         work: Vec<WorkItem<'_>>,
         config: &EngineConfig,
-    ) -> Vec<(usize, SessionId, IngestReport)> {
+    ) -> Vec<(usize, SessionId, BatchReport)> {
         work.into_iter()
             .map(|(index, id, batch)| {
-                let session = self.sessions.entry(id.as_str().to_string()).or_insert_with(|| {
-                    StreamingLis::new(config.universe, config.backend)
-                        .with_par_threshold(config.par_threshold)
-                });
-                let report = session.ingest(batch);
+                let state = self
+                    .sessions
+                    .entry(id.key())
+                    .or_insert_with(|| config.new_session(batch.implied_kind(config.default_kind)));
+                let report = match (state, batch) {
+                    (SessionState::Unweighted(s), BatchRef::Plain(b)) => {
+                        BatchReport::Unweighted(s.ingest(b))
+                    }
+                    (SessionState::Weighted(s), BatchRef::Plain(b)) => {
+                        BatchReport::Weighted(s.ingest_plain(b))
+                    }
+                    (SessionState::Weighted(s), BatchRef::Weighted(b)) => {
+                        BatchReport::Weighted(s.ingest(b))
+                    }
+                    (SessionState::Unweighted(_), BatchRef::Weighted(_)) => {
+                        panic!("weighted batch sent to unweighted session {id}")
+                    }
+                };
                 (index, id.clone(), report)
             })
             .collect()
     }
 }
 
-/// A sharded multiplexer of independent [`StreamingLis`] sessions.
+/// A sharded multiplexer of independent streaming sessions, weighted and
+/// unweighted side by side.
 ///
 /// See the crate docs for a usage example.
 #[derive(Debug)]
@@ -154,21 +365,27 @@ impl Engine {
         (h % self.shards.len() as u64) as usize
     }
 
-    /// Create an empty session; returns `false` if it already exists.
-    /// (Sessions are also created implicitly on first ingest.)
+    /// Create an empty session of the engine's default kind; returns
+    /// `false` if the id already exists.  (Sessions are also created
+    /// implicitly on first ingest.)
     pub fn create_session(&mut self, id: impl Into<SessionId>) -> bool {
+        let kind = self.config.default_kind;
+        self.create_session_kind(id, kind)
+    }
+
+    /// Create an empty session of an explicit kind; returns `false` if the
+    /// id already exists (whatever its kind).
+    pub fn create_session_kind(&mut self, id: impl Into<SessionId>, kind: SessionKind) -> bool {
         let id = id.into();
         let shard = self.shard_index(id.as_str());
         let config = &self.config;
-        let fresh = !self.shards[shard].sessions.contains_key(id.as_str());
-        if fresh {
-            self.shards[shard].sessions.insert(
-                id.as_str().to_string(),
-                StreamingLis::new(config.universe, config.backend)
-                    .with_par_threshold(config.par_threshold),
-            );
+        match self.shards[shard].sessions.entry(id.key()) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(config.new_session(kind));
+                true
+            }
         }
-        fresh
     }
 
     /// Drop a session and all its state; returns `true` if it existed.
@@ -177,34 +394,58 @@ impl Engine {
         self.shards[shard].sessions.remove(id).is_some()
     }
 
-    /// Number of live sessions.
+    /// Number of live sessions (of both kinds).
     pub fn session_count(&self) -> usize {
         self.shards.iter().map(|s| s.sessions.len()).sum()
     }
 
-    /// All session ids, sorted.
+    /// All session ids, sorted.  Ids are `Arc`-backed, so this clones
+    /// references, not strings.
     pub fn session_ids(&self) -> Vec<SessionId> {
         let mut ids: Vec<SessionId> = self
             .shards
             .iter()
-            .flat_map(|s| s.sessions.keys().map(|k| SessionId::from(k.clone())))
+            .flat_map(|s| s.sessions.keys().map(|k| SessionId(Arc::clone(k))))
             .collect();
         ids.sort();
         ids
     }
 
-    /// Read access to one session's full query API.
-    pub fn session(&self, id: &str) -> Option<&StreamingLis> {
+    /// A session of either kind, if it exists.
+    pub fn session_state(&self, id: &str) -> Option<&SessionState> {
         self.shards[self.shard_index(id)].sessions.get(id)
     }
 
-    /// Current LIS length of a session, if it exists.
+    /// The kind of a session, if it exists.
+    pub fn session_kind(&self, id: &str) -> Option<SessionKind> {
+        self.session_state(id).map(SessionState::kind)
+    }
+
+    /// Read access to an unweighted session's full query API (`None` if
+    /// the id is missing or the session is weighted).
+    pub fn session(&self, id: &str) -> Option<&StreamingLis> {
+        self.session_state(id).and_then(SessionState::as_unweighted)
+    }
+
+    /// Read access to a weighted session's full query API (`None` if the
+    /// id is missing or the session is unweighted).
+    pub fn weighted_session(&self, id: &str) -> Option<&WeightedStreamingLis> {
+        self.session_state(id).and_then(SessionState::as_weighted)
+    }
+
+    /// Current LIS length of an unweighted session, if it exists.
     pub fn lis_length(&self, id: &str) -> Option<u32> {
         self.session(id).map(StreamingLis::lis_length)
     }
 
-    /// Ingest one traffic tick: many `(session, batch)` pairs, processed
-    /// shard-parallel.  Unknown sessions are created on the fly.
+    /// Current best dp score of a weighted session, if it exists.
+    pub fn best_score(&self, id: &str) -> Option<u64> {
+        self.weighted_session(id).map(WeightedStreamingLis::best_score)
+    }
+
+    /// Ingest one traffic tick of plain batches: many `(session, batch)`
+    /// pairs, processed shard-parallel.  Unknown sessions are created on
+    /// the fly.
     pub fn ingest_tick(&mut self, tick: Vec<(SessionId, Vec<u64>)>) -> TickReport {
         self.ingest_tick_ref(&tick)
     }
@@ -213,18 +454,58 @@ impl Engine {
     /// replay a prepared schedule (benchmarks, log replays) avoid deep
     /// copies of every batch.
     pub fn ingest_tick_ref(&mut self, tick: &[(SessionId, Vec<u64>)]) -> TickReport {
+        let work: Vec<(&SessionId, BatchRef<'_>)> =
+            tick.iter().map(|(id, batch)| (id, BatchRef::Plain(batch.as_slice()))).collect();
+        self.process_tick(&work)
+    }
+
+    /// Ingest one traffic tick of weighted batches (`(value, weight)`
+    /// pairs).  Unknown sessions are created weighted.
+    pub fn ingest_weighted_tick(&mut self, tick: Vec<(SessionId, Vec<(u64, u64)>)>) -> TickReport {
+        self.ingest_weighted_tick_ref(&tick)
+    }
+
+    /// As [`Engine::ingest_weighted_tick`], borrowing the tick.
+    pub fn ingest_weighted_tick_ref(
+        &mut self,
+        tick: &[(SessionId, Vec<(u64, u64)>)],
+    ) -> TickReport {
+        let work: Vec<(&SessionId, BatchRef<'_>)> =
+            tick.iter().map(|(id, batch)| (id, BatchRef::Weighted(batch.as_slice()))).collect();
+        self.process_tick(&work)
+    }
+
+    /// Ingest a mixed tick: plain and weighted batches interleaved, so one
+    /// engine serves both traffic kinds in a single parallel pass.
+    pub fn ingest_tick_mixed(&mut self, tick: &[(SessionId, TickBatch)]) -> TickReport {
+        let work: Vec<(&SessionId, BatchRef<'_>)> = tick
+            .iter()
+            .map(|(id, batch)| {
+                let r = match batch {
+                    TickBatch::Plain(b) => BatchRef::Plain(b.as_slice()),
+                    TickBatch::Weighted(b) => BatchRef::Weighted(b.as_slice()),
+                };
+                (id, r)
+            })
+            .collect();
+        self.process_tick(&work)
+    }
+
+    /// The shared tick path: partition by shard, process shards through
+    /// the parallel-iterator surface, reassemble reports in tick order.
+    fn process_tick(&mut self, tick: &[(&SessionId, BatchRef<'_>)]) -> TickReport {
         let batch_count = tick.len();
         // Partition the tick by shard, remembering original positions.
         let mut work: Vec<Vec<WorkItem<'_>>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
-        for (index, (id, batch)) in tick.iter().enumerate() {
+        for (index, &(id, batch)) in tick.iter().enumerate() {
             let shard = self.shard_index(id.as_str());
-            work[shard].push((index, id, batch.as_slice()));
+            work[shard].push((index, id, batch));
         }
 
         // Process the disjoint shards through the parallel-iterator surface.
         // `with_max_len(1)` makes every shard its own piece: shards are few
         // but heavy, so the default element-count grain would under-split.
-        type ShardOutput = (Vec<(usize, SessionId, IngestReport)>, std::thread::ThreadId);
+        type ShardOutput = (Vec<(usize, SessionId, BatchReport)>, std::thread::ThreadId);
         let config = &self.config;
         let per_shard: Vec<ShardOutput> = self
             .shards
@@ -241,22 +522,26 @@ impl Engine {
             .collect::<std::collections::HashSet<_>>()
             .len()
             .max(1);
-        let mut labeled: Vec<(usize, SessionId, IngestReport)> =
+        let mut labeled: Vec<(usize, SessionId, BatchReport)> =
             per_shard.into_iter().flat_map(|(reports, _)| reports).collect();
         labeled.sort_unstable_by_key(|&(index, _, _)| index);
         debug_assert_eq!(labeled.len(), batch_count);
 
-        let total_ingested = labeled.iter().map(|(_, _, r)| r.ingested).sum();
-        let sessions_touched = {
-            let mut names: Vec<&str> = labeled.iter().map(|(_, id, _)| id.as_str()).collect();
+        let total_ingested = labeled.iter().map(|(_, _, r)| r.ingested()).sum();
+        let (sessions_touched, weighted_sessions_touched) = {
+            let mut names: Vec<(&str, bool)> = labeled
+                .iter()
+                .map(|(_, id, r)| (id.as_str(), matches!(r, BatchReport::Weighted(_))))
+                .collect();
             names.sort_unstable();
             names.dedup();
-            names.len()
+            (names.len(), names.iter().filter(|&&(_, weighted)| weighted).count())
         };
         TickReport {
             reports: labeled.into_iter().map(|(_, id, r)| (id, r)).collect(),
             total_ingested,
             sessions_touched,
+            weighted_sessions_touched,
             worker_threads,
         }
     }
@@ -295,6 +580,7 @@ mod tests {
         assert_eq!(got_ids, expect_ids);
         assert_eq!(report.total_ingested, 40);
         assert_eq!(report.sessions_touched, 7);
+        assert_eq!(report.weighted_sessions_touched, 0);
         assert_eq!(engine.session_count(), 7);
         engine.check_invariants();
     }
@@ -384,5 +670,75 @@ mod tests {
         let ids: Vec<String> =
             engine.session_ids().iter().map(|id| id.as_str().to_string()).collect();
         assert_eq!(ids, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn weighted_sessions_multiplex_next_to_plain_ones() {
+        let mut engine =
+            Engine::new(EngineConfig { universe: 1 << 10, shards: 3, ..EngineConfig::default() });
+        let tick: Vec<(SessionId, TickBatch)> = vec![
+            (SessionId::from("plain"), vec![5u64, 7, 6, 8].into()),
+            (SessionId::from("heavy"), vec![(5u64, 10u64), (7, 1), (6, 20), (8, 1)].into()),
+        ];
+        let report = engine.ingest_tick_mixed(&tick);
+        assert_eq!(report.total_ingested, 8);
+        assert_eq!(report.sessions_touched, 2);
+        assert_eq!(report.weighted_sessions_touched, 1);
+        assert_eq!(engine.session_kind("plain"), Some(SessionKind::Unweighted));
+        assert_eq!(engine.session_kind("heavy"), Some(SessionKind::Weighted));
+        assert_eq!(engine.lis_length("plain"), Some(3)); // 5 < 6 < 8
+        assert_eq!(engine.lis_length("heavy"), None);
+        assert_eq!(engine.best_score("heavy"), Some(31)); // 5 + 6 + 8 weights
+        let heavy = engine.weighted_session("heavy").unwrap();
+        assert_eq!(heavy.scores(), &[10, 11, 30, 31]);
+        engine.check_invariants();
+    }
+
+    #[test]
+    fn plain_batches_feed_weighted_sessions_with_unit_weights() {
+        let mut engine = Engine::new(EngineConfig {
+            universe: 1 << 10,
+            default_kind: SessionKind::Weighted,
+            ..EngineConfig::default()
+        });
+        let report = engine.ingest_tick(vec![(SessionId::from("w"), vec![3, 1, 4, 1, 5])]);
+        assert_eq!(report.weighted_sessions_touched, 1);
+        let session = engine.weighted_session("w").expect("created weighted by default kind");
+        assert_eq!(session.scores(), &[1, 1, 2, 1, 3]);
+        assert_eq!(engine.best_score("w"), Some(3));
+        match &report.reports[0].1 {
+            BatchReport::Weighted(r) => assert_eq!(r.score_after, 3),
+            other => panic!("expected a weighted report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weighted batch sent to unweighted session")]
+    fn weighted_batch_into_plain_session_panics() {
+        let mut engine = Engine::with_universe(1 << 8);
+        engine.create_session("p");
+        engine.ingest_weighted_tick(vec![(SessionId::from("p"), vec![(1, 1)])]);
+    }
+
+    #[test]
+    fn explicit_kind_creation_wins_over_default() {
+        let mut engine = Engine::with_universe(1 << 8);
+        assert!(engine.create_session_kind("w", SessionKind::Weighted));
+        assert!(!engine.create_session("w"), "id taken regardless of kind");
+        assert_eq!(engine.session_kind("w"), Some(SessionKind::Weighted));
+        assert_eq!(engine.best_score("w"), Some(0));
+        assert_eq!(engine.lis_length("w"), None, "kind-mismatched accessor returns None");
+    }
+
+    #[test]
+    fn session_ids_share_the_arc_allocation() {
+        let id = SessionId::from("shared");
+        let clone = id.clone();
+        assert!(Arc::ptr_eq(&id.0, &clone.0), "cloning must bump the refcount, not copy");
+        let mut engine = Engine::with_universe(64);
+        engine.ingest_tick(vec![(id.clone(), vec![1, 2])]);
+        let ids = engine.session_ids();
+        assert_eq!(ids.len(), 1);
+        assert_eq!(ids[0], id);
     }
 }

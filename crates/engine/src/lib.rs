@@ -6,25 +6,34 @@
 //! continuously in batches, and LIS state is maintained incrementally
 //! instead of recomputed from scratch.
 //!
-//! * [`StreamingLis`] — a single session.  It keeps the classic *tails*
-//!   array `B[r]` = smallest value ending an increasing subsequence of
-//!   length `r + 1` over everything ingested so far, mirrored in a value
-//!   domain structure selected by [`Backend`]: either a [`plis_veb::VebTree`]
-//!   (kept in sync with the paper's parallel `batch_insert` /
-//!   `batch_delete`, Theorems 5.1/5.2) or a plain sorted vector for small
-//!   universes.  [`StreamingLis::ingest`] appends a batch and returns an
-//!   [`IngestReport`]; large batches take a parallel merge path that runs
-//!   Algorithm 1 (the tournament-tree LIS) over `tails ++ batch` — see the
-//!   module docs of [`session`] for why that is exact.
+//! * [`StreamingLisOn`] — a single unweighted session, **generic over the
+//!   [`plis_lis::TailSet`] trait**.  It keeps the classic *tails* array
+//!   `B[r]` = smallest value ending an increasing subsequence of length
+//!   `r + 1` over everything ingested so far, mirrored in a pluggable
+//!   value-domain store; [`Backend`] is the enum-dispatch factory over the
+//!   built-in mirrors (vEB, kept in sync with the paper's parallel
+//!   `batch_insert` / `batch_delete`, Theorems 5.1/5.2; or a stateless
+//!   sorted-vec probe), and [`StreamingLis`] is the non-generic alias the
+//!   engine serves.  [`StreamingLisOn::ingest`] appends a batch and returns
+//!   an [`IngestReport`]; large batches take a parallel merge path that
+//!   runs Algorithm 1 (the tournament-tree LIS) over `tails ++ batch` —
+//!   see the module docs of [`session`] for why that is exact.
+//! * [`WeightedStreamingLis`] — a single *weighted* session serving
+//!   Algorithm 2 as live traffic: per-element dp scores (Equation 2) over
+//!   `(value, weight)` streams.  Its summary structure is the Pareto
+//!   frontier of `(value, score)` pairs, and large batches re-run the one
+//!   generic WLIS driver over `frontier ++ batch`, with the dominant-max
+//!   store chosen by [`DominantMaxKind`] — see [`wsession`].
 //! * [`Engine`] — a front that multiplexes many independent named sessions
-//!   ([`SessionId`]), shards them across the fork-join pool, and processes a
-//!   whole `Vec<(SessionId, Batch)>` tick in parallel: the "heavy traffic"
+//!   ([`SessionId`]) of **both kinds** ([`SessionKind`]), shards them
+//!   across the fork-join pool, and processes a whole tick — plain,
+//!   weighted, or mixed ([`TickBatch`]) — in parallel: the "heavy traffic"
 //!   shape of the ROADMAP.
 //!
 //! # Quick start
 //!
 //! ```
-//! use plis_engine::{Backend, Engine, EngineConfig, SessionId};
+//! use plis_engine::{Backend, Engine, EngineConfig, SessionId, TickBatch};
 //!
 //! let mut engine = Engine::new(EngineConfig {
 //!     universe: 1 << 16,
@@ -42,10 +51,20 @@
 //! assert_eq!(engine.lis_length("bob"), Some(2));   // 1 < 2
 //! let lis = engine.session("alice").unwrap().reconstruct_lis();
 //! assert_eq!(lis.len(), 4);
+//!
+//! // Weighted sessions ride the same ticks: (value, weight) batches.
+//! let wtick = vec![(SessionId::from("carol"), TickBatch::from(vec![(3u64, 10u64), (7, 5)]))];
+//! engine.ingest_tick_mixed(&wtick);
+//! assert_eq!(engine.best_score("carol"), Some(15)); // 3 then 7: 10 + 5
 //! ```
 
 pub mod engine;
 pub mod session;
+pub mod wsession;
 
-pub use engine::{Engine, EngineConfig, SessionId, TickReport};
-pub use session::{Backend, IngestPath, IngestReport, StreamingLis};
+pub use engine::{
+    BatchReport, Engine, EngineConfig, SessionId, SessionKind, SessionState, TickBatch, TickReport,
+};
+pub use plis_lis::DominantMaxKind;
+pub use session::{Backend, IngestPath, IngestReport, StreamingLis, StreamingLisOn};
+pub use wsession::{WeightedIngestReport, WeightedStreamingLis};

@@ -33,39 +33,46 @@
 //!
 //! # Backends
 //!
-//! [`Backend`] (mirroring `DominantMaxBackend` from `plis-lis`) selects the
-//! value-domain mirror of the tail set:
+//! The session type [`StreamingLisOn`] is **generic over the
+//! [`TailSet`] trait** of `plis-lis`: the value-domain mirror of the tails
+//! array is pluggable, and the ingest paths speak only the trait surface —
+//! there is no per-backend branching in the hot path.  [`Backend`] is the
+//! runtime-facing factory over the built-in mirrors (enum dispatch through
+//! [`AnyTailSet`], so the non-generic [`StreamingLis`] alias keeps the
+//! original public API):
 //!
-//! * [`Backend::Veb`] maintains a [`VebTree`] over the session universe and
-//!   applies every ingest's tail-set delta with the paper's parallel
-//!   [`VebTree::batch_insert`] / [`VebTree::batch_delete`] (Theorems
-//!   5.1/5.2).  Value-domain queries ([`StreamingLis::tail_pred`],
-//!   [`StreamingLis::tail_succ`]) then cost `O(log log U)`.
-//! * [`Backend::SortedVec`] keeps no extra structure and answers
-//!   value-domain queries by binary search over `tails` — the right choice
-//!   for small universes where the vEB constant factors dominate.
+//! * [`Backend::Veb`] — a [`plis_lis::VebTailSet`] over the session
+//!   universe, kept in sync with the paper's parallel `batch_insert` /
+//!   `batch_delete` (Theorems 5.1/5.2).  Value-domain queries
+//!   ([`StreamingLisOn::tail_pred`], [`StreamingLisOn::tail_succ`]) cost
+//!   `O(log log U)`.
+//! * [`Backend::SortedVec`] — the stateless
+//!   [`plis_lis::SortedVecTailSet`]: no mirror, probes binary-search
+//!   `tails` — the right choice for small universes where the vEB constant
+//!   factors dominate.
 //! * [`Backend::Auto`] picks between them from the universe size.
 
 use plis_lis::lis_ranks_u64;
+use plis_lis::tailset::{AnyTailSet, TailSet};
 use plis_primitives::group_by_rank;
-use plis_veb::VebTree;
 
 /// Universe size at or below which [`Backend::Auto`] resolves to
 /// [`Backend::SortedVec`]: tiny universes mean short tail arrays, and a
 /// binary search beats the vEB constant factors.
 pub const AUTO_VEB_UNIVERSE_THRESHOLD: u64 = 1 << 12;
 
-/// Default batch size at which [`StreamingLis::ingest`] switches from the
+/// Default batch size at which [`StreamingLisOn::ingest`] switches from the
 /// sequential per-element path to the parallel merge path.
 pub const DEFAULT_PAR_THRESHOLD: usize = 512;
 
-/// Which value-domain structure mirrors the tail set of a session.
+/// Which value-domain structure mirrors the tail set of a session — the
+/// enum-dispatch factory over the open [`TailSet`] trait.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
     /// Decide from the universe size (vEB above
     /// [`AUTO_VEB_UNIVERSE_THRESHOLD`], sorted vector at or below it).
     Auto,
-    /// Tails mirrored in a [`VebTree`], maintained with the paper's batch
+    /// Tails mirrored in a vEB tree, maintained with the paper's batch
     /// insert / delete.
     Veb,
     /// No mirror; value-domain queries binary-search the tails array.
@@ -85,6 +92,16 @@ impl Backend {
             other => other,
         }
     }
+
+    /// Construct the tail-set store this backend selects for `universe` —
+    /// the factory step; everything after it is generic over [`TailSet`].
+    pub fn store(self, universe: u64) -> AnyTailSet {
+        match self.resolve(universe) {
+            Backend::Veb => AnyTailSet::veb(universe),
+            Backend::SortedVec => AnyTailSet::sorted_vec(),
+            Backend::Auto => unreachable!("resolve() never returns Auto"),
+        }
+    }
 }
 
 /// Which code path an ingest took.
@@ -96,7 +113,7 @@ pub enum IngestPath {
     ParallelMerge,
 }
 
-/// What one [`StreamingLis::ingest`] call did.
+/// What one [`StreamingLisOn::ingest`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IngestReport {
     /// Number of elements appended by this call.
@@ -126,16 +143,12 @@ impl IngestReport {
     }
 }
 
+/// Incremental LIS over an append-only stream, generic over the tail-set
+/// mirror.  See the module docs for the algorithm; see [`crate::Engine`]
+/// for multiplexing many sessions.  Most callers use the [`StreamingLis`]
+/// alias, which dispatches over the built-in backends via [`Backend`].
 #[derive(Debug, Clone)]
-enum TailStore {
-    SortedVec,
-    Veb(VebTree),
-}
-
-/// Incremental LIS over an append-only stream.  See the module docs for the
-/// algorithm; see [`crate::Engine`] for multiplexing many sessions.
-#[derive(Debug, Clone)]
-pub struct StreamingLis {
+pub struct StreamingLisOn<S: TailSet> {
     /// Every ingested value, in arrival order.
     values: Vec<u64>,
     /// `ranks[i]` = dp value of `values[i]` (length of the LIS ending there).
@@ -143,25 +156,36 @@ pub struct StreamingLis {
     /// The patience tails: `tails[r]` = smallest value ending an increasing
     /// subsequence of length `r + 1`.  Strictly increasing.
     tails: Vec<u64>,
-    /// Value-domain mirror of `tails`, per the chosen backend.
-    store: TailStore,
+    /// Value-domain mirror of `tails`.
+    store: S,
     universe: u64,
     par_threshold: usize,
 }
 
+/// The engine-facing session type: [`StreamingLisOn`] over the built-in
+/// enum-dispatch store, keeping the original non-generic public API.
+pub type StreamingLis = StreamingLisOn<AnyTailSet>;
+
 impl StreamingLis {
-    /// Create a session over the value universe `[0, universe)`.
+    /// Create a session over the value universe `[0, universe)` with the
+    /// mirror selected by `backend`.
     ///
     /// # Panics
     /// Panics if `universe == 0`.
     pub fn new(universe: u64, backend: Backend) -> Self {
+        StreamingLisOn::with_store(universe, backend.store(universe))
+    }
+}
+
+impl<S: TailSet> StreamingLisOn<S> {
+    /// Create a session over `[0, universe)` with an explicit tail-set
+    /// store — the generic entry point new backends plug into.
+    ///
+    /// # Panics
+    /// Panics if `universe == 0`.
+    pub fn with_store(universe: u64, store: S) -> Self {
         assert!(universe > 0, "universe must be non-empty");
-        let store = match backend.resolve(universe) {
-            Backend::Veb => TailStore::Veb(VebTree::new(universe)),
-            Backend::SortedVec => TailStore::SortedVec,
-            Backend::Auto => unreachable!("resolve() never returns Auto"),
-        };
-        StreamingLis {
+        StreamingLisOn {
             values: Vec::new(),
             ranks: Vec::new(),
             tails: Vec::new(),
@@ -200,10 +224,7 @@ impl StreamingLis {
 
     /// Which backend the session resolved to.
     pub fn backend_name(&self) -> &'static str {
-        match self.store {
-            TailStore::Veb(_) => "veb",
-            TailStore::SortedVec => "sorted-vec",
-        }
+        self.store.name()
     }
 
     /// Every ingested value, in arrival order.
@@ -239,33 +260,13 @@ impl StreamingLis {
     /// Largest tail value strictly below `x`, if any.  `O(log log U)` on the
     /// vEB backend, `O(log k)` on the sorted-vec backend.
     pub fn tail_pred(&self, x: u64) -> Option<u64> {
-        match &self.store {
-            TailStore::Veb(v) => v.pred(x.min(v.universe())),
-            TailStore::SortedVec => {
-                let p = self.tails.partition_point(|&t| t < x);
-                p.checked_sub(1).map(|i| self.tails[i])
-            }
-        }
+        self.store.pred(&self.tails, x)
     }
 
     /// Smallest tail value at or above `x`, if any.  Probes at or beyond the
     /// universe return `None` (all tails are inside the universe).
     pub fn tail_succ(&self, x: u64) -> Option<u64> {
-        match &self.store {
-            TailStore::Veb(v) => {
-                if x >= v.universe() {
-                    None
-                } else if v.contains(x) {
-                    Some(x)
-                } else {
-                    v.succ(x)
-                }
-            }
-            TailStore::SortedVec => {
-                let p = self.tails.partition_point(|&t| t < x);
-                self.tails.get(p).copied()
-            }
-        }
+        self.store.succ(&self.tails, x)
     }
 
     /// Indices (in arrival order) of one longest increasing subsequence of
@@ -302,16 +303,12 @@ impl StreamingLis {
             self.ranks.push(pos as u32 + 1);
             if pos == self.tails.len() {
                 self.tails.push(x);
-                if let TailStore::Veb(v) = &mut self.store {
-                    v.insert(x);
-                }
+                self.store.insert(x);
                 inserts += 1;
             } else if x < self.tails[pos] {
                 let displaced = std::mem::replace(&mut self.tails[pos], x);
-                if let TailStore::Veb(v) = &mut self.store {
-                    v.delete(displaced);
-                    v.insert(x);
-                }
+                self.store.delete(displaced);
+                self.store.insert(x);
                 inserts += 1;
                 removals += 1;
             }
@@ -328,7 +325,7 @@ impl StreamingLis {
     }
 
     /// The parallel merge path: Algorithm 1 over `tails ++ batch`, then a
-    /// grouped rebuild of the tails and a vEB batch delta.
+    /// grouped rebuild of the tails and a batch delta on the mirror.
     fn ingest_parallel(&mut self, batch: &[u64]) -> IngestReport {
         let lis_before = self.lis_length();
         let k = self.tails.len();
@@ -364,10 +361,8 @@ impl StreamingLis {
 
         // Apply the tail-set delta through the paper's batch operations.
         let (removed, added) = sorted_diff(&old_tails, &new_tails);
-        if let TailStore::Veb(v) = &mut self.store {
-            v.batch_delete(&removed);
-            v.batch_insert(&added);
-        }
+        self.store.batch_delete(&removed);
+        self.store.batch_insert(&added);
         self.tails = new_tails;
 
         IngestReport {
@@ -386,9 +381,7 @@ impl StreamingLis {
         assert!(self.tails.windows(2).all(|w| w[0] < w[1]), "tails not strictly increasing");
         let k = self.ranks.iter().copied().max().unwrap_or(0);
         assert_eq!(k, self.lis_length(), "max rank must equal the tail count");
-        if let TailStore::Veb(v) = &self.store {
-            assert_eq!(v.iter_keys(), self.tails, "vEB mirror out of sync with tails");
-        }
+        self.store.check_invariants(&self.tails);
     }
 }
 
@@ -422,6 +415,7 @@ fn sorted_diff(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use plis_lis::tailset::VebTailSet;
 
     fn xorshift(state: &mut u64) -> u64 {
         *state ^= *state << 13;
@@ -442,6 +436,25 @@ mod tests {
             assert_eq!(s.lis_length(), 3);
             s.check_invariants();
         }
+    }
+
+    #[test]
+    fn generic_session_over_a_concrete_store_matches_enum_dispatch() {
+        // The trait layer is open: a session instantiated directly over
+        // VebTailSet (no enum) behaves identically to the Backend factory.
+        let mut state = 0xD15EA5Eu64;
+        let input: Vec<u64> = (0..2_000).map(|_| xorshift(&mut state) % 8_192).collect();
+        let mut direct =
+            StreamingLisOn::with_store(8_192, VebTailSet::new(8_192)).with_par_threshold(100);
+        let mut fronted = StreamingLis::new(8_192, Backend::Veb).with_par_threshold(100);
+        for chunk in input.chunks(77) {
+            direct.ingest(chunk);
+            fronted.ingest(chunk);
+        }
+        assert_eq!(direct.ranks(), fronted.ranks());
+        assert_eq!(direct.tails(), fronted.tails());
+        assert_eq!(direct.backend_name(), fronted.backend_name());
+        direct.check_invariants();
     }
 
     #[test]

@@ -1,0 +1,513 @@
+//! A streaming *weighted*-LIS session: incremental Algorithm-2 state over
+//! an append-only stream of `(value, weight)` pairs, ingested batch by
+//! batch.
+//!
+//! # State
+//!
+//! The weighted dp recurrence (Equation 2 of the paper) is
+//! `dp[i] = w_i + max(0, max_{j<i, A_j<A_i} dp[j])`.  Like a rank in the
+//! unweighted session, an element's dp value (*score*) only depends on the
+//! elements before it, so scores are exact and final the moment an element
+//! is ingested.
+//!
+//! The streaming summary of the prefix is the **Pareto frontier** of the
+//! `(value, score)` pairs seen so far: the entries not dominated by any
+//! other (an entry is useless iff some element has value `≤` it and score
+//! `≥` it).  The frontier is strictly increasing in both coordinates, and
+//! for any probe `x`, `max {dp[j] : A_j < x}` over the whole prefix equals
+//! the score of the last frontier entry with value `< x` — the frontier is
+//! to weighted LIS exactly what the patience `tails` array is to unweighted
+//! LIS (where it degenerates to `tails`: the `r`-th tail is the smallest
+//! value with score `≥ r + 1`).
+//!
+//! # Batch ingestion
+//!
+//! Small batches take the sequential path: each element binary-searches the
+//! frontier for its best predecessor score and the frontier is repaired in
+//! place.
+//!
+//! Large batches take the **parallel merge path**, mirroring the
+//! `tails ++ batch` argument of the unweighted session (see `DESIGN.md`):
+//! encode the frontier as a weighted sequence — frontier values in
+//! increasing order, each weighted by its score *increment* over the
+//! previous entry — and run the one generic Algorithm-2 driver
+//! ([`plis_lis::wlis_with`], dispatched through [`DominantMaxKind`]) over
+//! `frontier ++ batch`.  Feeding the frontier this way reproduces each
+//! frontier entry's own score (the entries are increasing in value, so
+//! entry `r` scores `increment_r + score_{r-1} = score_r` by induction),
+//! and because the frontier answers every dominant-max probe of the prefix
+//! exactly, the dp values that come back at the batch positions are exactly
+//! the scores of the batch elements in the full stream.  The new frontier
+//! is the Pareto staircase of the old frontier and the batch points.
+//!
+//! # Backends
+//!
+//! The dominant-max structure used by the parallel path is selected by
+//! [`DominantMaxKind`] — the same open [`plis_primitives::DominantMaxStore`]
+//! trait surface the offline driver uses, so both structures (range tree
+//! and Range-vEB) serve streaming sessions with no per-backend code here.
+
+use crate::session::{IngestPath, DEFAULT_PAR_THRESHOLD};
+use plis_lis::{wlis_kind, DominantMaxKind};
+
+/// What one [`WeightedStreamingLis::ingest`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightedIngestReport {
+    /// Number of `(value, weight)` pairs appended by this call.
+    pub ingested: usize,
+    /// Best (maximum) dp score of the stream before the batch.
+    pub score_before: u64,
+    /// Best (maximum) dp score of the stream after the batch.
+    pub score_after: u64,
+    /// Code path taken.
+    pub path: IngestPath,
+    /// Pareto-frontier size after the batch.
+    pub frontier_len: usize,
+}
+
+impl WeightedIngestReport {
+    fn empty(score: u64, frontier_len: usize) -> Self {
+        WeightedIngestReport {
+            ingested: 0,
+            score_before: score,
+            score_after: score,
+            path: IngestPath::Sequential,
+            frontier_len,
+        }
+    }
+}
+
+/// Incremental weighted LIS (Algorithm 2) over an append-only stream of
+/// `(value, weight)` pairs.  See the module docs for the algorithm; see
+/// [`crate::Engine`] for multiplexing weighted sessions next to unweighted
+/// ones.
+#[derive(Debug, Clone)]
+pub struct WeightedStreamingLis {
+    /// Every ingested value, in arrival order.
+    values: Vec<u64>,
+    /// Every ingested weight, in arrival order.
+    weights: Vec<u64>,
+    /// `scores[i]` = dp value of element `i` (Equation 2); exact and final.
+    scores: Vec<u64>,
+    /// Pareto frontier of `(value, score)` pairs: strictly increasing in
+    /// both coordinates, scores all `≥ 1` (zero-score entries answer no
+    /// probe that `max(0, ·)` doesn't already).
+    frontier: Vec<(u64, u64)>,
+    /// Dominant-max structure used by the parallel merge path (resolved,
+    /// never [`DominantMaxKind::Auto`]).
+    kind: DominantMaxKind,
+    universe: u64,
+    par_threshold: usize,
+}
+
+impl WeightedStreamingLis {
+    /// Create a session over the value universe `[0, universe)` using the
+    /// chosen dominant-max store for parallel ingests.
+    ///
+    /// # Panics
+    /// Panics if `universe == 0`.
+    pub fn new(universe: u64, kind: DominantMaxKind) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        WeightedStreamingLis {
+            values: Vec::new(),
+            weights: Vec::new(),
+            scores: Vec::new(),
+            frontier: Vec::new(),
+            kind: kind.resolve(),
+            universe,
+            par_threshold: DEFAULT_PAR_THRESHOLD,
+        }
+    }
+
+    /// Override the batch size at which ingestion switches to the parallel
+    /// merge path (mainly for tests and benchmarks).
+    pub fn with_par_threshold(mut self, threshold: usize) -> Self {
+        self.par_threshold = threshold.max(1);
+        self
+    }
+
+    /// Number of elements ingested so far.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True before the first element arrives.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The universe this session was created over.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Name of the dominant-max store serving the parallel path.
+    pub fn backend_name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Which dominant-max store the session resolved to.
+    pub fn dommax_kind(&self) -> DominantMaxKind {
+        self.kind
+    }
+
+    /// Every ingested value, in arrival order.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Every ingested weight, in arrival order.
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Per-element dp scores (Equation 2).  `scores()[i]` is exact and
+    /// final from the moment element `i` is ingested — the weighted
+    /// analogue of [`crate::StreamingLis::ranks`].
+    pub fn scores(&self) -> &[u64] {
+        &self.scores
+    }
+
+    /// The dp score of the `i`-th ingested element, if it exists.
+    pub fn score_of(&self, i: usize) -> Option<u64> {
+        self.scores.get(i).copied()
+    }
+
+    /// The maximum-weight increasing subsequence total — the best dp score
+    /// so far (0 for an empty stream).
+    pub fn best_score(&self) -> u64 {
+        self.frontier.last().map_or(0, |&(_, s)| s)
+    }
+
+    /// The current Pareto frontier of `(value, score)` pairs (strictly
+    /// increasing in both coordinates).
+    pub fn frontier(&self) -> &[(u64, u64)] {
+        &self.frontier
+    }
+
+    /// Best dp score among elements with value strictly below `x` — the
+    /// score a hypothetical next element `(x, 0)` would receive.
+    pub fn best_score_below(&self, x: u64) -> u64 {
+        let pos = self.frontier.partition_point(|&(v, _)| v < x);
+        pos.checked_sub(1).map_or(0, |i| self.frontier[i].1)
+    }
+
+    /// Append a batch of `(value, weight)` pairs and update all state.
+    ///
+    /// # Panics
+    /// Panics if any value is outside the session universe.
+    pub fn ingest(&mut self, batch: &[(u64, u64)]) -> WeightedIngestReport {
+        for &(v, _) in batch {
+            assert!(v < self.universe, "value {v} outside session universe {}", self.universe);
+        }
+        if batch.is_empty() {
+            return WeightedIngestReport::empty(self.best_score(), self.frontier.len());
+        }
+        if batch.len() >= self.par_threshold {
+            self.ingest_parallel(batch)
+        } else {
+            self.ingest_sequential(batch)
+        }
+    }
+
+    /// Append unweighted values as unit-weight pairs (every element weighs
+    /// 1), so plain traffic can feed a weighted session.
+    pub fn ingest_plain(&mut self, batch: &[u64]) -> WeightedIngestReport {
+        let weighted: Vec<(u64, u64)> = batch.iter().map(|&v| (v, 1)).collect();
+        self.ingest(&weighted)
+    }
+
+    /// The sequential path: per-element frontier probe + in-place repair.
+    fn ingest_sequential(&mut self, batch: &[(u64, u64)]) -> WeightedIngestReport {
+        let score_before = self.best_score();
+        for &(x, w) in batch {
+            let score = self.best_score_below(x) + w;
+            self.values.push(x);
+            self.weights.push(w);
+            self.scores.push(score);
+            self.frontier_insert(x, score);
+        }
+        WeightedIngestReport {
+            ingested: batch.len(),
+            score_before,
+            score_after: self.best_score(),
+            path: IngestPath::Sequential,
+            frontier_len: self.frontier.len(),
+        }
+    }
+
+    /// Insert `(x, score)` into the frontier, dropping whatever it
+    /// dominates (entries with value `≥ x` and score `≤ score`).
+    fn frontier_insert(&mut self, x: u64, score: u64) {
+        if score == 0 {
+            return;
+        }
+        let pos = self.frontier.partition_point(|&(v, _)| v < x);
+        // Dominated by a predecessor (value ≤ x, score ≥ score)?
+        if pos > 0 && self.frontier[pos - 1].1 >= score {
+            return;
+        }
+        if let Some(&(v, s)) = self.frontier.get(pos) {
+            if v == x && s >= score {
+                return;
+            }
+        }
+        // Entries from `pos` on have value ≥ x; drop the run that the new
+        // entry dominates (score ≤ score), then place the new entry.
+        let mut end = pos;
+        while end < self.frontier.len() && self.frontier[end].1 <= score {
+            end += 1;
+        }
+        if end == pos {
+            self.frontier.insert(pos, (x, score));
+        } else {
+            self.frontier[pos] = (x, score);
+            self.frontier.drain(pos + 1..end);
+        }
+    }
+
+    /// The parallel merge path: the one generic Algorithm-2 driver over
+    /// `frontier ++ batch`, then a Pareto rebuild of the frontier.
+    fn ingest_parallel(&mut self, batch: &[(u64, u64)]) -> WeightedIngestReport {
+        let score_before = self.best_score();
+        let k = self.frontier.len();
+
+        // Encode the frontier as a weighted prefix: increasing values, each
+        // weighted by its score increment, so the driver reproduces every
+        // entry's own score (see the module docs for why this is exact).
+        let mut merged_values = Vec::with_capacity(k + batch.len());
+        let mut merged_weights = Vec::with_capacity(k + batch.len());
+        let mut prev_score = 0u64;
+        for &(v, s) in &self.frontier {
+            merged_values.push(v);
+            merged_weights.push(s - prev_score);
+            prev_score = s;
+        }
+        for &(v, w) in batch {
+            merged_values.push(v);
+            merged_weights.push(w);
+        }
+        let dp = wlis_kind(self.kind, &merged_values, &merged_weights);
+        debug_assert!(
+            dp[..k].iter().zip(&self.frontier).all(|(&d, &(_, s))| d == s),
+            "the encoded frontier must reproduce its own scores"
+        );
+
+        let batch_scores = &dp[k..];
+        self.scores.extend_from_slice(batch_scores);
+        self.values.extend(batch.iter().map(|&(v, _)| v));
+        self.weights.extend(batch.iter().map(|&(_, w)| w));
+
+        // New frontier: Pareto staircase of the old entries and the batch.
+        let mut candidates = std::mem::take(&mut self.frontier);
+        candidates.extend(batch.iter().zip(batch_scores).map(|(&(v, _), &s)| (v, s)));
+        self.frontier = pareto_staircase(candidates);
+
+        WeightedIngestReport {
+            ingested: batch.len(),
+            score_before,
+            score_after: self.best_score(),
+            path: IngestPath::ParallelMerge,
+            frontier_len: self.frontier.len(),
+        }
+    }
+
+    /// Cross-check every invariant; used by the test suites.
+    pub fn check_invariants(&self) {
+        assert_eq!(self.values.len(), self.weights.len());
+        assert_eq!(self.values.len(), self.scores.len());
+        assert!(
+            self.frontier.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1),
+            "frontier must be strictly increasing in value and score"
+        );
+        assert!(self.frontier.iter().all(|&(_, s)| s > 0), "zero-score frontier entries");
+        assert_eq!(
+            self.best_score(),
+            self.scores.iter().copied().max().unwrap_or(0),
+            "best_score must equal the max dp score"
+        );
+        let expect =
+            pareto_staircase(self.values.iter().zip(&self.scores).map(|(&v, &s)| (v, s)).collect());
+        assert_eq!(self.frontier, expect, "frontier must be the Pareto staircase of the stream");
+    }
+}
+
+/// The Pareto staircase of a bag of `(value, score)` pairs: for every
+/// value keep the best score, then keep only entries whose score strictly
+/// exceeds every entry at a smaller value.  Zero scores are dropped (the
+/// `max(0, ·)` in the recurrence makes them vacuous).
+fn pareto_staircase(mut pairs: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    pairs.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for (v, s) in pairs {
+        if s == 0 {
+            continue;
+        }
+        match out.last_mut() {
+            Some((lv, ls)) if *lv == v => {
+                if s > *ls {
+                    *ls = s;
+                }
+            }
+            Some((_, ls)) if s <= *ls => {}
+            _ => out.push((v, s)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plis_lis::wlis_rangetree;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_pairs(n: usize, universe: u64, max_w: u64, seed: u64) -> Vec<(u64, u64)> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| (xorshift(&mut state) % universe, 1 + xorshift(&mut state) % max_w))
+            .collect()
+    }
+
+    /// Stream `pairs` through a session in chunks, checking scores against
+    /// the offline oracle after every batch.
+    fn check_against_offline(
+        pairs: &[(u64, u64)],
+        universe: u64,
+        kind: DominantMaxKind,
+        chunk: usize,
+        par_threshold: usize,
+    ) {
+        let mut session =
+            WeightedStreamingLis::new(universe, kind).with_par_threshold(par_threshold);
+        let mut prefix: Vec<(u64, u64)> = Vec::new();
+        for batch in pairs.chunks(chunk) {
+            session.ingest(batch);
+            prefix.extend_from_slice(batch);
+            let values: Vec<u64> = prefix.iter().map(|&(v, _)| v).collect();
+            let weights: Vec<u64> = prefix.iter().map(|&(_, w)| w).collect();
+            let want = wlis_rangetree(&values, &weights);
+            assert_eq!(session.scores(), want.as_slice(), "scores diverged from offline oracle");
+            session.check_invariants();
+        }
+    }
+
+    #[test]
+    fn unit_weights_track_the_unweighted_session() {
+        let input = [52u64, 31, 45, 26, 61, 10, 39, 44];
+        let mut s = WeightedStreamingLis::new(64, DominantMaxKind::Auto);
+        let report = s.ingest_plain(&input);
+        assert_eq!(report.ingested, 8);
+        assert_eq!(report.score_after, 3);
+        assert_eq!(s.scores(), &[1, 1, 2, 1, 3, 1, 2, 3]);
+        // Unit weights: the frontier degenerates to the patience tails.
+        assert_eq!(s.frontier(), &[(10, 1), (39, 2), (44, 3)]);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn heavy_object_dominates() {
+        let mut s = WeightedStreamingLis::new(100, DominantMaxKind::RangeTree);
+        s.ingest(&[(1, 1), (2, 100), (3, 1), (4, 1)]);
+        assert_eq!(s.scores(), &[1, 101, 102, 103]);
+        assert_eq!(s.best_score(), 103);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn duplicates_do_not_chain() {
+        let mut s = WeightedStreamingLis::new(10, DominantMaxKind::Auto);
+        s.ingest(&[(5, 2), (5, 3), (5, 4)]);
+        assert_eq!(s.scores(), &[2, 3, 4]);
+        assert_eq!(s.frontier(), &[(5, 4)]);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn zero_weights_are_handled() {
+        let mut s = WeightedStreamingLis::new(10, DominantMaxKind::Auto);
+        s.ingest(&[(3, 0), (1, 0), (4, 5), (5, 0)]);
+        assert_eq!(s.scores(), &[0, 0, 5, 5]);
+        assert_eq!(s.frontier(), &[(4, 5)]);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn sequential_and_parallel_paths_agree() {
+        let pairs = random_pairs(1_200, 700, 40, 0xFEED5EED);
+        let mut seq =
+            WeightedStreamingLis::new(700, DominantMaxKind::Auto).with_par_threshold(usize::MAX);
+        let mut par = WeightedStreamingLis::new(700, DominantMaxKind::Auto).with_par_threshold(1);
+        for chunk in pairs.chunks(83) {
+            let rs = seq.ingest(chunk);
+            let rp = par.ingest(chunk);
+            assert_eq!(rs.path, IngestPath::Sequential);
+            assert_eq!(rp.path, IngestPath::ParallelMerge);
+            assert_eq!(rs.score_after, rp.score_after);
+            assert_eq!(rs.frontier_len, rp.frontier_len);
+        }
+        assert_eq!(seq.scores(), par.scores());
+        assert_eq!(seq.frontier(), par.frontier());
+        seq.check_invariants();
+        par.check_invariants();
+    }
+
+    #[test]
+    fn streaming_matches_offline_oracle_on_both_backends() {
+        let pairs = random_pairs(900, 400, 30, 0xABCD);
+        for kind in [DominantMaxKind::RangeTree, DominantMaxKind::RangeVeb] {
+            // Mixed paths: threshold between the chunk sizes used.
+            check_against_offline(&pairs, 400, kind, 111, 64);
+            check_against_offline(&pairs, 400, kind, 37, 64);
+        }
+    }
+
+    #[test]
+    fn increasing_stream_keeps_full_frontier() {
+        let pairs: Vec<(u64, u64)> = (0..300u64).map(|v| (v, 2)).collect();
+        let mut s = WeightedStreamingLis::new(300, DominantMaxKind::Auto).with_par_threshold(50);
+        for chunk in pairs.chunks(70) {
+            s.ingest(chunk);
+        }
+        assert_eq!(s.best_score(), 600);
+        assert_eq!(s.frontier().len(), 300);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut s = WeightedStreamingLis::new(50, DominantMaxKind::Auto);
+        s.ingest(&[(3, 2), (1, 7)]);
+        let frontier = s.frontier().to_vec();
+        let r = s.ingest(&[]);
+        assert_eq!(r.ingested, 0);
+        assert_eq!(r.score_before, r.score_after);
+        assert_eq!(s.frontier(), frontier.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside session universe")]
+    fn out_of_universe_value_panics() {
+        let mut s = WeightedStreamingLis::new(16, DominantMaxKind::Auto);
+        s.ingest(&[(16, 1)]);
+    }
+
+    #[test]
+    fn pareto_staircase_basics() {
+        assert_eq!(pareto_staircase(vec![]), vec![]);
+        assert_eq!(pareto_staircase(vec![(3, 0)]), vec![]);
+        assert_eq!(
+            pareto_staircase(vec![(5, 2), (3, 4), (7, 4), (6, 9), (5, 3)]),
+            vec![(3, 4), (6, 9)]
+        );
+        // Equal values keep the best score; equal scores keep the smallest
+        // value.
+        assert_eq!(pareto_staircase(vec![(2, 1), (2, 6), (4, 6), (9, 6)]), vec![(2, 6)]);
+    }
+}

@@ -7,7 +7,7 @@
 //! the join-splitting `par_iter` surface, not a sequential fallback.
 
 use plis_engine::{Backend, Engine, EngineConfig, SessionId, TickReport};
-use plis_workloads::streaming::session_fleet;
+use plis_workloads::streaming::{round_robin_ticks, session_fleet};
 
 /// Pool size for the parallel leg: `PLIS_BENCH_THREADS`, else the hardware
 /// parallelism, floored at 2 so single-core machines still split.
@@ -22,22 +22,6 @@ fn parallel_threads() -> usize {
 
 fn on_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
     rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap().install(f)
-}
-
-/// Round-robin the per-session batch queues into ticks (the same shape the
-/// streaming benchmark replays).
-fn build_ticks(fleet: &[(String, Vec<Vec<u64>>)]) -> Vec<Vec<(SessionId, Vec<u64>)>> {
-    let rounds = fleet.iter().map(|(_, batches)| batches.len()).max().unwrap_or(0);
-    (0..rounds)
-        .map(|round| {
-            fleet
-                .iter()
-                .filter_map(|(name, batches)| {
-                    batches.get(round).map(|b| (SessionId::from(name.as_str()), b.clone()))
-                })
-                .collect()
-        })
-        .collect()
 }
 
 struct RunOutcome {
@@ -80,7 +64,7 @@ fn assert_identical(seq: &RunOutcome, par: &RunOutcome) {
 #[test]
 fn multi_session_ticks_are_deterministic_across_thread_counts() {
     let (fleet, universe) = session_fleet(9, 4_000, 96, 0x00D1CE);
-    let ticks = build_ticks(&fleet);
+    let ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
     assert!(ticks.len() > 10, "schedule should span many ticks");
     let config = EngineConfig {
         universe,
@@ -88,6 +72,7 @@ fn multi_session_ticks_are_deterministic_across_thread_counts() {
         shards: 8,
         // Low threshold so the parallel merge ingest path runs too.
         par_threshold: 48,
+        ..EngineConfig::default()
     };
     let seq = run(1, &ticks, &config);
     assert_eq!(seq.max_worker_threads, 1, "a 1-thread pool must not split");
@@ -98,8 +83,14 @@ fn multi_session_ticks_are_deterministic_across_thread_counts() {
 #[test]
 fn full_pool_tick_processing_engages_multiple_workers() {
     let (fleet, universe) = session_fleet(12, 2_000, 128, 0xFEED);
-    let ticks = build_ticks(&fleet);
-    let config = EngineConfig { universe, backend: Backend::Auto, shards: 8, par_threshold: 64 };
+    let ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
+    let config = EngineConfig {
+        universe,
+        backend: Backend::Auto,
+        shards: 8,
+        par_threshold: 64,
+        ..EngineConfig::default()
+    };
     let seq = run(1, &ticks, &config);
     // The helper-thread budget is process-global, so retry a few times
     // rather than flaking when concurrent tests hold all slots.
@@ -119,8 +110,14 @@ fn full_pool_tick_processing_engages_multiple_workers() {
 fn both_backends_are_deterministic() {
     for backend in [Backend::Veb, Backend::SortedVec] {
         let (fleet, universe) = session_fleet(6, 1_500, 64, 0xB0B);
-        let ticks = build_ticks(&fleet);
-        let config = EngineConfig { universe, backend, shards: 5, par_threshold: 32 };
+        let ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
+        let config = EngineConfig {
+            universe,
+            backend,
+            shards: 5,
+            par_threshold: 32,
+            ..EngineConfig::default()
+        };
         let seq = run(1, &ticks, &config);
         let par = run(parallel_threads(), &ticks, &config);
         assert_identical(&seq, &par);

@@ -114,6 +114,7 @@ fn engine_fleet_matches_oracle_per_session() {
         backend: Backend::Auto,
         shards: 4,
         par_threshold: 64,
+        ..EngineConfig::default()
     });
     // Heterogeneous fleet: each session streams a different pattern.
     let streams: Vec<(SessionId, Vec<u64>)> = vec![

@@ -9,10 +9,14 @@
 //! * [`lis_length`] — just the LIS length `k`.
 //! * [`lis_indices`] — an actual longest increasing subsequence, recovered
 //!   from the ranks as in Appendix A.
-//! * [`wlis_rangetree`] / [`wlis_rangeveb`] — Algorithm 2: weighted LIS on
-//!   top of a dominant-max structure; the range-tree instantiation is the
-//!   practical one (Theorem 4.1, `O(n log² n)` work), the Range-vEB
-//!   instantiation the theoretical one (Theorem 1.2).
+//! * [`wlis_with`] — Algorithm 2: the single generic weighted-LIS driver
+//!   over the [`DominantMaxStore`] trait; [`wlis_kind`] dispatches it
+//!   through the [`DominantMaxKind`] factory, and [`wlis_rangetree`] /
+//!   [`wlis_rangeveb`] pin the practical (Theorem 4.1, `O(n log² n)` work)
+//!   and theoretical (Theorem 1.2) stores respectively.
+//! * [`tailset`] — the [`TailSet`] trait: value-domain mirrors of patience
+//!   tail arrays (vEB or stateless sorted-vec), consumed generically by the
+//!   streaming sessions of `plis-engine`.
 //!
 //! # Quick start
 //!
@@ -37,9 +41,12 @@
 mod compress;
 mod ranks;
 mod reconstruct;
+pub mod tailset;
 mod wlis;
 
 pub use compress::compress_to_ranks;
+pub use plis_primitives::DominantMaxStore;
 pub use ranks::{lis_length, lis_ranks, lis_ranks_u64, lis_ranks_u64_with_stats, LisStats};
 pub use reconstruct::{lis_indices, lis_indices_from_ranks};
-pub use wlis::{wlis_rangetree, wlis_rangeveb, wlis_with, DominantMaxBackend};
+pub use tailset::{AnyTailSet, SortedVecTailSet, TailSet, VebTailSet};
+pub use wlis::{wlis_kind, wlis_rangetree, wlis_rangeveb, wlis_with, DominantMaxKind};

@@ -1,0 +1,264 @@
+//! The *tail set* abstraction: a value-domain mirror of the patience tails
+//! array, factored behind a trait so streaming sessions are generic over
+//! the mirror structure instead of hard-coding an enum of backends.
+//!
+//! A streaming-LIS session owns the canonical `tails` array (`tails[r]` =
+//! smallest value ending an increasing subsequence of length `r + 1`,
+//! strictly increasing).  A [`TailSet`] mirrors that set in the *value*
+//! domain so predecessor/successor probes don't have to binary-search the
+//! rank domain:
+//!
+//! * [`VebTailSet`] maintains a [`VebTree`] over the session universe and
+//!   applies every ingest's tail-set delta with the paper's parallel
+//!   `batch_insert` / `batch_delete` (Theorems 5.1/5.2); probes cost
+//!   `O(log log U)`.
+//! * [`SortedVecTailSet`] keeps no extra state at all and answers probes by
+//!   binary search over the `tails` array itself — the right choice for
+//!   small universes where the vEB constant factors dominate.  This is why
+//!   every query method receives the current `tails` slice: a stateless
+//!   backend answers from it, a stateful one ignores it.
+//! * [`AnyTailSet`] is the closed enum-dispatch combination of the two —
+//!   the zero-cost factory behind the engine's `Backend` selector — while
+//!   the trait itself stays open: a new mirror structure plugs into
+//!   `StreamingLisOn` by implementing [`TailSet`] in its own file.
+
+use plis_veb::VebTree;
+
+/// Value-domain mirror of a strictly increasing tail array.
+///
+/// Mutations (`insert`/`delete`/`batch_insert`/`batch_delete`) keep the
+/// mirror in sync with the tail-set delta of an ingest; queries receive the
+/// canonical `tails` slice so stateless implementations can answer from it.
+/// `check_invariants` is the hook the oracle test layers call to cross-check
+/// mirror-vs-tails consistency after every batch.
+pub trait TailSet: std::fmt::Debug + Clone {
+    /// Short human-readable name used by reports and benchmarks.
+    fn name(&self) -> &'static str;
+    /// Mirror a single tail insertion.
+    fn insert(&mut self, key: u64);
+    /// Mirror a single tail removal.
+    fn delete(&mut self, key: u64);
+    /// Mirror a sorted batch of insertions (the added side of a delta).
+    fn batch_insert(&mut self, keys: &[u64]);
+    /// Mirror a sorted batch of removals (the removed side of a delta).
+    fn batch_delete(&mut self, keys: &[u64]);
+    /// Largest tail value strictly below `x`, if any.
+    fn pred(&self, tails: &[u64], x: u64) -> Option<u64>;
+    /// Smallest tail value at or above `x`, if any.  Probes at or beyond
+    /// the universe return `None` (all tails are inside the universe).
+    fn succ(&self, tails: &[u64], x: u64) -> Option<u64>;
+    /// Number of mirrored tails.
+    fn len(&self, tails: &[u64]) -> usize;
+    /// The mirrored keys in increasing order.
+    fn collect_keys(&self, tails: &[u64]) -> Vec<u64>;
+    /// Assert every internal invariant against the canonical tails.
+    fn check_invariants(&self, tails: &[u64]);
+}
+
+/// [`TailSet`] backed by a parallel van Emde Boas tree over the session
+/// universe (Theorems 5.1/5.2 for the batch delta application).
+#[derive(Debug, Clone)]
+pub struct VebTailSet(VebTree);
+
+impl VebTailSet {
+    /// Empty mirror over the value universe `[0, universe)`.
+    pub fn new(universe: u64) -> Self {
+        VebTailSet(VebTree::new(universe))
+    }
+
+    /// The underlying vEB tree (read-only; used by value-domain probes that
+    /// want the raw structure).
+    pub fn tree(&self) -> &VebTree {
+        &self.0
+    }
+}
+
+impl TailSet for VebTailSet {
+    fn name(&self) -> &'static str {
+        "veb"
+    }
+    fn insert(&mut self, key: u64) {
+        self.0.insert(key);
+    }
+    fn delete(&mut self, key: u64) {
+        self.0.delete(key);
+    }
+    fn batch_insert(&mut self, keys: &[u64]) {
+        self.0.batch_insert(keys);
+    }
+    fn batch_delete(&mut self, keys: &[u64]) {
+        self.0.batch_delete(keys);
+    }
+    fn pred(&self, _tails: &[u64], x: u64) -> Option<u64> {
+        self.0.pred(x.min(self.0.universe()))
+    }
+    fn succ(&self, _tails: &[u64], x: u64) -> Option<u64> {
+        if x >= self.0.universe() {
+            None
+        } else if self.0.contains(x) {
+            Some(x)
+        } else {
+            self.0.succ(x)
+        }
+    }
+    fn len(&self, _tails: &[u64]) -> usize {
+        self.0.len()
+    }
+    fn collect_keys(&self, _tails: &[u64]) -> Vec<u64> {
+        self.0.iter_keys()
+    }
+    fn check_invariants(&self, tails: &[u64]) {
+        assert_eq!(self.0.iter_keys(), tails, "vEB mirror out of sync with tails");
+    }
+}
+
+/// Stateless [`TailSet`]: no mirror structure at all; every probe
+/// binary-searches the canonical `tails` array (`O(log k)`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SortedVecTailSet;
+
+impl TailSet for SortedVecTailSet {
+    fn name(&self) -> &'static str {
+        "sorted-vec"
+    }
+    fn insert(&mut self, _key: u64) {}
+    fn delete(&mut self, _key: u64) {}
+    fn batch_insert(&mut self, _keys: &[u64]) {}
+    fn batch_delete(&mut self, _keys: &[u64]) {}
+    fn pred(&self, tails: &[u64], x: u64) -> Option<u64> {
+        let p = tails.partition_point(|&t| t < x);
+        p.checked_sub(1).map(|i| tails[i])
+    }
+    fn succ(&self, tails: &[u64], x: u64) -> Option<u64> {
+        let p = tails.partition_point(|&t| t < x);
+        tails.get(p).copied()
+    }
+    fn len(&self, tails: &[u64]) -> usize {
+        tails.len()
+    }
+    fn collect_keys(&self, tails: &[u64]) -> Vec<u64> {
+        tails.to_vec()
+    }
+    fn check_invariants(&self, _tails: &[u64]) {}
+}
+
+/// Enum dispatch over the built-in tail-set backends: the concrete store
+/// type behind the engine's non-generic `StreamingLis` alias, so sessions
+/// with different backends share one type (and one shard map) at zero
+/// virtual-call cost.
+#[derive(Debug, Clone)]
+pub enum AnyTailSet {
+    /// vEB-mirrored tails.
+    Veb(VebTailSet),
+    /// Stateless binary-search tails.
+    SortedVec(SortedVecTailSet),
+}
+
+impl AnyTailSet {
+    /// A vEB-backed store over `[0, universe)`.
+    pub fn veb(universe: u64) -> Self {
+        AnyTailSet::Veb(VebTailSet::new(universe))
+    }
+
+    /// The stateless sorted-vec store.
+    pub fn sorted_vec() -> Self {
+        AnyTailSet::SortedVec(SortedVecTailSet)
+    }
+}
+
+macro_rules! dispatch {
+    ($self:expr, $inner:ident => $e:expr) => {
+        match $self {
+            AnyTailSet::Veb($inner) => $e,
+            AnyTailSet::SortedVec($inner) => $e,
+        }
+    };
+}
+
+impl TailSet for AnyTailSet {
+    fn name(&self) -> &'static str {
+        dispatch!(self, s => s.name())
+    }
+    fn insert(&mut self, key: u64) {
+        dispatch!(self, s => s.insert(key))
+    }
+    fn delete(&mut self, key: u64) {
+        dispatch!(self, s => s.delete(key))
+    }
+    fn batch_insert(&mut self, keys: &[u64]) {
+        dispatch!(self, s => s.batch_insert(keys))
+    }
+    fn batch_delete(&mut self, keys: &[u64]) {
+        dispatch!(self, s => s.batch_delete(keys))
+    }
+    fn pred(&self, tails: &[u64], x: u64) -> Option<u64> {
+        dispatch!(self, s => s.pred(tails, x))
+    }
+    fn succ(&self, tails: &[u64], x: u64) -> Option<u64> {
+        dispatch!(self, s => s.succ(tails, x))
+    }
+    fn len(&self, tails: &[u64]) -> usize {
+        dispatch!(self, s => s.len(tails))
+    }
+    fn collect_keys(&self, tails: &[u64]) -> Vec<u64> {
+        dispatch!(self, s => s.collect_keys(tails))
+    }
+    fn check_invariants(&self, tails: &[u64]) {
+        dispatch!(self, s => s.check_invariants(tails))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a mirror through inserts/deletes mirroring a tails array and
+    /// compare probes against the stateless reference.
+    fn cross_check(mut store: impl TailSet, tails: &[u64], universe: u64) {
+        let reference = SortedVecTailSet;
+        for &t in tails {
+            store.insert(t);
+        }
+        store.check_invariants(tails);
+        assert_eq!(store.len(tails), tails.len());
+        assert_eq!(store.collect_keys(tails), tails);
+        for probe in [0, 1, 2, 3, 5, 7, 8, 14, 15, universe - 1, universe, u64::MAX] {
+            assert_eq!(store.pred(tails, probe), reference.pred(tails, probe), "pred {probe}");
+            assert_eq!(store.succ(tails, probe), reference.succ(tails, probe), "succ {probe}");
+        }
+    }
+
+    #[test]
+    fn veb_and_sorted_vec_agree_on_probes() {
+        let tails = [2u64, 5, 7, 11, 13];
+        cross_check(VebTailSet::new(16), &tails, 16);
+        cross_check(AnyTailSet::veb(16), &tails, 16);
+        cross_check(AnyTailSet::sorted_vec(), &tails, 16);
+    }
+
+    #[test]
+    fn batch_delta_keeps_mirror_in_sync() {
+        let mut store = VebTailSet::new(64);
+        store.batch_insert(&[3, 9, 20, 40]);
+        store.batch_delete(&[9, 40]);
+        store.insert(10);
+        store.delete(3);
+        let tails = [10u64, 20];
+        store.check_invariants(&tails);
+        assert_eq!(store.collect_keys(&tails), &tails);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(AnyTailSet::veb(8).name(), "veb");
+        assert_eq!(AnyTailSet::sorted_vec().name(), "sorted-vec");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of sync")]
+    fn veb_invariant_check_catches_divergence() {
+        let mut store = VebTailSet::new(32);
+        store.insert(4);
+        store.check_invariants(&[4, 9]);
+    }
+}

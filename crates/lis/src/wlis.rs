@@ -9,84 +9,65 @@
 //! are computed by parallel *dominant-max* queries and then written back to
 //! the structure as a batch.
 //!
-//! The structure is pluggable through [`DominantMaxBackend`]:
-//! [`wlis_rangetree`] uses the parallel range tree of `plis-rangetree`
-//! (Theorem 4.1) and [`wlis_rangeveb`] the Range-vEB tree of `plis-rangeveb`
-//! (Theorem 1.2).
+//! There is exactly **one** driver, [`wlis_with`], generic over the
+//! [`DominantMaxStore`] trait of `plis-primitives`; the concrete structures
+//! implement that trait in their own crates (`plis-rangetree`, Theorem 4.1;
+//! `plis-rangeveb`, Theorem 1.2).  [`DominantMaxKind`] is the runtime
+//! selector — a zero-cost enum factory that monomorphizes the driver per
+//! backend — and [`wlis_kind`] dispatches through it; [`wlis_rangetree`] /
+//! [`wlis_rangeveb`] are the fixed-backend conveniences.
 
 use crate::compress::compress_to_ranks;
-use plis_primitives::{group_by_rank, par_map_collect};
+use plis_primitives::{group_by_rank, par_map_collect, DominantMaxStore};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A dominant-max structure usable by the WLIS driver (the `RangeStruct` of
-/// Algorithm 2): built once over the full point set, queried with strict 2D
-/// dominance, updated frontier by frontier.
-pub trait DominantMaxBackend: Sized + Sync {
-    /// Build the structure over `points = (x, y)` pairs (scores start at 0).
-    fn build(points: &[(u64, u64)]) -> Self;
-    /// Maximum score among points with `x < qx` and `y < qy`, or 0.
-    fn dominant_max(&self, qx: u64, qy: u64) -> u64;
-    /// Set the scores of a batch of `(x, y, score)` entries.
-    fn update_batch(&mut self, updates: &[(u64, u64, u64)]);
-    /// Short human-readable name used by the benchmark reports.
-    fn name() -> &'static str;
+/// Which dominant-max store backs a weighted-LIS run — the runtime-facing
+/// factory over the open [`DominantMaxStore`] trait (mirroring how the
+/// engine's `Backend` enum fronts the `TailSet` trait).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DominantMaxKind {
+    /// Pick the practical configuration ([`DominantMaxKind::RangeTree`]).
+    Auto,
+    /// Parallel range tree (Theorem 4.1): `O(n log² n)` work — the
+    /// configuration the paper's own evaluation uses.
+    RangeTree,
+    /// Range-vEB tree (Theorem 1.2): the theoretically stronger
+    /// `O(n log n log log n)` work bound.
+    RangeVeb,
 }
 
-impl DominantMaxBackend for plis_rangetree::RangeMaxTree {
-    fn build(points: &[(u64, u64)]) -> Self {
-        let pts: Vec<plis_rangetree::Point2> =
-            points.iter().map(|&(x, y)| plis_rangetree::Point2 { x, y }).collect();
-        plis_rangetree::RangeMaxTree::new(&pts)
+impl DominantMaxKind {
+    /// Resolve [`DominantMaxKind::Auto`] to a concrete backend.
+    pub fn resolve(self) -> DominantMaxKind {
+        match self {
+            DominantMaxKind::Auto => DominantMaxKind::RangeTree,
+            other => other,
+        }
     }
-    fn dominant_max(&self, qx: u64, qy: u64) -> u64 {
-        plis_rangetree::RangeMaxTree::dominant_max(self, qx, qy)
-    }
-    fn update_batch(&mut self, updates: &[(u64, u64, u64)]) {
-        let ups: Vec<plis_rangetree::ScoreUpdate> = updates
-            .iter()
-            .map(|&(x, y, score)| plis_rangetree::ScoreUpdate {
-                point: plis_rangetree::Point2 { x, y },
-                score,
-            })
-            .collect();
-        plis_rangetree::RangeMaxTree::update_batch(self, &ups);
-    }
-    fn name() -> &'static str {
-        "range-tree"
-    }
-}
 
-impl DominantMaxBackend for plis_rangeveb::RangeVeb {
-    fn build(points: &[(u64, u64)]) -> Self {
-        let pts: Vec<plis_rangeveb::Point2> =
-            points.iter().map(|&(x, y)| plis_rangeveb::Point2 { x, y }).collect();
-        plis_rangeveb::RangeVeb::new(&pts)
-    }
-    fn dominant_max(&self, qx: u64, qy: u64) -> u64 {
-        plis_rangeveb::RangeVeb::dominant_max(self, qx, qy)
-    }
-    fn update_batch(&mut self, updates: &[(u64, u64, u64)]) {
-        let ups: Vec<plis_rangeveb::ScoreUpdate> = updates
-            .iter()
-            .map(|&(x, y, score)| plis_rangeveb::ScoreUpdate {
-                point: plis_rangeveb::Point2 { x, y },
-                score,
-            })
-            .collect();
-        plis_rangeveb::RangeVeb::update_batch(self, &ups);
-    }
-    fn name() -> &'static str {
-        "range-veb"
+    /// Short human-readable backend name (post-resolution).
+    pub fn name(self) -> &'static str {
+        match self.resolve() {
+            DominantMaxKind::RangeTree => {
+                <plis_rangetree::RangeMaxTree as DominantMaxStore>::name()
+            }
+            DominantMaxKind::RangeVeb => <plis_rangeveb::RangeVeb as DominantMaxStore>::name(),
+            DominantMaxKind::Auto => unreachable!("resolve() never returns Auto"),
+        }
     }
 }
 
 /// Weighted LIS over an arbitrary comparable element type using the chosen
-/// dominant-max backend.  Returns the dp values of every object
+/// dominant-max store.  Returns the dp values of every object
 /// (`dp[i] = w_i + max(0, max_{j<i, A_j<A_i} dp[j])`).
+///
+/// This is the only Algorithm-2 driver in the workspace: every backend and
+/// every caller (offline, streaming engine, probes in the test suites) goes
+/// through this function.
 ///
 /// # Panics
 /// Panics if `values` and `weights` have different lengths.
-pub fn wlis_with<T: Ord + Sync, S: DominantMaxBackend>(values: &[T], weights: &[u64]) -> Vec<u64> {
+pub fn wlis_with<T: Ord + Sync, S: DominantMaxStore>(values: &[T], weights: &[u64]) -> Vec<u64> {
     assert_eq!(values.len(), weights.len(), "one weight per value is required");
     let n = values.len();
     if n == 0 {
@@ -119,6 +100,16 @@ pub fn wlis_with<T: Ord + Sync, S: DominantMaxBackend>(values: &[T], weights: &[
         structure.update_batch(&updates);
     }
     dp.into_iter().map(AtomicU64::into_inner).collect()
+}
+
+/// Weighted LIS with the backend chosen at runtime by [`DominantMaxKind`]
+/// (enum-dispatch into the generic driver, one monomorphization per store).
+pub fn wlis_kind<T: Ord + Sync>(kind: DominantMaxKind, values: &[T], weights: &[u64]) -> Vec<u64> {
+    match kind.resolve() {
+        DominantMaxKind::RangeTree => wlis_with::<T, plis_rangetree::RangeMaxTree>(values, weights),
+        DominantMaxKind::RangeVeb => wlis_with::<T, plis_rangeveb::RangeVeb>(values, weights),
+        DominantMaxKind::Auto => unreachable!("resolve() never returns Auto"),
+    }
 }
 
 /// Weighted LIS using the parallel range tree (the practical configuration,
@@ -203,6 +194,19 @@ mod tests {
             assert_eq!(wlis_rangetree(&a, &w), want, "range tree, trial {trial}");
             assert_eq!(wlis_rangeveb(&a, &w), want, "range vEB, trial {trial}");
         }
+    }
+
+    #[test]
+    fn kind_dispatch_resolves_and_agrees() {
+        let a = [9u64, 2, 7, 4, 8, 1, 6];
+        let w = [3u64, 5, 2, 9, 1, 4, 7];
+        let want = oracle_wdp(&a, &w);
+        for kind in [DominantMaxKind::Auto, DominantMaxKind::RangeTree, DominantMaxKind::RangeVeb] {
+            assert_eq!(wlis_kind(kind, &a, &w), want, "{:?}", kind);
+        }
+        assert_eq!(DominantMaxKind::Auto.name(), "range-tree");
+        assert_eq!(DominantMaxKind::RangeVeb.name(), "range-veb");
+        assert_eq!(DominantMaxKind::Auto.resolve(), DominantMaxKind::RangeTree);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! (the vendored rayon spawns scoped threads independently of core count).
 
 use plis_baselines::wlis_dp_quadratic;
-use plis_lis::{wlis_rangetree, wlis_rangeveb, wlis_with, DominantMaxBackend};
+use plis_lis::{wlis_rangetree, wlis_rangeveb, wlis_with, DominantMaxStore};
 use plis_workloads::{
     adversarial, line_pattern, random_permutation, range_pattern, uniform_weights,
 };
@@ -125,10 +125,10 @@ struct ThreadProbe {
     seen: std::sync::Mutex<std::collections::HashSet<std::thread::ThreadId>>,
 }
 
-impl DominantMaxBackend for ThreadProbe {
+impl DominantMaxStore for ThreadProbe {
     fn build(points: &[(u64, u64)]) -> Self {
         ThreadProbe {
-            inner: <plis_rangetree::RangeMaxTree as DominantMaxBackend>::build(points),
+            inner: <plis_rangetree::RangeMaxTree as DominantMaxStore>::build(points),
             seen: std::sync::Mutex::new(std::collections::HashSet::new()),
         }
     }
@@ -137,7 +137,7 @@ impl DominantMaxBackend for ThreadProbe {
         self.inner.dominant_max(qx, qy)
     }
     fn update_batch(&mut self, updates: &[(u64, u64, u64)]) {
-        DominantMaxBackend::update_batch(&mut self.inner, updates);
+        DominantMaxStore::update_batch(&mut self.inner, updates);
     }
     fn name() -> &'static str {
         "thread-probe"
@@ -148,7 +148,7 @@ static PROBE_SEEN: std::sync::Mutex<Option<usize>> = std::sync::Mutex::new(None)
 
 struct CountingProbe(ThreadProbe);
 
-impl DominantMaxBackend for CountingProbe {
+impl DominantMaxStore for CountingProbe {
     fn build(points: &[(u64, u64)]) -> Self {
         CountingProbe(ThreadProbe::build(points))
     }

@@ -1,0 +1,35 @@
+//! The *dominant-max store* abstraction: the `RangeStruct` interface of
+//! Algorithm 2, factored out of the weighted-LIS driver so that new
+//! structures plug in without touching the algorithm.
+//!
+//! A dominant-max store is built once over a static set of 2D points, each
+//! carrying a mutable score that starts at 0 and only ever grows.  It
+//! answers strict 2D dominance maxima and accepts batched score write-backs
+//! — exactly the three operations the phase-parallel WLIS driver issues per
+//! frontier.
+//!
+//! Implementations live next to their data structures (one file per
+//! backend): `plis-rangetree` implements it for `RangeMaxTree` (Theorem
+//! 4.1, the practical configuration) and `plis-rangeveb` for `RangeVeb`
+//! (Theorem 1.2, the theoretical configuration).  The oracle test suite
+//! adds probe implementations the same way — implement the trait for a new
+//! type in its own crate and every generic driver (offline `wlis_with`,
+//! the engine's weighted streaming sessions) accepts it.
+
+/// A dominant-max structure usable by the WLIS driver (the `RangeStruct` of
+/// Algorithm 2): built once over the full point set, queried with strict 2D
+/// dominance, updated frontier by frontier.
+///
+/// `Sync` is required because one frontier's queries run as a parallel map
+/// over a shared reference to the store.
+pub trait DominantMaxStore: Sized + Sync {
+    /// Build the structure over `points = (x, y)` pairs (scores start at 0).
+    fn build(points: &[(u64, u64)]) -> Self;
+    /// Maximum score among points with `x < qx` and `y < qy`, or 0.
+    fn dominant_max(&self, qx: u64, qy: u64) -> u64;
+    /// Set the scores of a batch of `(x, y, score)` entries.  Scores are
+    /// monotone in the WLIS algorithm: a write never lowers a score.
+    fn update_batch(&mut self, updates: &[(u64, u64, u64)]);
+    /// Short human-readable name used by benchmark and engine reports.
+    fn name() -> &'static str;
+}

@@ -17,11 +17,15 @@
 //! * [`group`] — grouping elements by small integer keys (used to split the
 //!   rank array into frontiers), i.e. a counting sort.
 //! * [`par`] — granularity-controlled parallel-for helpers and `maybe_join`.
+//! * [`dommax`] — the [`DominantMaxStore`] trait: the `RangeStruct`
+//!   interface of Algorithm 2, implemented by `plis-rangetree` and
+//!   `plis-rangeveb` and consumed generically by the WLIS drivers.
 //!
 //! Every primitive has a sequential fallback below a granularity threshold so
 //! small inputs do not pay the fork-join overhead; the defaults follow the
 //! usual ParlayLib block size of a few thousand elements.
 
+pub mod dommax;
 pub mod group;
 pub mod merge;
 pub mod pack;
@@ -29,6 +33,7 @@ pub mod par;
 pub mod scan;
 pub mod sort;
 
+pub use dommax::DominantMaxStore;
 pub use group::{group_by_rank, histogram};
 pub use merge::{merge_by, merge_by_key, parallel_merge};
 pub use pack::{pack, pack_index, pack_indices_where, partition_flags};

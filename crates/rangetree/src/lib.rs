@@ -242,6 +242,30 @@ impl RangeMaxTree {
     }
 }
 
+/// [`RangeMaxTree`] as a pluggable dominant-max store: the adapter between
+/// this crate's typed API ([`Point2`], [`ScoreUpdate`]) and the bare-tuple
+/// interface the generic WLIS drivers consume.  Adding another backend
+/// means writing exactly this impl next to the new structure.
+impl plis_primitives::DominantMaxStore for RangeMaxTree {
+    fn build(points: &[(u64, u64)]) -> Self {
+        let pts: Vec<Point2> = points.iter().map(|&(x, y)| Point2 { x, y }).collect();
+        RangeMaxTree::new(&pts)
+    }
+    fn dominant_max(&self, qx: u64, qy: u64) -> u64 {
+        RangeMaxTree::dominant_max(self, qx, qy)
+    }
+    fn update_batch(&mut self, updates: &[(u64, u64, u64)]) {
+        let ups: Vec<ScoreUpdate> = updates
+            .iter()
+            .map(|&(x, y, score)| ScoreUpdate { point: Point2 { x, y }, score })
+            .collect();
+        RangeMaxTree::update_batch(self, &ups);
+    }
+    fn name() -> &'static str {
+        "range-tree"
+    }
+}
+
 /// Recursively build the contiguous-layout outer tree over positions
 /// `[lo, hi)`; each node's `ys` is produced by merging its children's.
 fn build(nodes: &mut [Option<NodeData>], ys_by_pos: &[u64], lo: usize, hi: usize) {

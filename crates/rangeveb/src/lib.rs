@@ -178,6 +178,29 @@ impl RangeVeb {
     }
 }
 
+/// [`RangeVeb`] as a pluggable dominant-max store (the bare-tuple interface
+/// consumed by the generic WLIS drivers).  Adding another backend means
+/// writing exactly this impl next to the new structure.
+impl plis_primitives::DominantMaxStore for RangeVeb {
+    fn build(points: &[(u64, u64)]) -> Self {
+        let pts: Vec<Point2> = points.iter().map(|&(x, y)| Point2 { x, y }).collect();
+        RangeVeb::new(&pts)
+    }
+    fn dominant_max(&self, qx: u64, qy: u64) -> u64 {
+        RangeVeb::dominant_max(self, qx, qy)
+    }
+    fn update_batch(&mut self, updates: &[(u64, u64, u64)]) {
+        let ups: Vec<ScoreUpdate> = updates
+            .iter()
+            .map(|&(x, y, score)| ScoreUpdate { point: Point2 { x, y }, score })
+            .collect();
+        RangeVeb::update_batch(self, &ups);
+    }
+    fn name() -> &'static str {
+        "range-veb"
+    }
+}
+
 /// Build the contiguous-layout outer tree; every node gets its sorted `y`
 /// table (by merging children) and an empty Mono-vEB over `[0, size)`.
 fn build(nodes: &mut [Option<VNode>], ys_by_pos: &[u64], lo: usize, hi: usize) {

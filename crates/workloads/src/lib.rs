@@ -93,7 +93,7 @@ pub fn uniform_weights(n: usize, max_weight: u64, seed: u64) -> Vec<u64> {
 /// A *stream* is a `Vec` of batches; a *fleet* is many named streams, which
 /// is what the engine's tick API and the streaming benchmark consume.
 pub mod streaming {
-    use super::{line_pattern, random_permutation, range_pattern, rng_for};
+    use super::{line_pattern, random_permutation, range_pattern, rng_for, uniform_weights};
     use rand::Rng;
 
     /// Which offline generator feeds a stream.
@@ -137,8 +137,10 @@ pub mod streaming {
     }
 
     /// Chop `values` into arrival batches whose sizes are uniform in
-    /// `[max(1, mean/2), mean·3/2]` — deterministic in the seed.
-    pub fn into_batches(values: &[u64], mean_batch: usize, seed: u64) -> Vec<Vec<u64>> {
+    /// `[max(1, mean/2), mean·3/2]` — deterministic in the seed.  Generic
+    /// over the element type so plain (`u64`) and weighted
+    /// (`(value, weight)`) streams batch identically for the same seed.
+    pub fn into_batches<T: Clone>(values: &[T], mean_batch: usize, seed: u64) -> Vec<Vec<T>> {
         assert!(mean_batch >= 1, "batches must be non-empty");
         let lo = (mean_batch / 2).max(1);
         let hi = (mean_batch + mean_batch / 2).max(lo);
@@ -157,6 +159,29 @@ pub mod streaming {
     /// A batched stream of `n` elements following `pattern`.
     pub fn stream(pattern: StreamPattern, n: usize, mean_batch: usize, seed: u64) -> Vec<Vec<u64>> {
         into_batches(&pattern.generate(n, seed), mean_batch, seed)
+    }
+
+    /// Round-robin a fleet's per-session batch queues into engine-shaped
+    /// ticks: tick `r` holds session `s`'s `r`-th batch for every session
+    /// that still has one.  `make_id` adapts the session name to the
+    /// caller's id type (e.g. `plis_engine::SessionId::from`), so the
+    /// benchmark harness and the oracle/determinism test suites replay the
+    /// exact same tick shape.
+    pub fn round_robin_ticks<T: Clone, Id>(
+        fleet: &[(String, Vec<Vec<T>>)],
+        make_id: impl Fn(&str) -> Id,
+    ) -> Vec<Vec<(Id, Vec<T>)>> {
+        let rounds = fleet.iter().map(|(_, batches)| batches.len()).max().unwrap_or(0);
+        (0..rounds)
+            .map(|round| {
+                fleet
+                    .iter()
+                    .filter_map(|(name, batches)| {
+                        batches.get(round).map(|b| (make_id(name.as_str()), b.clone()))
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// One named stream of a fleet: `(session_name, batches)`.
@@ -190,6 +215,55 @@ pub mod streaming {
             let pattern = patterns[i % patterns.len()];
             let name = format!("{}-{i}", pattern.name());
             (name, stream(pattern, n_per_session, mean_batch, seed + i as u64))
+        });
+        (fleet, universe)
+    }
+
+    /// A batched *weighted* stream: the offline value pattern zipped with
+    /// uniform random weights in `[1, max_weight]` (the paper's weighted
+    /// evaluation always uses uniform weights), chopped into the same
+    /// arrival batches `stream` would produce for the seed.
+    pub fn weighted_stream(
+        pattern: StreamPattern,
+        n: usize,
+        mean_batch: usize,
+        max_weight: u64,
+        seed: u64,
+    ) -> Vec<Vec<(u64, u64)>> {
+        let values = pattern.generate(n, seed);
+        let weights = uniform_weights(n, max_weight, seed ^ 0x77E1_64E7);
+        let pairs: Vec<(u64, u64)> = values.into_iter().zip(weights).collect();
+        into_batches(&pairs, mean_batch, seed)
+    }
+
+    /// One named weighted stream of a fleet: `(session_name, batches)` of
+    /// `(value, weight)` pairs.
+    pub type WeightedSessionStream = (String, Vec<Vec<(u64, u64)>>);
+
+    /// A fleet of `sessions` named weighted streams cycling through the
+    /// three patterns — the weighted analogue of [`session_fleet`], feeding
+    /// the engine's weighted session kind.  Returns the streams plus a
+    /// universe bound that covers every stream.
+    pub fn weighted_session_fleet(
+        sessions: usize,
+        n_per_session: usize,
+        mean_batch: usize,
+        max_weight: u64,
+        seed: u64,
+    ) -> (Vec<WeightedSessionStream>, u64) {
+        let patterns = [
+            StreamPattern::Range { k_prime: (n_per_session as f64).sqrt().max(2.0) as u64 },
+            StreamPattern::Line { t: 1, noise: (n_per_session as u64 / 8).max(1) },
+            StreamPattern::Permutation,
+        ];
+        let universe = patterns[..patterns.len().min(sessions)]
+            .iter()
+            .map(|p| p.universe(n_per_session))
+            .fold(1u64, u64::max);
+        let fleet = plis_primitives::par_map_collect_with_grain(sessions, 1, |i| {
+            let pattern = patterns[i % patterns.len()];
+            let name = format!("w-{}-{i}", pattern.name());
+            (name, weighted_stream(pattern, n_per_session, mean_batch, max_weight, seed + i as u64))
         });
         (fleet, universe)
     }
@@ -337,6 +411,40 @@ mod tests {
         }
         // All three patterns appear in the naming.
         for prefix in ["range-", "line-", "permutation-"] {
+            assert!(fleet.iter().any(|(n, _)| n.starts_with(prefix)), "{prefix} missing");
+        }
+    }
+
+    #[test]
+    fn weighted_streams_batch_like_plain_streams() {
+        let pattern = streaming::StreamPattern::Range { k_prime: 32 };
+        let plain = streaming::stream(pattern, 5_000, 96, 11);
+        let weighted = streaming::weighted_stream(pattern, 5_000, 96, 50, 11);
+        // Same batching and the same value sequence, weights in range.
+        let plain_sizes: Vec<usize> = plain.iter().map(Vec::len).collect();
+        let weighted_sizes: Vec<usize> = weighted.iter().map(Vec::len).collect();
+        assert_eq!(plain_sizes, weighted_sizes);
+        let plain_values: Vec<u64> = plain.into_iter().flatten().collect();
+        let weighted_values: Vec<u64> = weighted.iter().flatten().map(|&(v, _)| v).collect();
+        assert_eq!(plain_values, weighted_values);
+        assert!(weighted.iter().flatten().all(|&(_, w)| (1..=50).contains(&w)));
+        // Deterministic in the seed.
+        assert_eq!(weighted, streaming::weighted_stream(pattern, 5_000, 96, 50, 11));
+    }
+
+    #[test]
+    fn weighted_fleet_covers_universe_and_patterns() {
+        let (fleet, universe) = streaming::weighted_session_fleet(6, 800, 64, 100, 5);
+        assert_eq!(fleet.len(), 6);
+        for (name, batches) in &fleet {
+            let total: usize = batches.iter().map(Vec::len).sum();
+            assert_eq!(total, 800, "stream {name}");
+            assert!(
+                batches.iter().flatten().all(|&(v, w)| v < universe && (1..=100).contains(&w)),
+                "stream {name} breaks universe {universe} or weight bounds"
+            );
+        }
+        for prefix in ["w-range-", "w-line-", "w-permutation-"] {
             assert!(fleet.iter().any(|(n, _)| n.starts_with(prefix)), "{prefix} missing");
         }
     }

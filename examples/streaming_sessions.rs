@@ -63,4 +63,25 @@ fn main() {
     assert_eq!(streamed.lis_length(), oracle_k);
     assert_eq!(streamed.ranks(), oracle_ranks.as_slice());
     println!("streamed ranks match the offline oracle (k = {oracle_k})");
+
+    // --- Weighted sessions in the same engine ----------------------------
+    // Algorithm 2 served as live traffic: (value, weight) batches flow
+    // through the same ticks, and dp scores are exact after every batch.
+    let wtick: Vec<(SessionId, TickBatch)> = vec![
+        (SessionId::from("orders"), TickBatch::Weighted(vec![(100, 5), (300, 2), (200, 9)])),
+        (SessionId::from("orders"), TickBatch::Weighted(vec![(250, 4), (400, 1)])),
+    ];
+    engine.ingest_tick_mixed(&wtick);
+    let orders = engine.weighted_session("orders").unwrap();
+    // Best chain: 100 (5) < 200 (9) < 250 (4) < 400 (1) = 19.
+    assert_eq!(engine.best_score("orders"), Some(19));
+    println!(
+        "weighted session 'orders': scores = {:?}, best = {} ({} store)",
+        orders.scores(),
+        orders.best_score(),
+        orders.backend_name()
+    );
+    let offline = wlis_rangetree(orders.values(), orders.weights());
+    assert_eq!(orders.scores(), offline.as_slice());
+    println!("weighted scores match the offline Algorithm-2 oracle");
 }

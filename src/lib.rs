@@ -49,10 +49,12 @@ pub use plis_workloads as workloads;
 pub mod prelude {
     pub use plis_baselines::{seq_avl, seq_bs, seq_bs_length, swgs_lis, swgs_wlis};
     pub use plis_engine::{
-        Backend, Engine, EngineConfig, IngestReport, SessionId, StreamingLis, TickReport,
+        Backend, BatchReport, Engine, EngineConfig, IngestReport, SessionId, SessionKind,
+        StreamingLis, TickBatch, TickReport, WeightedIngestReport, WeightedStreamingLis,
     };
     pub use plis_lis::{
-        lis_indices, lis_length, lis_ranks, lis_ranks_u64, wlis_rangetree, wlis_rangeveb,
+        lis_indices, lis_length, lis_ranks, lis_ranks_u64, wlis_kind, wlis_rangetree,
+        wlis_rangeveb, wlis_with, DominantMaxKind, DominantMaxStore, TailSet,
     };
     pub use plis_rangetree::RangeMaxTree;
     pub use plis_rangeveb::RangeVeb;
