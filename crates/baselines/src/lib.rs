@@ -1,10 +1,10 @@
 //! Baseline algorithms used by the paper's evaluation (Section 6) plus the
 //! reference oracles the test suite compares everything against.
 //!
-//! * [`seq_bs`] — the highly-optimised sequential LIS algorithm **Seq-BS**
+//! * [`seq_bs()`] — the highly-optimised sequential LIS algorithm **Seq-BS**
 //!   (`O(n log k)`): maintain the array `B[r]` = smallest tail value of an
 //!   increasing subsequence of length `r` and binary-search each element.
-//! * [`seq_avl`] — the sequential WLIS algorithm **Seq-AVL** (`O(n log n)`):
+//! * [`seq_avl()`] — the sequential WLIS algorithm **Seq-AVL** (`O(n log n)`):
 //!   an augmented AVL tree keyed by value, storing the maximum dp value in
 //!   every subtree, queried for "max dp among keys < A_i" before each
 //!   insertion.

@@ -1,5 +1,5 @@
 //! **Seq-BS**: the sequential `O(n log k)` LIS algorithm the paper uses as
-//! its strongest sequential baseline (attributed to Knuth [50] in the
+//! its strongest sequential baseline (attributed to Knuth \[50\] in the
 //! paper).
 //!
 //! `B[r]` holds the smallest possible tail value of an increasing

@@ -2,7 +2,9 @@
 //! [`plis_engine::Engine`] as a function of mean batch size and session
 //! count, over a heterogeneous fleet of workload streams — plus a
 //! *weighted* sweep driving the engine's weighted session kind (Algorithm
-//! 2 served as live traffic) over both dominant-max stores.
+//! 2 served as live traffic) over both dominant-max stores, and a *query*
+//! sweep driving the mixed ingest+query tick path over a read/write-mixed
+//! fleet at every requested read fraction.
 //!
 //! Emits one JSON object per sweep cell on stdout (one line per cell, see
 //! `plis_bench::json_line`), so results can be appended to `BENCH_*.json`
@@ -14,14 +16,22 @@
 //! mean batch sizes, default `64,512,4096`), `PLIS_BENCH_THREADS` (pin the
 //! rayon pool; recorded as the `threads` JSON field),
 //! `PLIS_BENCH_WEIGHTED_N` (elements per weighted session, default
-//! `PLIS_BENCH_N / 5`; `0` skips the weighted sweep) and
-//! `PLIS_BENCH_MAX_WEIGHT` (uniform weight bound, default 1,000).
+//! `PLIS_BENCH_N / 5`; `0` skips the weighted sweep),
+//! `PLIS_BENCH_MAX_WEIGHT` (uniform weight bound, default 1,000), and
+//! `PLIS_BENCH_QUERY_MIX` (comma-separated read fractions for the query
+//! sweep, default `0.25`; `0` alone skips it).
 
 use plis_bench::{
-    bench_repeats, effective_threads, env_usize_list, json_line, time_min, with_bench_threads,
+    bench_repeats, effective_threads, env_f64_list, env_usize_list, json_line, time_min,
+    with_bench_threads,
 };
-use plis_engine::{Backend, DominantMaxKind, Engine, EngineConfig, SessionId, SessionKind};
-use plis_workloads::streaming::{round_robin_ticks, session_fleet, weighted_session_fleet};
+use plis_engine::{
+    Backend, DominantMaxKind, Engine, EngineConfig, Query, QueryBatch, SessionId, SessionKind,
+    TickBatch, TickOp,
+};
+use plis_workloads::streaming::{
+    mixed_session_fleet, round_robin_ticks, session_fleet, weighted_session_fleet, ReadWriteOp,
+};
 
 fn n_per_session() -> usize {
     std::env::var("PLIS_BENCH_N").ok().and_then(|s| s.parse().ok()).unwrap_or(100_000)
@@ -153,15 +163,103 @@ fn weighted_sweep(n: usize, session_counts: &[usize], batch_sizes: &[usize], thr
     }
 }
 
+/// The query sweep: a read/write-mixed fleet through the engine's mixed
+/// ingest+query tick path, one cell per (sessions × mean batch × mix).
+fn query_sweep(
+    n: usize,
+    session_counts: &[usize],
+    batch_sizes: &[usize],
+    query_mixes: &[f64],
+    threads: usize,
+) {
+    const QUERIES_PER_READ: usize = 8;
+    for &sessions in session_counts {
+        for &mean_batch in batch_sizes {
+            for &mix in query_mixes {
+                let (fleet, universe) =
+                    mixed_session_fleet(sessions, n, mean_batch, mix, QUERIES_PER_READ, 0xD00D);
+                let op_ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
+                // Pre-build engine-shaped ticks so the timed loop replays
+                // borrowed schedules, mirroring the ingest sweeps.
+                let ticks: Vec<Vec<(SessionId, TickOp)>> = op_ticks
+                    .into_iter()
+                    .map(|tick| {
+                        tick.into_iter()
+                            .map(|(id, op)| {
+                                let op = match op {
+                                    ReadWriteOp::Write(b) => TickOp::Ingest(TickBatch::Plain(b)),
+                                    ReadWriteOp::Read(specs) => TickOp::Query(QueryBatch::new(
+                                        specs.into_iter().map(Query::from).collect(),
+                                    )),
+                                };
+                                (id, op)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let total_elems: usize = fleet
+                    .iter()
+                    .map(|(_, ops)| ops.iter().map(ReadWriteOp::written).sum::<usize>())
+                    .sum();
+                let total_queries: usize = fleet
+                    .iter()
+                    .map(|(_, ops)| ops.iter().map(ReadWriteOp::queries).sum::<usize>())
+                    .sum();
+
+                let config = EngineConfig { universe, ..EngineConfig::default() };
+                let shards = config.shards;
+                let (secs, answered) = with_bench_threads(|| {
+                    time_min(|| {
+                        let mut engine = Engine::new(config.clone());
+                        let mut answered = 0usize;
+                        for tick in &ticks {
+                            answered += engine.ingest_query_tick(tick).total_queries;
+                        }
+                        answered
+                    })
+                });
+                assert_eq!(answered, total_queries, "every generated query must be answered");
+                println!(
+                    "{}",
+                    json_line(&[
+                        ("bench", "streaming-queries".into()),
+                        ("sessions", sessions.into()),
+                        ("mean_batch", mean_batch.into()),
+                        ("n_per_session", n.into()),
+                        ("query_mix", mix.into()),
+                        ("queries_per_read", QUERIES_PER_READ.into()),
+                        ("shards", shards.into()),
+                        ("threads", threads.into()),
+                        ("ticks", ticks.len().into()),
+                        ("total_elems", total_elems.into()),
+                        ("total_queries", total_queries.into()),
+                        ("secs", secs.into()),
+                        ("elems_per_sec", (total_elems as f64 / secs.max(1e-12)).into()),
+                        ("queries_per_sec", (total_queries as f64 / secs.max(1e-12)).into()),
+                    ])
+                );
+            }
+        }
+    }
+}
+
 fn main() {
     let n = n_per_session();
     let wn = weighted_n_per_session();
     let session_counts = env_usize_list("PLIS_BENCH_SESSIONS", &[1, 4, 16]);
     let batch_sizes = env_usize_list("PLIS_BENCH_BATCH", &[64, 512, 4096]);
+    // Clamp to the generator's ceiling up front so the recorded
+    // `query_mix` field always states the mix that actually ran.
+    let query_mixes: Vec<f64> = env_f64_list("PLIS_BENCH_QUERY_MIX", &[0.25])
+        .into_iter()
+        .filter(|&m| m > 0.0)
+        .map(|m| m.min(0.9))
+        .collect();
     let threads = effective_threads();
     eprintln!(
         "streaming sweep: n_per_session = {n}, weighted n = {wn}, sessions = {session_counts:?}, \
-         mean batch = {batch_sizes:?}, repeats = {}, threads = {threads}",
+         mean batch = {batch_sizes:?}, query mix = {query_mixes:?}, repeats = {}, \
+         threads = {threads}",
         bench_repeats()
     );
 
@@ -169,11 +267,15 @@ fn main() {
     if wn > 0 {
         weighted_sweep(wn, &session_counts, &batch_sizes, threads);
     }
+    if !query_mixes.is_empty() {
+        query_sweep(n, &session_counts, &batch_sizes, &query_mixes, threads);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use plis_workloads::streaming::QuerySpec;
 
     #[test]
     fn ticks_cover_every_batch_exactly_once() {
@@ -199,5 +301,20 @@ mod tests {
     fn json_value_conversions_compile() {
         let _: plis_bench::JsonValue = 1u64.into();
         let _: plis_bench::JsonValue = 1.5f64.into();
+    }
+
+    #[test]
+    fn mixed_ticks_preserve_writes_and_reads() {
+        let (fleet, _) = mixed_session_fleet(3, 600, 64, 0.3, 4, 11);
+        let ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
+        let written: usize = ticks.iter().flat_map(|t| t.iter().map(|(_, op)| op.written())).sum();
+        let queried: usize = ticks.iter().flat_map(|t| t.iter().map(|(_, op)| op.queries())).sum();
+        assert_eq!(written, 3 * 600);
+        assert!(queried > 0);
+        // The spec → engine-query mapping is total.
+        for spec in [QuerySpec::RankOf(0), QuerySpec::CountAt(1), QuerySpec::TopK(2)] {
+            let _ = Query::from(spec);
+        }
+        assert_eq!(Query::from(QuerySpec::Certificate), Query::Certificate);
     }
 }

@@ -15,6 +15,8 @@
 //!   unset: the hardware default).  Sweeps record the effective count.
 //! * `PLIS_BENCH_SESSIONS` / `PLIS_BENCH_BATCH` — comma-separated sweep
 //!   overrides for the `streaming` binary.
+//! * `PLIS_BENCH_QUERY_MIX` — comma-separated read fractions for the
+//!   `streaming` binary's mixed read/write sweep (`0` skips it).
 //!
 //! The `streaming` binary emits one [`json_line`] per sweep cell so perf
 //! trajectories can be recorded as `BENCH_*.json` files across PRs.
@@ -205,6 +207,19 @@ pub fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
     }
 }
 
+/// Comma-separated `f64` list from an environment variable, with a default
+/// (used by the streaming binary's `PLIS_BENCH_QUERY_MIX` sweep axis).
+pub fn env_f64_list(name: &str, default: &[f64]) -> Vec<f64> {
+    match std::env::var(name) {
+        Ok(raw) => raw
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("bad {name} entry: {s:?}")))
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +241,11 @@ mod tests {
     #[test]
     fn env_usize_list_falls_back_to_default() {
         assert_eq!(env_usize_list("PLIS_TEST_UNSET_VAR", &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn env_f64_list_falls_back_to_default() {
+        assert_eq!(env_f64_list("PLIS_TEST_UNSET_VAR", &[0.25]), vec![0.25]);
     }
 
     #[test]

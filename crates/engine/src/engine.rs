@@ -27,6 +27,7 @@
 //! into a weighted session ingest with unit weights; weighted batches into
 //! an unweighted session are a caller error (panic).
 
+use crate::query::{MixedTickReport, OpReport, QueryBatch, QueryReport, QueryTickReport, TickOp};
 use crate::session::{Backend, IngestReport, StreamingLis};
 use crate::wsession::{WeightedIngestReport, WeightedStreamingLis};
 use plis_lis::DominantMaxKind;
@@ -43,6 +44,7 @@ use std::sync::Arc;
 pub struct SessionId(Arc<str>);
 
 impl SessionId {
+    /// The session name as a plain string slice.
     pub fn as_str(&self) -> &str {
         &self.0
     }
@@ -134,6 +136,13 @@ impl BatchRef<'_> {
             BatchRef::Weighted(_) => SessionKind::Weighted,
         }
     }
+}
+
+/// Borrowed view of one slot of a mixed tick: a write or a read.
+#[derive(Debug, Clone, Copy)]
+enum OpRef<'a> {
+    Ingest(BatchRef<'a>),
+    Query(&'a QueryBatch),
 }
 
 /// Engine-wide configuration, applied to every session it creates.
@@ -289,41 +298,91 @@ struct Shard {
     sessions: HashMap<Arc<str>, SessionState>,
 }
 
-/// One batch of a tick, borrowed from the caller: original tick position,
-/// target session, payload.
-type WorkItem<'a> = (usize, &'a SessionId, BatchRef<'a>);
+/// What one shard hands back from a tick: position-labeled reports plus
+/// the worker thread that produced them.
+type ShardOutput<R> = (Vec<(usize, SessionId, R)>, std::thread::ThreadId);
+
+/// The last stage of every tick path: merge per-shard outputs back into
+/// tick order and count the distinct worker threads that participated
+/// (at least 1, so empty ticks still report the calling thread).
+fn reassemble<R>(per_shard: Vec<ShardOutput<R>>, expected: usize) -> (Vec<(SessionId, R)>, usize) {
+    let worker_threads =
+        per_shard.iter().map(|(_, id)| *id).collect::<std::collections::HashSet<_>>().len().max(1);
+    let mut labeled: Vec<(usize, SessionId, R)> =
+        per_shard.into_iter().flat_map(|(reports, _)| reports).collect();
+    labeled.sort_unstable_by_key(|slot| slot.0);
+    debug_assert_eq!(labeled.len(), expected);
+    (labeled.into_iter().map(|(_, id, r)| (id, r)).collect(), worker_threads)
+}
+
+/// Distinct sessions among `(name, flag)` pairs: `(total, flagged)` counts
+/// — the session-axis summaries of the tick reports.
+fn distinct_sessions<'a>(pairs: impl Iterator<Item = (&'a str, bool)>) -> (usize, usize) {
+    let mut names: Vec<(&str, bool)> = pairs.collect();
+    names.sort_unstable();
+    names.dedup();
+    let flagged = names.iter().filter(|&&(_, flag)| flag).count();
+    (names.len(), flagged)
+}
+
+/// One slot of a mixed tick, borrowed from the caller: original tick
+/// position, target session, payload.
+type WorkItem<'a> = (usize, &'a SessionId, OpRef<'a>);
+
+/// One query batch of a read-only tick: original tick position, target
+/// session, queries.
+type QueryItem<'a> = (usize, &'a SessionId, &'a QueryBatch);
 
 impl Shard {
-    /// Apply this shard's slice of the tick, in tick order, creating
-    /// sessions on first contact.
+    /// Apply this shard's slice of a mixed tick, in tick order.  Writes
+    /// create sessions on first contact; reads never do — a query against
+    /// an absent session reports [`QueryReport::missing`].
     fn process(
         &mut self,
         work: Vec<WorkItem<'_>>,
         config: &EngineConfig,
-    ) -> Vec<(usize, SessionId, BatchReport)> {
+    ) -> Vec<(usize, SessionId, OpReport)> {
         work.into_iter()
-            .map(|(index, id, batch)| {
-                let state = self
-                    .sessions
-                    .entry(id.key())
-                    .or_insert_with(|| config.new_session(batch.implied_kind(config.default_kind)));
-                let report = match (state, batch) {
-                    (SessionState::Unweighted(s), BatchRef::Plain(b)) => {
-                        BatchReport::Unweighted(s.ingest(b))
+            .map(|(index, id, op)| {
+                let report = match op {
+                    OpRef::Ingest(batch) => {
+                        let state = self.sessions.entry(id.key()).or_insert_with(|| {
+                            config.new_session(batch.implied_kind(config.default_kind))
+                        });
+                        let report = match (state, batch) {
+                            (SessionState::Unweighted(s), BatchRef::Plain(b)) => {
+                                BatchReport::Unweighted(s.ingest(b))
+                            }
+                            (SessionState::Weighted(s), BatchRef::Plain(b)) => {
+                                BatchReport::Weighted(s.ingest_plain(b))
+                            }
+                            (SessionState::Weighted(s), BatchRef::Weighted(b)) => {
+                                BatchReport::Weighted(s.ingest(b))
+                            }
+                            (SessionState::Unweighted(_), BatchRef::Weighted(_)) => {
+                                panic!("weighted batch sent to unweighted session {id}")
+                            }
+                        };
+                        OpReport::Ingest(report)
                     }
-                    (SessionState::Weighted(s), BatchRef::Plain(b)) => {
-                        BatchReport::Weighted(s.ingest_plain(b))
-                    }
-                    (SessionState::Weighted(s), BatchRef::Weighted(b)) => {
-                        BatchReport::Weighted(s.ingest(b))
-                    }
-                    (SessionState::Unweighted(_), BatchRef::Weighted(_)) => {
-                        panic!("weighted batch sent to unweighted session {id}")
-                    }
+                    OpRef::Query(batch) => OpReport::Query(self.answer(id, batch)),
                 };
                 (index, id.clone(), report)
             })
             .collect()
+    }
+
+    /// Answer one query batch against this shard's copy of the session.
+    fn answer(&self, id: &SessionId, batch: &QueryBatch) -> QueryReport {
+        match self.sessions.get(id.as_str()) {
+            Some(state) => state.answer_batch(batch),
+            None => QueryReport::missing(),
+        }
+    }
+
+    /// Answer this shard's slice of a read-only tick, in tick order.
+    fn query(&self, work: &[QueryItem<'_>]) -> Vec<(usize, SessionId, QueryReport)> {
+        work.iter().map(|&(index, id, batch)| (index, id.clone(), self.answer(id, batch))).collect()
     }
 }
 
@@ -338,6 +397,7 @@ pub struct Engine {
 }
 
 impl Engine {
+    /// An engine under the given configuration (shard count floored at 1).
     pub fn new(mut config: EngineConfig) -> Self {
         config.shards = config.shards.max(1);
         let shards = (0..config.shards).map(|_| Shard::default()).collect();
@@ -349,6 +409,7 @@ impl Engine {
         Engine::new(EngineConfig { universe, ..EngineConfig::default() })
     }
 
+    /// The configuration every session of this engine is created under.
     pub fn config(&self) -> &EngineConfig {
         &self.config
     }
@@ -491,23 +552,104 @@ impl Engine {
         self.process_tick(&work)
     }
 
-    /// The shared tick path: partition by shard, process shards through
-    /// the parallel-iterator surface, reassemble reports in tick order.
-    fn process_tick(&mut self, tick: &[(&SessionId, BatchRef<'_>)]) -> TickReport {
-        let batch_count = tick.len();
-        // Partition the tick by shard, remembering original positions.
-        let mut work: Vec<Vec<WorkItem<'_>>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
-        for (index, &(id, batch)) in tick.iter().enumerate() {
-            let shard = self.shard_index(id.as_str());
-            work[shard].push((index, id, batch));
+    /// Execute a mixed read/write tick: each slot either ingests a batch
+    /// (plain or weighted) or answers a [`QueryBatch`], and slots for the
+    /// same session apply in tick order — so reads observe every write
+    /// that precedes them in the tick.  Writes create sessions on first
+    /// contact exactly like [`Engine::ingest_tick_mixed`]; reads never do.
+    pub fn ingest_query_tick(&mut self, tick: &[(SessionId, TickOp)]) -> MixedTickReport {
+        let work: Vec<(&SessionId, OpRef<'_>)> = tick
+            .iter()
+            .map(|(id, op)| {
+                let r = match op {
+                    TickOp::Ingest(TickBatch::Plain(b)) => {
+                        OpRef::Ingest(BatchRef::Plain(b.as_slice()))
+                    }
+                    TickOp::Ingest(TickBatch::Weighted(b)) => {
+                        OpRef::Ingest(BatchRef::Weighted(b.as_slice()))
+                    }
+                    TickOp::Query(q) => OpRef::Query(q),
+                };
+                (id, r)
+            })
+            .collect();
+        self.process_ops(&work)
+    }
+
+    /// Answer one tick of query batches, shard-parallel with the same
+    /// one-shard grain as ingest.  Reads take `&self`: they mutate
+    /// nothing, never create sessions (absent ids report
+    /// [`QueryReport::missing`]), and reports come back in tick order.
+    pub fn query_tick(&self, tick: &[(SessionId, QueryBatch)]) -> QueryTickReport {
+        let work = self.partition_by_shard(tick.iter().map(|(id, batch)| (id, batch)));
+        let per_shard: Vec<ShardOutput<QueryReport>> = self
+            .shards
+            .par_iter()
+            .zip(work.par_iter())
+            .with_max_len(1)
+            .map(|(shard, work)| (shard.query(work), std::thread::current().id()))
+            .collect();
+        let (reports, worker_threads) = reassemble(per_shard, tick.len());
+
+        let total_queries = reports.iter().map(|(_, r)| r.answers.len()).sum();
+        let (total_sessions, sessions_queried) =
+            distinct_sessions(reports.iter().map(|(id, r)| (id.as_str(), r.answered())));
+        QueryTickReport {
+            reports,
+            total_queries,
+            sessions_queried,
+            sessions_missing: total_sessions - sessions_queried,
+            worker_threads,
         }
+    }
+
+    /// The first stage of every tick path: partition tick slots by shard,
+    /// remembering original positions so reports can be reassembled in
+    /// tick order.
+    fn partition_by_shard<'a, P>(
+        &self,
+        slots: impl Iterator<Item = (&'a SessionId, P)>,
+    ) -> Vec<Vec<(usize, &'a SessionId, P)>> {
+        let mut work: Vec<Vec<(usize, &'a SessionId, P)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (index, (id, payload)) in slots.enumerate() {
+            work[self.shard_index(id.as_str())].push((index, id, payload));
+        }
+        work
+    }
+
+    /// The write-plane tick path: wrap every batch as a write op and strip
+    /// the mixed report back down to a [`TickReport`].
+    fn process_tick(&mut self, tick: &[(&SessionId, BatchRef<'_>)]) -> TickReport {
+        let ops: Vec<(&SessionId, OpRef<'_>)> =
+            tick.iter().map(|&(id, batch)| (id, OpRef::Ingest(batch))).collect();
+        let mixed = self.process_ops(&ops);
+        TickReport {
+            reports: mixed
+                .reports
+                .into_iter()
+                .map(|(id, op)| match op {
+                    OpReport::Ingest(r) => (id, r),
+                    OpReport::Query(_) => unreachable!("write-only tick produced a query report"),
+                })
+                .collect(),
+            total_ingested: mixed.total_ingested,
+            sessions_touched: mixed.sessions_touched,
+            weighted_sessions_touched: mixed.weighted_sessions_touched,
+            worker_threads: mixed.worker_threads,
+        }
+    }
+
+    /// The shared mixed-tick path: partition by shard, process shards
+    /// through the parallel-iterator surface (one piece per shard — shards
+    /// are few but heavy, so the default element-count grain would
+    /// under-split), reassemble reports in tick order.
+    fn process_ops(&mut self, tick: &[(&SessionId, OpRef<'_>)]) -> MixedTickReport {
+        let mut work = self.partition_by_shard(tick.iter().map(|&(id, op)| (id, op)));
 
         // Process the disjoint shards through the parallel-iterator surface.
-        // `with_max_len(1)` makes every shard its own piece: shards are few
-        // but heavy, so the default element-count grain would under-split.
-        type ShardOutput = (Vec<(usize, SessionId, BatchReport)>, std::thread::ThreadId);
         let config = &self.config;
-        let per_shard: Vec<ShardOutput> = self
+        let per_shard: Vec<ShardOutput<OpReport>> = self
             .shards
             .par_iter_mut()
             .zip(work.par_iter_mut())
@@ -516,32 +658,24 @@ impl Engine {
                 (shard.process(std::mem::take(work), config), std::thread::current().id())
             })
             .collect();
-        let worker_threads = per_shard
-            .iter()
-            .map(|(_, id)| *id)
-            .collect::<std::collections::HashSet<_>>()
-            .len()
-            .max(1);
-        let mut labeled: Vec<(usize, SessionId, BatchReport)> =
-            per_shard.into_iter().flat_map(|(reports, _)| reports).collect();
-        labeled.sort_unstable_by_key(|&(index, _, _)| index);
-        debug_assert_eq!(labeled.len(), batch_count);
+        let (reports, worker_threads) = reassemble(per_shard, tick.len());
 
-        let total_ingested = labeled.iter().map(|(_, _, r)| r.ingested()).sum();
-        let (sessions_touched, weighted_sessions_touched) = {
-            let mut names: Vec<(&str, bool)> = labeled
-                .iter()
-                .map(|(_, id, r)| (id.as_str(), matches!(r, BatchReport::Weighted(_))))
-                .collect();
-            names.sort_unstable();
-            names.dedup();
-            (names.len(), names.iter().filter(|&&(_, weighted)| weighted).count())
-        };
-        TickReport {
-            reports: labeled.into_iter().map(|(_, id, r)| (id, r)).collect(),
+        let total_ingested = reports.iter().map(|(_, r)| r.ingested()).sum();
+        let total_queries = reports.iter().map(|(_, r)| r.queries()).sum();
+        let (sessions_touched, weighted_sessions_touched) =
+            distinct_sessions(reports.iter().filter_map(|(id, r)| {
+                r.as_ingest().map(|r| (id.as_str(), matches!(r, BatchReport::Weighted(_))))
+            }));
+        let (sessions_queried, _) = distinct_sessions(reports.iter().filter_map(|(id, r)| {
+            r.as_query().filter(|q| q.answered()).map(|_| (id.as_str(), false))
+        }));
+        MixedTickReport {
+            reports,
             total_ingested,
+            total_queries,
             sessions_touched,
             weighted_sessions_touched,
+            sessions_queried,
             worker_threads,
         }
     }
@@ -728,6 +862,68 @@ mod tests {
         assert_eq!(engine.session_kind("w"), Some(SessionKind::Weighted));
         assert_eq!(engine.best_score("w"), Some(0));
         assert_eq!(engine.lis_length("w"), None, "kind-mismatched accessor returns None");
+    }
+
+    #[test]
+    fn query_ticks_answer_in_order_and_skip_missing_sessions() {
+        use crate::query::{Query, QueryAnswer, QueryBatch};
+        let mut engine =
+            Engine::new(EngineConfig { universe: 1 << 10, shards: 4, ..EngineConfig::default() });
+        engine.ingest_tick(vec![(SessionId::from("a"), vec![1, 5, 3, 7])]);
+        engine.ingest_weighted_tick(vec![(SessionId::from("w"), vec![(2u64, 10u64), (4, 20)])]);
+
+        let tick: Vec<(SessionId, QueryBatch)> = vec![
+            (SessionId::from("a"), vec![Query::RankOf(3), Query::CountAt(1)].into()),
+            (SessionId::from("ghost"), Query::Certificate.into()),
+            (SessionId::from("w"), vec![Query::RankOf(1), Query::TopK(1)].into()),
+            (SessionId::from("a"), Query::Certificate.into()),
+        ];
+        let report = engine.query_tick(&tick);
+        assert_eq!(report.reports.len(), 4);
+        assert_eq!(report.total_queries, 5, "missing sessions answer nothing");
+        assert_eq!(report.sessions_queried, 2);
+        assert_eq!(report.sessions_missing, 1);
+        let ids: Vec<&str> = report.reports.iter().map(|(id, _)| id.as_str()).collect();
+        assert_eq!(ids, vec!["a", "ghost", "w", "a"]);
+        assert_eq!(report.reports[0].1.answers[0], QueryAnswer::Rank(Some(3)));
+        assert_eq!(report.reports[0].1.answers[1], QueryAnswer::Count(1));
+        assert!(!report.reports[1].1.answered());
+        assert_eq!(report.reports[2].1.answers[0], QueryAnswer::Rank(Some(30)));
+        assert_eq!(report.reports[2].1.answers[1], QueryAnswer::TopK(vec![(1, 30)]));
+        let QueryAnswer::Certificate(cert) = &report.reports[3].1.answers[0] else {
+            panic!("expected a certificate");
+        };
+        assert_eq!(cert.claimed, 3); // 1 < 5 < 7 (or 1 < 3 < 7)
+                                     // Queries never create sessions.
+        assert_eq!(engine.session_count(), 2);
+    }
+
+    #[test]
+    fn mixed_read_write_ticks_read_their_own_writes() {
+        use crate::query::{Query, QueryAnswer, TickOp};
+        let mut engine =
+            Engine::new(EngineConfig { universe: 1 << 10, shards: 2, ..EngineConfig::default() });
+        let tick: Vec<(SessionId, TickOp)> = vec![
+            // Query before the session exists: missing, no session created.
+            (SessionId::from("s"), TickOp::Query(Query::RankOf(0).into())),
+            (SessionId::from("s"), TickOp::Ingest(vec![10u64, 20].into())),
+            // Query between two writes to the same session sees the first.
+            (SessionId::from("s"), TickOp::Query(vec![Query::RankOf(1), Query::RankOf(2)].into())),
+            (SessionId::from("s"), TickOp::Ingest(vec![30u64].into())),
+            (SessionId::from("s"), TickOp::Query(Query::RankOf(2).into())),
+        ];
+        let report = engine.ingest_query_tick(&tick);
+        assert_eq!(report.total_ingested, 3);
+        assert_eq!(report.total_queries, 3, "the missing-session batch answers nothing");
+        assert_eq!(report.sessions_touched, 1);
+        assert_eq!(report.weighted_sessions_touched, 0);
+        assert_eq!(report.sessions_queried, 1);
+        assert!(!report.reports[0].1.as_query().unwrap().answered());
+        let mid = report.reports[2].1.as_query().unwrap();
+        assert_eq!(mid.answers, vec![QueryAnswer::Rank(Some(2)), QueryAnswer::Rank(None)]);
+        let last = report.reports[4].1.as_query().unwrap();
+        assert_eq!(last.answers, vec![QueryAnswer::Rank(Some(3))]);
+        assert_eq!(engine.lis_length("s"), Some(3));
     }
 
     #[test]

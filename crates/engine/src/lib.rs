@@ -29,6 +29,14 @@
 //!   across the fork-join pool, and processes a whole tick — plain,
 //!   weighted, or mixed ([`TickBatch`]) — in parallel: the "heavy traffic"
 //!   shape of the ROADMAP.
+//! * The **query plane** ([`query`]) — typed reads served from live
+//!   sessions with the same shard/tick parallelism as ingest: per-element
+//!   dp values ([`Query::RankOf`]), dp-value counts ([`Query::CountAt`]),
+//!   top-k by dp ([`Query::TopK`]), and full LIS/WLIS certificate
+//!   reconstruction ([`Query::Certificate`]), batched per session
+//!   ([`QueryBatch`]) and executed by [`Engine::query_tick`] (read-only)
+//!   or interleaved with writes by [`Engine::ingest_query_tick`]
+//!   ([`TickOp`]).
 //!
 //! # Quick start
 //!
@@ -56,9 +64,18 @@
 //! let wtick = vec![(SessionId::from("carol"), TickBatch::from(vec![(3u64, 10u64), (7, 5)]))];
 //! engine.ingest_tick_mixed(&wtick);
 //! assert_eq!(engine.best_score("carol"), Some(15)); // 3 then 7: 10 + 5
+//!
+//! // Reads ride ticks too: batched queries, answered shard-parallel.
+//! use plis_engine::{Query, QueryAnswer, QueryBatch};
+//! let qtick = vec![(SessionId::from("alice"), QueryBatch::from(Query::TopK(1)))];
+//! let answers = engine.query_tick(&qtick);
+//! assert_eq!(answers.reports[0].1.answers[0], QueryAnswer::TopK(vec![(5, 4)])); // 9, rank 4
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod engine;
+pub mod query;
 pub mod session;
 pub mod wsession;
 
@@ -66,5 +83,9 @@ pub use engine::{
     BatchReport, Engine, EngineConfig, SessionId, SessionKind, SessionState, TickBatch, TickReport,
 };
 pub use plis_lis::DominantMaxKind;
+pub use query::{
+    Certificate, MixedTickReport, OpReport, Query, QueryAnswer, QueryBatch, QueryReport,
+    QueryTickReport, TickOp,
+};
 pub use session::{Backend, IngestPath, IngestReport, StreamingLis, StreamingLisOn};
 pub use wsession::{WeightedIngestReport, WeightedStreamingLis};

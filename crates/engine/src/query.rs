@@ -1,0 +1,352 @@
+//! The engine's **query plane**: typed reads against live sessions,
+//! batched and executed shard-parallel exactly like ingest ticks.
+//!
+//! The write plane (PR 1–3) ships data *into* sessions as
+//! `(SessionId, TickBatch)` pairs; this module is its read mirror.  A
+//! [`Query`] is one read, a [`QueryBatch`] is the reads addressed to one
+//! session (the analogue of [`TickBatch`]), and
+//! [`Engine::query_tick`](crate::Engine::query_tick) partitions a whole
+//! tick of query batches by shard and answers them through the same
+//! join-splitting `par_iter` surface — one piece per shard — that ingest
+//! uses.  Reads take `&Engine`, mutate nothing, and never create sessions.
+//!
+//! Mixed read/write traffic goes through
+//! [`Engine::ingest_query_tick`](crate::Engine::ingest_query_tick): a tick
+//! of [`TickOp`]s, where each slot either ingests a batch or answers a
+//! query batch.  Because a session lives in exactly one shard and each
+//! shard replays its slice of the tick sequentially, a query slot observes
+//! every write slot that precedes it in the tick — the natural
+//! read-your-writes ordering.
+//!
+//! Every query has one semantics over the session-kind axis: the *dp
+//! value* of an element is its rank in an unweighted session and its
+//! Algorithm-2 score in a weighted one, so the same [`Query`] values work
+//! against both kinds and answers carry dp values as `u64` either way.
+//! Certificate answers are full reconstructions
+//! ([`StreamingLisOn::reconstruct_lis`] /
+//! [`WeightedStreamingLis::reconstruct_wlis`]) and are deterministic:
+//! bit-identical to the offline Appendix-A walk on the same prefix, which
+//! is what `crates/engine/tests/query_oracle.rs` asserts.
+//!
+//! [`StreamingLisOn::reconstruct_lis`]: crate::StreamingLisOn::reconstruct_lis
+//! [`WeightedStreamingLis::reconstruct_wlis`]: crate::WeightedStreamingLis::reconstruct_wlis
+
+use crate::engine::{SessionKind, SessionState, TickBatch};
+
+/// One read against a live session.  The *dp value* a query speaks of is
+/// the element's rank (unweighted sessions) or its Algorithm-2 score
+/// (weighted sessions), always carried as `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// The dp value of the `i`-th ingested element (`None` when fewer
+    /// than `i + 1` elements have arrived).
+    RankOf(usize),
+    /// How many ingested elements have dp value exactly this.
+    CountAt(u64),
+    /// The `k` best elements by dp value: `(index, dp)` pairs ordered by
+    /// descending dp, ties by ascending index.
+    TopK(usize),
+    /// A full certificate: one optimal increasing subsequence (LIS or
+    /// maximum-weight), reconstructed from the maintained ranks/scores.
+    Certificate,
+}
+
+/// The reads addressed to one session within a query tick — the read
+/// analogue of [`TickBatch`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryBatch(Vec<Query>);
+
+impl QueryBatch {
+    /// A batch over the given queries.
+    pub fn new(queries: Vec<Query>) -> Self {
+        QueryBatch(queries)
+    }
+
+    /// The queries, in batch order.
+    pub fn queries(&self) -> &[Query] {
+        &self.0
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<Query>> for QueryBatch {
+    fn from(queries: Vec<Query>) -> Self {
+        QueryBatch(queries)
+    }
+}
+
+impl From<Query> for QueryBatch {
+    fn from(query: Query) -> Self {
+        QueryBatch(vec![query])
+    }
+}
+
+impl From<plis_workloads::streaming::QuerySpec> for Query {
+    /// The canonical mapping from the workload generator's engine-agnostic
+    /// query specs ([`plis_workloads::streaming::read_write_mix`]) onto
+    /// live queries — shared by the benchmark harness, the oracle test
+    /// layer, and the examples so the translation exists exactly once.
+    fn from(spec: plis_workloads::streaming::QuerySpec) -> Self {
+        use plis_workloads::streaming::QuerySpec;
+        match spec {
+            QuerySpec::RankOf(i) => Query::RankOf(i),
+            QuerySpec::CountAt(v) => Query::CountAt(v),
+            QuerySpec::TopK(k) => Query::TopK(k),
+            QuerySpec::Certificate => Query::Certificate,
+        }
+    }
+}
+
+/// A reconstructed optimal increasing subsequence, as returned by
+/// [`Query::Certificate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Indices of the subsequence in arrival order (strictly increasing;
+    /// the session values along them strictly increase too).
+    pub indices: Vec<usize>,
+    /// The claimed optimum the indices certify: the LIS length for an
+    /// unweighted session, the best total weight for a weighted one.
+    pub claimed: u64,
+}
+
+/// The answer to one [`Query`], in the same order as the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryAnswer {
+    /// Answer to [`Query::RankOf`]: the element's dp value, or `None` if
+    /// the index is beyond the stream.
+    Rank(Option<u64>),
+    /// Answer to [`Query::CountAt`].
+    Count(usize),
+    /// Answer to [`Query::TopK`]: `(index, dp)` pairs, dp descending,
+    /// ties by ascending index.
+    TopK(Vec<(usize, u64)>),
+    /// Answer to [`Query::Certificate`].
+    Certificate(Certificate),
+}
+
+/// What one [`QueryBatch`] returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReport {
+    /// Kind of the session that answered, or `None` when the session does
+    /// not exist (queries never create sessions; `answers` is then empty).
+    pub kind: Option<SessionKind>,
+    /// One answer per query, in batch order.
+    pub answers: Vec<QueryAnswer>,
+}
+
+impl QueryReport {
+    /// The report for a query batch addressed to a session that does not
+    /// exist.
+    pub fn missing() -> Self {
+        QueryReport { kind: None, answers: Vec::new() }
+    }
+
+    /// True when the addressed session existed and answered.
+    pub fn answered(&self) -> bool {
+        self.kind.is_some()
+    }
+}
+
+/// One slot of a mixed read/write tick
+/// ([`Engine::ingest_query_tick`](crate::Engine::ingest_query_tick)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TickOp {
+    /// Write: ingest one batch (plain or weighted).
+    Ingest(TickBatch),
+    /// Read: answer one query batch against the state so far — including
+    /// every earlier slot of the *same tick* addressed to the session.
+    Query(QueryBatch),
+}
+
+impl From<TickBatch> for TickOp {
+    fn from(batch: TickBatch) -> Self {
+        TickOp::Ingest(batch)
+    }
+}
+
+impl From<QueryBatch> for TickOp {
+    fn from(batch: QueryBatch) -> Self {
+        TickOp::Query(batch)
+    }
+}
+
+/// What one slot of a mixed tick did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpReport {
+    /// The slot was a write.
+    Ingest(crate::BatchReport),
+    /// The slot was a read.
+    Query(QueryReport),
+}
+
+impl OpReport {
+    /// Elements ingested by this slot (0 for reads).
+    pub fn ingested(&self) -> usize {
+        match self {
+            OpReport::Ingest(r) => r.ingested(),
+            OpReport::Query(_) => 0,
+        }
+    }
+
+    /// Queries answered by this slot (0 for writes).
+    pub fn queries(&self) -> usize {
+        match self {
+            OpReport::Ingest(_) => 0,
+            OpReport::Query(r) => r.answers.len(),
+        }
+    }
+
+    /// The ingest report, if this slot was a write.
+    pub fn as_ingest(&self) -> Option<&crate::BatchReport> {
+        match self {
+            OpReport::Ingest(r) => Some(r),
+            OpReport::Query(_) => None,
+        }
+    }
+
+    /// The query report, if this slot was a read.
+    pub fn as_query(&self) -> Option<&QueryReport> {
+        match self {
+            OpReport::Query(r) => Some(r),
+            OpReport::Ingest(_) => None,
+        }
+    }
+}
+
+/// What one [`Engine::query_tick`](crate::Engine::query_tick) call did.
+#[derive(Debug, Clone)]
+pub struct QueryTickReport {
+    /// One report per input query batch, in the original tick order.
+    pub reports: Vec<(crate::SessionId, QueryReport)>,
+    /// Total queries answered across all batches (missing sessions answer
+    /// nothing).
+    pub total_queries: usize,
+    /// Number of distinct existing sessions that answered queries.
+    pub sessions_queried: usize,
+    /// Number of distinct session ids addressed that do not exist.
+    pub sessions_missing: usize,
+    /// Number of distinct worker threads that served shards — the same
+    /// observational field as
+    /// [`TickReport::worker_threads`](crate::TickReport::worker_threads).
+    pub worker_threads: usize,
+}
+
+/// What one [`Engine::ingest_query_tick`](crate::Engine::ingest_query_tick)
+/// call did — the mixed analogue of [`TickReport`](crate::TickReport) and
+/// [`QueryTickReport`].
+#[derive(Debug, Clone)]
+pub struct MixedTickReport {
+    /// One report per input slot, in the original tick order.
+    pub reports: Vec<(crate::SessionId, OpReport)>,
+    /// Total elements ingested by the write slots.
+    pub total_ingested: usize,
+    /// Total queries answered by the read slots.
+    pub total_queries: usize,
+    /// Number of distinct sessions that received data.
+    pub sessions_touched: usize,
+    /// Of [`MixedTickReport::sessions_touched`], how many were weighted.
+    pub weighted_sessions_touched: usize,
+    /// Number of distinct existing sessions that answered queries.
+    pub sessions_queried: usize,
+    /// Number of distinct worker threads that served shards (see
+    /// [`TickReport::worker_threads`](crate::TickReport::worker_threads)).
+    pub worker_threads: usize,
+}
+
+impl SessionState {
+    /// Answer one query against this session, whatever its kind.
+    pub fn answer(&self, query: Query) -> QueryAnswer {
+        match self {
+            SessionState::Unweighted(s) => match query {
+                Query::RankOf(i) => QueryAnswer::Rank(s.rank_of(i).map(u64::from)),
+                Query::CountAt(v) => {
+                    // Ranks are u32; larger probes cannot match anything.
+                    QueryAnswer::Count(u32::try_from(v).map_or(0, |r| s.count_at_rank(r)))
+                }
+                Query::TopK(k) => QueryAnswer::TopK(s.top_k(k)),
+                Query::Certificate => QueryAnswer::Certificate(Certificate {
+                    indices: s.reconstruct_lis(),
+                    claimed: s.lis_length() as u64,
+                }),
+            },
+            SessionState::Weighted(s) => match query {
+                Query::RankOf(i) => QueryAnswer::Rank(s.score_of(i)),
+                Query::CountAt(v) => QueryAnswer::Count(s.count_at_score(v)),
+                Query::TopK(k) => QueryAnswer::TopK(s.top_k(k)),
+                Query::Certificate => QueryAnswer::Certificate(Certificate {
+                    indices: s.reconstruct_wlis(),
+                    claimed: s.best_score(),
+                }),
+            },
+        }
+    }
+
+    /// Answer a whole query batch, in batch order.
+    pub fn answer_batch(&self, batch: &QueryBatch) -> QueryReport {
+        QueryReport {
+            kind: Some(self.kind()),
+            answers: batch.queries().iter().map(|&q| self.answer(q)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{Backend, StreamingLis};
+    use crate::wsession::WeightedStreamingLis;
+    use plis_lis::DominantMaxKind;
+
+    #[test]
+    fn answers_agree_with_the_session_accessors() {
+        let mut plain = StreamingLis::new(100, Backend::Auto);
+        plain.ingest(&[10, 20, 5, 30]);
+        let state = SessionState::Unweighted(plain.clone());
+        assert_eq!(state.answer(Query::RankOf(3)), QueryAnswer::Rank(Some(3)));
+        assert_eq!(state.answer(Query::RankOf(99)), QueryAnswer::Rank(None));
+        assert_eq!(state.answer(Query::CountAt(1)), QueryAnswer::Count(2));
+        assert_eq!(state.answer(Query::CountAt(u64::MAX)), QueryAnswer::Count(0));
+        assert_eq!(state.answer(Query::TopK(1)), QueryAnswer::TopK(vec![(3, 3)]));
+        let QueryAnswer::Certificate(cert) = state.answer(Query::Certificate) else {
+            panic!("expected a certificate");
+        };
+        assert_eq!(cert.claimed, 3);
+        assert_eq!(cert.indices, plain.reconstruct_lis());
+
+        let mut weighted = WeightedStreamingLis::new(100, DominantMaxKind::Auto);
+        weighted.ingest(&[(10, 4), (20, 6)]);
+        let state = SessionState::Weighted(weighted);
+        assert_eq!(state.answer(Query::RankOf(1)), QueryAnswer::Rank(Some(10)));
+        assert_eq!(state.answer(Query::CountAt(10)), QueryAnswer::Count(1));
+        let QueryAnswer::Certificate(cert) = state.answer(Query::Certificate) else {
+            panic!("expected a certificate");
+        };
+        assert_eq!(cert.claimed, 10);
+        assert_eq!(cert.indices, vec![0, 1]);
+    }
+
+    #[test]
+    fn batch_reports_carry_kind_and_order() {
+        let mut plain = StreamingLis::new(100, Backend::Auto);
+        plain.ingest(&[1, 2, 3]);
+        let state = SessionState::Unweighted(plain);
+        let batch = QueryBatch::from(vec![Query::CountAt(1), Query::RankOf(0)]);
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        let report = state.answer_batch(&batch);
+        assert_eq!(report.kind, Some(SessionKind::Unweighted));
+        assert!(report.answered());
+        assert_eq!(report.answers[0], QueryAnswer::Count(1));
+        assert_eq!(report.answers[1], QueryAnswer::Rank(Some(1)));
+        assert!(!QueryReport::missing().answered());
+    }
+}

@@ -31,6 +31,19 @@
 //! dp(b) = r + 1})`, computed by grouping the batch by rank with the
 //! counting-sort primitive ([`group_by_rank`]).
 //!
+//! # Queries
+//!
+//! Ranks are final on ingest, so the session can serve a live *query
+//! plane* next to ingestion.  Alongside `values`/`ranks`/`tails` it
+//! maintains the per-rank **frontiers** (`by_rank[r - 1]` = indices of the
+//! rank-`r` elements, in arrival order — which is increasing-index order,
+//! because ranks never change): `O(batch)` upkeep per ingest, and every
+//! read is output-sensitive — [`StreamingLisOn::count_at_rank`] is `O(1)`,
+//! [`StreamingLisOn::top_k`] is `O(k)`, and
+//! [`StreamingLisOn::reconstruct_lis`] walks the frontiers directly
+//! (`O(k log n)`, Appendix A) instead of re-grouping the rank array per
+//! query.
+//!
 //! # Backends
 //!
 //! The session type [`StreamingLisOn`] is **generic over the
@@ -156,6 +169,10 @@ pub struct StreamingLisOn<S: TailSet> {
     /// The patience tails: `tails[r]` = smallest value ending an increasing
     /// subsequence of length `r + 1`.  Strictly increasing.
     tails: Vec<u64>,
+    /// Per-rank frontiers: `by_rank[r - 1]` = indices of the rank-`r`
+    /// elements in increasing order.  Ranks are final, so lists only grow
+    /// at the end; this is exactly the grouping Appendix A walks.
+    by_rank: Vec<Vec<usize>>,
     /// Value-domain mirror of `tails`.
     store: S,
     universe: u64,
@@ -189,6 +206,7 @@ impl<S: TailSet> StreamingLisOn<S> {
             values: Vec::new(),
             ranks: Vec::new(),
             tails: Vec::new(),
+            by_rank: Vec::new(),
             store,
             universe,
             par_threshold: DEFAULT_PAR_THRESHOLD,
@@ -269,10 +287,47 @@ impl<S: TailSet> StreamingLisOn<S> {
         self.store.succ(&self.tails, x)
     }
 
+    /// Number of ingested elements whose rank (dp value) is exactly
+    /// `rank`.  `O(1)`: the per-rank frontiers are maintained on ingest.
+    /// Rank 0 and ranks above the current LIS length count zero elements.
+    pub fn count_at_rank(&self, rank: u32) -> usize {
+        match rank.checked_sub(1) {
+            Some(r) => self.by_rank.get(r as usize).map_or(0, Vec::len),
+            None => 0,
+        }
+    }
+
+    /// The per-rank frontiers themselves: `frontiers()[r - 1]` lists the
+    /// indices of every rank-`r` element, in increasing order — the
+    /// streaming form of the grouping Appendix A reconstructs from.
+    pub fn frontiers(&self) -> &[Vec<usize>] {
+        &self.by_rank
+    }
+
+    /// The `k` best elements by dp value: `(index, rank)` pairs ordered by
+    /// descending rank, ties by ascending index.  Output-sensitive
+    /// (`O(k)`): walks the maintained frontiers from the top rank down.
+    /// Returns fewer than `k` pairs when the stream is shorter than `k`.
+    pub fn top_k(&self, k: usize) -> Vec<(usize, u64)> {
+        let mut out = Vec::with_capacity(k.min(self.values.len()));
+        for (r, frontier) in self.by_rank.iter().enumerate().rev() {
+            for &idx in frontier {
+                if out.len() == k {
+                    return out;
+                }
+                out.push((idx, r as u64 + 1));
+            }
+        }
+        out
+    }
+
     /// Indices (in arrival order) of one longest increasing subsequence of
-    /// the whole stream, recovered from the stored ranks as in Appendix A.
+    /// the whole stream, recovered by walking the maintained per-rank
+    /// frontiers as in Appendix A (`O(k log n)` per call; no per-query
+    /// grouping pass).  Deterministic, and bit-identical to the offline
+    /// [`plis_lis::lis_indices_from_ranks`] on the same prefix.
     pub fn reconstruct_lis(&self) -> Vec<usize> {
-        plis_lis::lis_indices_from_ranks(&self.values, &self.ranks, self.lis_length())
+        plis_lis::lis_indices_from_frontiers(&self.values, &self.by_rank)
     }
 
     /// Append `batch` to the stream and update all LIS state.
@@ -298,9 +353,14 @@ impl<S: TailSet> StreamingLisOn<S> {
         let lis_before = self.lis_length();
         let mut inserts = 0usize;
         let mut removals = 0usize;
-        for &x in batch {
+        let base = self.values.len();
+        for (offset, &x) in batch.iter().enumerate() {
             let pos = self.tails.partition_point(|&t| t < x);
             self.ranks.push(pos as u32 + 1);
+            if pos == self.by_rank.len() {
+                self.by_rank.push(Vec::new());
+            }
+            self.by_rank[pos].push(base + offset);
             if pos == self.tails.len() {
                 self.tails.push(x);
                 self.store.insert(x);
@@ -340,6 +400,11 @@ impl<S: TailSet> StreamingLisOn<S> {
         );
 
         let batch_ranks = &merged_ranks[k..];
+        let base = self.values.len();
+        self.by_rank.resize_with(new_k as usize, Vec::new);
+        for (offset, &r) in batch_ranks.iter().enumerate() {
+            self.by_rank[(r - 1) as usize].push(base + offset);
+        }
         self.ranks.extend_from_slice(batch_ranks);
         self.values.extend_from_slice(batch);
 
@@ -381,6 +446,16 @@ impl<S: TailSet> StreamingLisOn<S> {
         assert!(self.tails.windows(2).all(|w| w[0] < w[1]), "tails not strictly increasing");
         let k = self.ranks.iter().copied().max().unwrap_or(0);
         assert_eq!(k, self.lis_length(), "max rank must equal the tail count");
+        assert_eq!(self.by_rank.len(), self.tails.len(), "one frontier per rank");
+        let grouped: usize = self.by_rank.iter().map(Vec::len).sum();
+        assert_eq!(grouped, self.ranks.len(), "frontiers must cover every element");
+        for (r, frontier) in self.by_rank.iter().enumerate() {
+            assert!(frontier.windows(2).all(|w| w[0] < w[1]), "frontier {r} not increasing");
+            assert!(
+                frontier.iter().all(|&i| self.ranks[i] as usize == r + 1),
+                "frontier {r} holds a wrong-rank element"
+            );
+        }
         self.store.check_invariants(&self.tails);
     }
 }
@@ -553,6 +628,42 @@ mod tests {
     fn out_of_universe_value_panics() {
         let mut s = StreamingLis::new(16, Backend::SortedVec);
         s.ingest(&[16]);
+    }
+
+    #[test]
+    fn rank_queries_match_the_rank_array() {
+        let mut state = 0xFACEB00Cu64;
+        let input: Vec<u64> = (0..2_500).map(|_| xorshift(&mut state) % 3_000).collect();
+        let mut s = StreamingLis::new(3_000, Backend::Auto).with_par_threshold(150);
+        for chunk in input.chunks(130) {
+            s.ingest(chunk);
+        }
+        // count_at_rank against a scan of the rank array.
+        for rank in 0..=s.lis_length() + 2 {
+            let want = s.ranks().iter().filter(|&&r| r == rank).count();
+            assert_eq!(s.count_at_rank(rank), want, "rank {rank}");
+        }
+        // top_k: descending rank, ties by ascending index, prefix-closed.
+        let full = s.top_k(s.len() + 10);
+        assert_eq!(full.len(), s.len());
+        assert!(full.windows(2).all(|w| w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0)));
+        for &(idx, dp) in &full {
+            assert_eq!(s.ranks()[idx] as u64, dp);
+        }
+        assert_eq!(s.top_k(7), full[..7]);
+        assert_eq!(full[0].1, s.lis_length() as u64);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn queries_on_an_empty_session_are_well_defined() {
+        let s = StreamingLis::new(64, Backend::Auto);
+        assert_eq!(s.count_at_rank(0), 0);
+        assert_eq!(s.count_at_rank(1), 0);
+        assert!(s.top_k(5).is_empty());
+        assert!(s.reconstruct_lis().is_empty());
+        assert!(s.frontiers().is_empty());
+        s.check_invariants();
     }
 
     #[test]

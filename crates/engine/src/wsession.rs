@@ -40,6 +40,17 @@
 //! the scores of the batch elements in the full stream.  The new frontier
 //! is the Pareto staircase of the old frontier and the batch points.
 //!
+//! # Queries
+//!
+//! Scores are final on ingest, so the session serves a live query plane:
+//! [`WeightedStreamingLis::count_at_score`] answers from a maintained
+//! score-multiplicity map in `O(1)`, [`WeightedStreamingLis::top_k`] scans
+//! the score array with a size-`k` heap (`O(n log k)`), and
+//! [`WeightedStreamingLis::reconstruct_wlis`] recovers a maximum-weight
+//! increasing subsequence from the maintained scores with one backward
+//! scan ([`plis_lis::wlis_indices_from_scores`], `O(n)`) — deterministic,
+//! and bit-identical to the same function run offline on the prefix.
+//!
 //! # Backends
 //!
 //! The dominant-max structure used by the parallel path is selected by
@@ -49,6 +60,7 @@
 
 use crate::session::{IngestPath, DEFAULT_PAR_THRESHOLD};
 use plis_lis::{wlis_kind, DominantMaxKind};
+use std::collections::HashMap;
 
 /// What one [`WeightedStreamingLis::ingest`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +105,9 @@ pub struct WeightedStreamingLis {
     /// both coordinates, scores all `≥ 1` (zero-score entries answer no
     /// probe that `max(0, ·)` doesn't already).
     frontier: Vec<(u64, u64)>,
+    /// Multiplicity of every dp score seen so far (`score → count`),
+    /// maintained on ingest so count-at-score queries are `O(1)`.
+    score_counts: HashMap<u64, usize>,
     /// Dominant-max structure used by the parallel merge path (resolved,
     /// never [`DominantMaxKind::Auto`]).
     kind: DominantMaxKind,
@@ -113,6 +128,7 @@ impl WeightedStreamingLis {
             weights: Vec::new(),
             scores: Vec::new(),
             frontier: Vec::new(),
+            score_counts: HashMap::new(),
             kind: kind.resolve(),
             universe,
             par_threshold: DEFAULT_PAR_THRESHOLD,
@@ -192,6 +208,52 @@ impl WeightedStreamingLis {
         pos.checked_sub(1).map_or(0, |i| self.frontier[i].1)
     }
 
+    /// Number of ingested elements whose dp score is exactly `score`.
+    /// `O(1)`: a score-multiplicity map is maintained on ingest.  (Unlike
+    /// unweighted ranks, scores are sparse, so most probes count zero.)
+    pub fn count_at_score(&self, score: u64) -> usize {
+        self.score_counts.get(&score).copied().unwrap_or(0)
+    }
+
+    /// The `k` best elements by dp score: `(index, score)` pairs ordered
+    /// by descending score, ties by ascending index.  `O(n log k)` — a
+    /// single scan with a size-`k` heap (weighted scores are unbounded, so
+    /// there is no frontier list to walk as in the unweighted session).
+    /// Returns fewer than `k` pairs when the stream is shorter than `k`.
+    pub fn top_k(&self, k: usize) -> Vec<(usize, u64)> {
+        use std::cmp::Reverse;
+        if k == 0 {
+            return Vec::new();
+        }
+        // Min-heap of the current best k: the key orders "better" as
+        // (higher score, then smaller index), so the heap top — the
+        // minimum key under Reverse — is the weakest kept candidate.  The
+        // heap never holds more than min(k, n) + 1 entries, so cap the
+        // allocation by the stream length (a huge k must not OOM/panic).
+        let mut heap: std::collections::BinaryHeap<Reverse<(u64, Reverse<usize>)>> =
+            std::collections::BinaryHeap::with_capacity(k.min(self.scores.len()) + 1);
+        for (i, &s) in self.scores.iter().enumerate() {
+            heap.push(Reverse((s, Reverse(i))));
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        let mut out: Vec<(usize, u64)> =
+            heap.into_iter().map(|Reverse((s, Reverse(i)))| (i, s)).collect();
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Indices (in arrival order) of one **maximum-weight** increasing
+    /// subsequence of the whole stream, recovered from the maintained dp
+    /// scores with one backward scan
+    /// ([`plis_lis::wlis_indices_from_scores`]).  The total weight along
+    /// the returned indices equals [`WeightedStreamingLis::best_score`];
+    /// empty when the stream is empty or all weights are zero.
+    pub fn reconstruct_wlis(&self) -> Vec<usize> {
+        plis_lis::wlis_indices_from_scores(&self.values, &self.weights, &self.scores)
+    }
+
     /// Append a batch of `(value, weight)` pairs and update all state.
     ///
     /// # Panics
@@ -225,6 +287,7 @@ impl WeightedStreamingLis {
             self.values.push(x);
             self.weights.push(w);
             self.scores.push(score);
+            *self.score_counts.entry(score).or_default() += 1;
             self.frontier_insert(x, score);
         }
         WeightedIngestReport {
@@ -294,6 +357,9 @@ impl WeightedStreamingLis {
         );
 
         let batch_scores = &dp[k..];
+        for &s in batch_scores {
+            *self.score_counts.entry(s).or_default() += 1;
+        }
         self.scores.extend_from_slice(batch_scores);
         self.values.extend(batch.iter().map(|&(v, _)| v));
         self.weights.extend(batch.iter().map(|&(_, w)| w));
@@ -326,6 +392,11 @@ impl WeightedStreamingLis {
             self.scores.iter().copied().max().unwrap_or(0),
             "best_score must equal the max dp score"
         );
+        let mut want_counts: HashMap<u64, usize> = HashMap::new();
+        for &s in &self.scores {
+            *want_counts.entry(s).or_default() += 1;
+        }
+        assert_eq!(self.score_counts, want_counts, "score multiplicities out of sync");
         let expect =
             pareto_staircase(self.values.iter().zip(&self.scores).map(|(&v, &s)| (v, s)).collect());
         assert_eq!(self.frontier, expect, "frontier must be the Pareto staircase of the stream");
@@ -496,6 +567,48 @@ mod tests {
     fn out_of_universe_value_panics() {
         let mut s = WeightedStreamingLis::new(16, DominantMaxKind::Auto);
         s.ingest(&[(16, 1)]);
+    }
+
+    #[test]
+    fn score_queries_match_the_score_array() {
+        let pairs = random_pairs(1_000, 600, 25, 0xC0DE);
+        let mut s = WeightedStreamingLis::new(600, DominantMaxKind::Auto).with_par_threshold(90);
+        for chunk in pairs.chunks(75) {
+            s.ingest(chunk);
+        }
+        // count_at_score against a scan of the score array.
+        for probe in s.scores().iter().copied().chain([0, 1, u64::MAX]) {
+            let want = s.scores().iter().filter(|&&x| x == probe).count();
+            assert_eq!(s.count_at_score(probe), want, "score {probe}");
+        }
+        // top_k: descending score, ties by ascending index, prefix-closed.
+        let full = s.top_k(s.len() + 10);
+        assert_eq!(full.len(), s.len());
+        assert!(full.windows(2).all(|w| w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0)));
+        for &(idx, dp) in &full {
+            assert_eq!(s.scores()[idx], dp);
+        }
+        assert_eq!(s.top_k(9), full[..9]);
+        assert_eq!(full[0].1, s.best_score());
+        assert!(s.top_k(0).is_empty());
+        // Huge k must not overflow the heap allocation.
+        assert_eq!(s.top_k(usize::MAX), full);
+        // The certificate carries the claimed total weight.
+        let cert = s.reconstruct_wlis();
+        assert!(cert.windows(2).all(|w| w[0] < w[1]));
+        assert!(cert.windows(2).all(|w| s.values()[w[0]] < s.values()[w[1]]));
+        assert_eq!(cert.iter().map(|&i| s.weights()[i]).sum::<u64>(), s.best_score());
+        s.check_invariants();
+    }
+
+    #[test]
+    fn queries_on_an_empty_weighted_session_are_well_defined() {
+        let s = WeightedStreamingLis::new(64, DominantMaxKind::Auto);
+        assert_eq!(s.count_at_score(0), 0);
+        assert_eq!(s.count_at_score(1), 0);
+        assert!(s.top_k(5).is_empty());
+        assert!(s.reconstruct_wlis().is_empty());
+        s.check_invariants();
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //!   `O(n)` space (Theorem 1.1).
 //! * [`lis_length`] — just the LIS length `k`.
 //! * [`lis_indices`] — an actual longest increasing subsequence, recovered
-//!   from the ranks as in Appendix A.
+//!   from the ranks as in Appendix A.  [`lis_indices_from_frontiers`] and
+//!   [`wlis_indices_from_scores`] expose the same reconstruction over the
+//!   *streaming* representations (maintained per-rank index lists and
+//!   maintained dp scores), which is how the `plis-engine` query plane
+//!   serves live certificates.
 //! * [`wlis_with`] — Algorithm 2: the single generic weighted-LIS driver
 //!   over the [`DominantMaxStore`] trait; [`wlis_kind`] dispatches it
 //!   through the [`DominantMaxKind`] factory, and [`wlis_rangetree`] /
@@ -38,6 +42,8 @@
 //! assert_eq!(dp.iter().max(), Some(&3));
 //! ```
 
+#![warn(missing_docs)]
+
 mod compress;
 mod ranks;
 mod reconstruct;
@@ -47,6 +53,8 @@ mod wlis;
 pub use compress::compress_to_ranks;
 pub use plis_primitives::DominantMaxStore;
 pub use ranks::{lis_length, lis_ranks, lis_ranks_u64, lis_ranks_u64_with_stats, LisStats};
-pub use reconstruct::{lis_indices, lis_indices_from_ranks};
+pub use reconstruct::{
+    lis_indices, lis_indices_from_frontiers, lis_indices_from_ranks, wlis_indices_from_scores,
+};
 pub use tailset::{AnyTailSet, SortedVecTailSet, TailSet, VebTailSet};
 pub use wlis::{wlis_kind, wlis_rangetree, wlis_rangeveb, wlis_with, DominantMaxKind};

@@ -1,0 +1,223 @@
+//! Edge-case coverage for the [`TailSet`] backends — the probes a query
+//! plane leans on hardest: empty sessions (no tails at all), single-element
+//! sessions, and duplicate-heavy streams whose tail arrays churn in place.
+//!
+//! The harness simulates the patience loop exactly as a streaming session
+//! drives its mirror (insert on extension, delete+insert on displacement),
+//! keeps the canonical `tails` array next to every store, and cross-checks
+//! all three built-in stores (`VebTailSet`, `SortedVecTailSet`,
+//! `AnyTailSet` in both configurations) probe-for-probe after every
+//! element.
+
+use plis_lis::tailset::{AnyTailSet, SortedVecTailSet, TailSet, VebTailSet};
+
+/// The patience step: update `tails` for `x` and mirror the delta into
+/// every store.
+fn patience_step(tails: &mut Vec<u64>, stores: &mut [&mut dyn DynTailSet], x: u64) {
+    let pos = tails.partition_point(|&t| t < x);
+    if pos == tails.len() {
+        tails.push(x);
+        for store in stores.iter_mut() {
+            store.insert_dyn(x);
+        }
+    } else if x < tails[pos] {
+        let displaced = std::mem::replace(&mut tails[pos], x);
+        for store in stores.iter_mut() {
+            store.delete_dyn(displaced);
+            store.insert_dyn(x);
+        }
+    }
+}
+
+/// Object-safe shim over [`TailSet`] so one driver exercises every store
+/// (the trait itself is not object safe: `Clone` supertrait).
+trait DynTailSet {
+    fn insert_dyn(&mut self, key: u64);
+    fn delete_dyn(&mut self, key: u64);
+    fn pred_dyn(&self, tails: &[u64], x: u64) -> Option<u64>;
+    fn succ_dyn(&self, tails: &[u64], x: u64) -> Option<u64>;
+    fn len_dyn(&self, tails: &[u64]) -> usize;
+    fn keys_dyn(&self, tails: &[u64]) -> Vec<u64>;
+    fn check_dyn(&self, tails: &[u64]);
+    fn name_dyn(&self) -> &'static str;
+}
+
+impl<S: TailSet> DynTailSet for S {
+    fn insert_dyn(&mut self, key: u64) {
+        self.insert(key);
+    }
+    fn delete_dyn(&mut self, key: u64) {
+        self.delete(key);
+    }
+    fn pred_dyn(&self, tails: &[u64], x: u64) -> Option<u64> {
+        self.pred(tails, x)
+    }
+    fn succ_dyn(&self, tails: &[u64], x: u64) -> Option<u64> {
+        self.succ(tails, x)
+    }
+    fn len_dyn(&self, tails: &[u64]) -> usize {
+        self.len(tails)
+    }
+    fn keys_dyn(&self, tails: &[u64]) -> Vec<u64> {
+        self.collect_keys(tails)
+    }
+    fn check_dyn(&self, tails: &[u64]) {
+        self.check_invariants(tails);
+    }
+    fn name_dyn(&self) -> &'static str {
+        self.name()
+    }
+}
+
+/// Probe every store against the stateless reference on a spread of keys
+/// including both universe boundaries.
+fn cross_probe(stores: &[&mut dyn DynTailSet], tails: &[u64], universe: u64) {
+    let reference = SortedVecTailSet;
+    let probes: Vec<u64> = (0..universe)
+        .step_by((universe as usize / 16).max(1))
+        .chain([0, 1, universe - 1, universe, universe + 1, u64::MAX])
+        .collect();
+    for store in stores {
+        store.check_dyn(tails);
+        assert_eq!(store.len_dyn(tails), tails.len(), "{}", store.name_dyn());
+        assert_eq!(store.keys_dyn(tails), tails, "{}", store.name_dyn());
+        for &p in &probes {
+            assert_eq!(
+                store.pred_dyn(tails, p),
+                reference.pred(tails, p),
+                "{} pred {p}",
+                store.name_dyn()
+            );
+            assert_eq!(
+                store.succ_dyn(tails, p),
+                reference.succ(tails, p),
+                "{} succ {p}",
+                store.name_dyn()
+            );
+        }
+    }
+}
+
+/// Drive `input` through the patience loop over all four store
+/// configurations, cross-probing after every element.
+fn drive(input: &[u64], universe: u64) {
+    let mut veb = VebTailSet::new(universe);
+    let mut any_veb = AnyTailSet::veb(universe);
+    let mut any_vec = AnyTailSet::sorted_vec();
+    let mut plain_vec = SortedVecTailSet;
+    let mut tails: Vec<u64> = Vec::new();
+    {
+        let mut stores: [&mut dyn DynTailSet; 4] =
+            [&mut veb, &mut any_veb, &mut any_vec, &mut plain_vec];
+        // Empty-session probes come first: no tails, every query answers None/0.
+        cross_probe(&stores, &tails, universe);
+        for &x in input {
+            patience_step(&mut tails, &mut stores, x);
+            cross_probe(&stores, &tails, universe);
+        }
+    }
+    assert_eq!(veb.tree().len(), tails.len(), "vEB mirror size");
+}
+
+#[test]
+fn empty_session_probes_answer_none() {
+    for universe in [1u64, 2, 16, 1 << 12] {
+        let veb = VebTailSet::new(universe);
+        let any = AnyTailSet::veb(universe);
+        let vec_store = AnyTailSet::sorted_vec();
+        for probe in [0u64, universe / 2, universe.saturating_sub(1), universe, u64::MAX] {
+            assert_eq!(veb.pred(&[], probe), None, "veb pred {probe} (U = {universe})");
+            assert_eq!(veb.succ(&[], probe), None, "veb succ {probe} (U = {universe})");
+            assert_eq!(any.pred(&[], probe), None);
+            assert_eq!(any.succ(&[], probe), None);
+            assert_eq!(vec_store.pred(&[], probe), None);
+            assert_eq!(vec_store.succ(&[], probe), None);
+        }
+        assert_eq!(veb.len(&[]), 0);
+        assert!(veb.collect_keys(&[]).is_empty());
+        assert!(vec_store.collect_keys(&[]).is_empty());
+        veb.check_invariants(&[]);
+        vec_store.check_invariants(&[]);
+    }
+}
+
+#[test]
+fn single_element_sessions_answer_from_one_tail() {
+    // One tail at every interesting position of a small universe,
+    // including both ends.
+    for universe in [1u64, 2, 7, 64] {
+        for key in [0, universe / 2, universe - 1] {
+            let tails = [key];
+            let mut veb = VebTailSet::new(universe);
+            veb.insert(key);
+            let mut any = AnyTailSet::veb(universe);
+            any.insert(key);
+            let reference = SortedVecTailSet;
+            for probe in [0u64, key, key + 1, universe - 1, universe, u64::MAX] {
+                assert_eq!(
+                    veb.pred(&tails, probe),
+                    reference.pred(&tails, probe),
+                    "U = {universe}, key {key}, pred {probe}"
+                );
+                assert_eq!(
+                    veb.succ(&tails, probe),
+                    reference.succ(&tails, probe),
+                    "U = {universe}, key {key}, succ {probe}"
+                );
+                assert_eq!(any.pred(&tails, probe), reference.pred(&tails, probe));
+                assert_eq!(any.succ(&tails, probe), reference.succ(&tails, probe));
+            }
+            // The only tail is its own successor-at and has no strict
+            // predecessor.
+            assert_eq!(veb.succ(&tails, key), Some(key));
+            assert_eq!(veb.pred(&tails, key), None);
+            veb.check_invariants(&tails);
+        }
+    }
+}
+
+#[test]
+fn duplicate_heavy_streams_churn_in_place() {
+    // Two distinct values over 500 elements: the tail array never exceeds
+    // two entries but every repeated value exercises the displacement
+    // path (delete + insert of the same key is a no-op the mirror must
+    // absorb cleanly).
+    let universe = 32u64;
+    let input: Vec<u64> = (0..500u64).map(|i| [7, 7, 19, 7, 19][(i % 5) as usize]).collect();
+    drive(&input, universe);
+}
+
+#[test]
+fn constant_stream_keeps_one_tail() {
+    drive(&vec![5u64; 300], 16);
+}
+
+#[test]
+fn duplicate_blocks_with_interleaved_extremes() {
+    // Blocks of duplicates touching both universe boundaries: inserting 0
+    // and U-1 repeatedly stresses the vEB min/max bookkeeping.
+    let universe = 1u64 << 10;
+    let mut input = Vec::new();
+    for _ in 0..40 {
+        input.extend_from_slice(&[0, 0, universe - 1, universe - 1, 512, 512, 0, universe - 1]);
+    }
+    drive(&input, universe);
+}
+
+#[test]
+fn random_duplicate_heavy_stream_matches_reference() {
+    // Values drawn from a tiny range so nearly every element is a
+    // duplicate; the mirror sees constant churn at the same handful of
+    // keys.
+    let universe = 8u64;
+    let mut state = 0x1357_9BDFu64;
+    let input: Vec<u64> = (0..600)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % universe
+        })
+        .collect();
+    drive(&input, universe);
+}

@@ -10,7 +10,7 @@
 //! * [`scan`] — inclusive/exclusive scans (prefix sums) with an arbitrary
 //!   associative operation, including prefix min and prefix max
 //!   ([`prefix_min`], [`prefix_max`]).
-//! * [`pack`] — parallel filter / pack of the elements selected by a flag
+//! * [`pack()`] — parallel filter / pack of the elements selected by a flag
 //!   vector or predicate.
 //! * [`merge`] — parallel merge of two sorted sequences.
 //! * [`sort`] — parallel (merge) sort and a stable sort-by-key.

@@ -41,7 +41,7 @@ pub fn line_pattern(n: usize, t: u64, noise: u64, seed: u64) -> Vec<u64> {
 }
 
 /// A uniformly random permutation of `0..n` (expected LIS length `≈ 2√n`,
-/// the classic Ulam problem; the paper cites Johansson [48] for this).
+/// the classic Ulam problem; the paper cites Johansson \[48\] for this).
 pub fn random_permutation(n: usize, seed: u64) -> Vec<u64> {
     let mut rng = rng_for(seed);
     let mut v: Vec<u64> = (0..n as u64).collect();
@@ -166,11 +166,13 @@ pub mod streaming {
     /// that still has one.  `make_id` adapts the session name to the
     /// caller's id type (e.g. `plis_engine::SessionId::from`), so the
     /// benchmark harness and the oracle/determinism test suites replay the
-    /// exact same tick shape.
-    pub fn round_robin_ticks<T: Clone, Id>(
-        fleet: &[(String, Vec<Vec<T>>)],
+    /// exact same tick shape.  Generic over the batch type `B`: plain
+    /// batches (`Vec<u64>`), weighted batches, and the read/write ops of
+    /// [`read_write_mix`] all schedule identically.
+    pub fn round_robin_ticks<B: Clone, Id>(
+        fleet: &[(String, Vec<B>)],
         make_id: impl Fn(&str) -> Id,
-    ) -> Vec<Vec<(Id, Vec<T>)>> {
+    ) -> Vec<Vec<(Id, B)>> {
         let rounds = fleet.iter().map(|(_, batches)| batches.len()).max().unwrap_or(0);
         (0..rounds)
             .map(|round| {
@@ -266,6 +268,117 @@ pub mod streaming {
             (name, weighted_stream(pattern, n_per_session, mean_batch, max_weight, seed + i as u64))
         });
         (fleet, universe)
+    }
+
+    /// Shape of one read in a generated read/write schedule.  The
+    /// generator is engine-agnostic: these specs describe *what to ask*,
+    /// and the bench/test layers map them onto `plis_engine::Query`
+    /// values (the dp value of a spec is a rank for plain sessions and an
+    /// Algorithm-2 score for weighted ones).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum QuerySpec {
+        /// The dp value of this element index.  Generated indices always
+        /// point at elements already written by earlier ops of the same
+        /// schedule, so answers are never trivially out of bounds.
+        RankOf(usize),
+        /// How many elements have dp value exactly this.
+        CountAt(u64),
+        /// The `k` best elements by dp value.
+        TopK(usize),
+        /// One full certificate reconstruction.
+        Certificate,
+    }
+
+    /// One op of a read/write-mixed session schedule.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum ReadWriteOp<T> {
+        /// Ingest one batch.
+        Write(Vec<T>),
+        /// Serve a batch of queries against everything written so far.
+        Read(Vec<QuerySpec>),
+    }
+
+    impl<T> ReadWriteOp<T> {
+        /// Elements written by this op (0 for reads).
+        pub fn written(&self) -> usize {
+            match self {
+                ReadWriteOp::Write(b) => b.len(),
+                ReadWriteOp::Read(_) => 0,
+            }
+        }
+
+        /// Queries issued by this op (0 for writes).
+        pub fn queries(&self) -> usize {
+            match self {
+                ReadWriteOp::Write(_) => 0,
+                ReadWriteOp::Read(q) => q.len(),
+            }
+        }
+    }
+
+    /// Interleave read ops into a stream of write batches so that reads
+    /// make up a `query_mix` fraction of all ops (`0.0` = write-only;
+    /// values are clamped to `[0, 0.9]` so writes always make progress).
+    /// Each read op carries `queries_per_read` specs cycling through the
+    /// four query shapes, with element indices drawn uniformly from the
+    /// prefix written so far — deterministic in the seed, like every other
+    /// generator in this crate.
+    pub fn read_write_mix<T: Clone>(
+        batches: &[Vec<T>],
+        query_mix: f64,
+        queries_per_read: usize,
+        seed: u64,
+    ) -> Vec<ReadWriteOp<T>> {
+        let mix = query_mix.clamp(0.0, 0.9);
+        // reads per write so that reads/(reads + writes) = mix.
+        let reads_per_write = mix / (1.0 - mix);
+        let mut rng = rng_for(seed ^ 0x0E4D_3A1C);
+        let mut ops = Vec::with_capacity(batches.len());
+        let mut written = 0usize;
+        let mut credit = 0.0f64;
+        for batch in batches {
+            written += batch.len();
+            ops.push(ReadWriteOp::Write(batch.clone()));
+            credit += reads_per_write;
+            while credit >= 1.0 {
+                credit -= 1.0;
+                let specs = (0..queries_per_read.max(1))
+                    .map(|_| match rng.gen_range(0..4u32) {
+                        0 => QuerySpec::RankOf(rng.gen_range(0..written.max(1) as u64) as usize),
+                        1 => QuerySpec::CountAt(1 + rng.gen_range(0..64u64)),
+                        2 => QuerySpec::TopK(1 + rng.gen_range(0..8u64) as usize),
+                        _ => QuerySpec::Certificate,
+                    })
+                    .collect();
+                ops.push(ReadWriteOp::Read(specs));
+            }
+        }
+        ops
+    }
+
+    /// One named read/write schedule of a fleet: `(session_name, ops)`.
+    pub type MixedSessionStream = (String, Vec<ReadWriteOp<u64>>);
+
+    /// A fleet of read/write-mixed schedules: [`session_fleet`]'s streams
+    /// with reads interleaved per [`read_write_mix`] — the traffic shape
+    /// of the engine's mixed ingest+query tick path and the query-sweep
+    /// benchmark.  Returns the schedules plus a universe bound that covers
+    /// every stream.
+    pub fn mixed_session_fleet(
+        sessions: usize,
+        n_per_session: usize,
+        mean_batch: usize,
+        query_mix: f64,
+        queries_per_read: usize,
+        seed: u64,
+    ) -> (Vec<MixedSessionStream>, u64) {
+        let (fleet, universe) = session_fleet(sessions, n_per_session, mean_batch, seed);
+        let mixed = plis_primitives::par_map_collect_with_grain(fleet.len(), 1, |i| {
+            let (name, batches) = &fleet[i];
+            let ops = read_write_mix(batches, query_mix, queries_per_read, seed + i as u64);
+            (name.clone(), ops)
+        });
+        (mixed, universe)
     }
 }
 
@@ -447,6 +560,85 @@ mod tests {
         for prefix in ["w-range-", "w-line-", "w-permutation-"] {
             assert!(fleet.iter().any(|(n, _)| n.starts_with(prefix)), "{prefix} missing");
         }
+    }
+
+    #[test]
+    fn read_write_mix_hits_the_requested_ratio() {
+        let pattern = streaming::StreamPattern::Range { k_prime: 50 };
+        let batches = streaming::stream(pattern, 20_000, 64, 13);
+        for &mix in &[0.0, 0.2, 0.5] {
+            let ops = streaming::read_write_mix(&batches, mix, 4, 13);
+            // Writes are preserved verbatim, in order.
+            let writes: Vec<&Vec<u64>> = ops
+                .iter()
+                .filter_map(|op| match op {
+                    streaming::ReadWriteOp::Write(b) => Some(b),
+                    streaming::ReadWriteOp::Read(_) => None,
+                })
+                .collect();
+            assert_eq!(writes.len(), batches.len());
+            assert!(writes.iter().zip(&batches).all(|(a, b)| **a == *b));
+            // Read fraction lands near the request.
+            let reads = ops.len() - writes.len();
+            let measured = reads as f64 / ops.len() as f64;
+            assert!((measured - mix).abs() < 0.05, "mix {mix}: measured read fraction {measured}");
+            // Deterministic in the seed.
+            assert_eq!(ops, streaming::read_write_mix(&batches, mix, 4, 13));
+        }
+    }
+
+    #[test]
+    fn read_write_mix_queries_stay_inside_the_written_prefix() {
+        let pattern = streaming::StreamPattern::Permutation;
+        let batches = streaming::stream(pattern, 5_000, 128, 21);
+        let ops = streaming::read_write_mix(&batches, 0.4, 6, 21);
+        let mut written = 0usize;
+        let mut kinds = [false; 4];
+        for op in &ops {
+            match op {
+                streaming::ReadWriteOp::Write(b) => written += b.len(),
+                streaming::ReadWriteOp::Read(specs) => {
+                    assert_eq!(specs.len(), 6);
+                    assert_eq!(op.queries(), 6);
+                    assert_eq!(op.written(), 0);
+                    for spec in specs {
+                        match *spec {
+                            streaming::QuerySpec::RankOf(i) => {
+                                assert!(i < written, "index {i} beyond written {written}");
+                                kinds[0] = true;
+                            }
+                            streaming::QuerySpec::CountAt(v) => {
+                                assert!(v >= 1);
+                                kinds[1] = true;
+                            }
+                            streaming::QuerySpec::TopK(k) => {
+                                assert!(k >= 1);
+                                kinds[2] = true;
+                            }
+                            streaming::QuerySpec::Certificate => kinds[3] = true,
+                        }
+                    }
+                }
+            }
+        }
+        assert!(kinds.iter().all(|&k| k), "all four query shapes appear: {kinds:?}");
+    }
+
+    #[test]
+    fn mixed_fleet_schedules_round_robin_like_plain_fleets() {
+        let (fleet, universe) = streaming::mixed_session_fleet(4, 2_000, 64, 0.3, 3, 17);
+        assert_eq!(fleet.len(), 4);
+        for (name, ops) in &fleet {
+            let total: usize = ops.iter().map(streaming::ReadWriteOp::written).sum();
+            assert_eq!(total, 2_000, "stream {name}");
+            assert!(ops.iter().any(|op| matches!(op, streaming::ReadWriteOp::Read(_))));
+        }
+        // The generic round-robin scheduler accepts ops as a batch type.
+        let ticks = streaming::round_robin_ticks(&fleet, |s| s.to_string());
+        let scheduled: usize =
+            ticks.iter().flat_map(|t| t.iter().map(|(_, op)| op.written())).sum();
+        assert_eq!(scheduled, 4 * 2_000);
+        assert!(universe >= 2_000);
     }
 
     #[test]

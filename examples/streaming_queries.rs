@@ -1,0 +1,98 @@
+//! The streaming query plane: live rank / top-k / certificate reads served
+//! from the same sessions that are still ingesting, batched per tick and
+//! answered shard-parallel — with every answer equal to the offline
+//! algorithms run on the full history.
+//!
+//! Run with: `cargo run --release --example streaming_queries`
+
+use plis::prelude::*;
+use plis::workloads::streaming::{mixed_session_fleet, round_robin_ticks, ReadWriteOp};
+
+fn main() {
+    // --- One session: every query kind --------------------------------
+    let mut engine = Engine::with_universe(1 << 16);
+    engine.ingest_tick(vec![(SessionId::from("sensor"), vec![520u64, 310, 450, 260, 610])]);
+
+    let tick = vec![(
+        SessionId::from("sensor"),
+        QueryBatch::from(vec![
+            Query::RankOf(4),   // dp value of the 5th reading
+            Query::CountAt(1),  // how many readings start a fresh run
+            Query::TopK(3),     // the three deepest runs
+            Query::Certificate, // one actual LIS
+        ]),
+    )];
+    let report = engine.query_tick(&tick);
+    let answers = &report.reports[0].1.answers;
+    assert_eq!(answers[0], QueryAnswer::Rank(Some(3))); // 310 < 450 < 610
+    assert_eq!(answers[1], QueryAnswer::Count(3)); // 520, 310, 260
+    println!("sensor answers: {answers:?}");
+    let QueryAnswer::Certificate(cert) = &answers[3] else { panic!("expected a certificate") };
+    assert_eq!(cert.claimed, 3);
+    assert!(cert.indices.windows(2).all(|w| w[0] < w[1]));
+    println!("certificate: indices {:?} claim a LIS of length {}", cert.indices, cert.claimed);
+
+    // --- Reads interleaved with writes, in one tick --------------------
+    // A query slot sees every write slot before it in the same tick.
+    let mixed: Vec<(SessionId, TickOp)> = vec![
+        (SessionId::from("sensor"), TickOp::Ingest(TickBatch::Plain(vec![700, 100]))),
+        (SessionId::from("sensor"), TickOp::Query(Query::RankOf(5).into())),
+    ];
+    let report = engine.ingest_query_tick(&mixed);
+    let after_write = report.reports[1].1.as_query().unwrap();
+    assert_eq!(after_write.answers[0], QueryAnswer::Rank(Some(4))); // ... 610 < 700
+    println!("mid-tick read sees the write before it: {:?}", after_write.answers[0]);
+
+    // --- Weighted sessions answer the same queries ---------------------
+    engine.ingest_weighted_tick(vec![(
+        SessionId::from("orders"),
+        vec![(100u64, 5u64), (300, 2), (200, 9), (400, 1)],
+    )]);
+    let tick = vec![(
+        SessionId::from("orders"),
+        QueryBatch::from(vec![Query::TopK(2), Query::Certificate]),
+    )];
+    let report = engine.query_tick(&tick);
+    let answers = &report.reports[0].1.answers;
+    // Best chain: 100 (5) < 200 (9) < 400 (1) = 15.
+    assert_eq!(answers[0], QueryAnswer::TopK(vec![(3, 15), (2, 14)]));
+    let QueryAnswer::Certificate(cert) = &answers[1] else { panic!("expected a certificate") };
+    assert_eq!(cert.claimed, 15);
+    println!("weighted certificate: {:?} with total weight {}", cert.indices, cert.claimed);
+
+    // --- Heavy traffic: a read/write-mixed fleet -----------------------
+    // The workload generator interleaves reads into every stream; the
+    // engine serves whole mixed ticks shard-parallel.
+    let (fleet, universe) = mixed_session_fleet(6, 20_000, 256, 0.3, 8, 42);
+    let mut engine = Engine::with_universe(universe);
+    let mut served = 0usize;
+    let mut written = 0usize;
+    for tick in round_robin_ticks(&fleet, |s| SessionId::from(s)) {
+        let ops: Vec<(SessionId, TickOp)> = tick
+            .into_iter()
+            .map(|(id, op)| {
+                let op = match op {
+                    ReadWriteOp::Write(batch) => TickOp::Ingest(TickBatch::Plain(batch)),
+                    // The canonical QuerySpec -> Query conversion lives in
+                    // plis-engine, so consumers never hand-map specs.
+                    ReadWriteOp::Read(specs) => {
+                        TickOp::Query(QueryBatch::new(specs.into_iter().map(Query::from).collect()))
+                    }
+                };
+                (id, op)
+            })
+            .collect();
+        let report = engine.ingest_query_tick(&ops);
+        served += report.total_queries;
+        written += report.total_ingested;
+    }
+    println!("fleet: {written} elements written, {served} queries served live");
+
+    // Spot-check one session against the offline oracles on its history.
+    let id = engine.session_ids().into_iter().next().unwrap();
+    let session = engine.session(id.as_str()).unwrap();
+    let (oracle_ranks, oracle_k) = lis_ranks_u64(session.values());
+    assert_eq!(session.ranks(), oracle_ranks.as_slice());
+    assert_eq!(session.reconstruct_lis().len() as u32, oracle_k);
+    println!("session {id}: live answers match the offline oracle (k = {oracle_k})");
+}

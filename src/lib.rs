@@ -45,16 +45,23 @@ pub use plis_tournament as tournament;
 pub use plis_veb as veb;
 pub use plis_workloads as workloads;
 
+/// Compile the README's code blocks as doctests (`cargo test --doc`), so
+/// the quickstart examples — including the query-plane one — can't rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
 /// The most commonly used items, importable with `use plis::prelude::*`.
 pub mod prelude {
     pub use plis_baselines::{seq_avl, seq_bs, seq_bs_length, swgs_lis, swgs_wlis};
     pub use plis_engine::{
-        Backend, BatchReport, Engine, EngineConfig, IngestReport, SessionId, SessionKind,
-        StreamingLis, TickBatch, TickReport, WeightedIngestReport, WeightedStreamingLis,
+        Backend, BatchReport, Certificate, Engine, EngineConfig, IngestReport, Query, QueryAnswer,
+        QueryBatch, QueryReport, SessionId, SessionKind, StreamingLis, TickBatch, TickOp,
+        TickReport, WeightedIngestReport, WeightedStreamingLis,
     };
     pub use plis_lis::{
-        lis_indices, lis_length, lis_ranks, lis_ranks_u64, wlis_kind, wlis_rangetree,
-        wlis_rangeveb, wlis_with, DominantMaxKind, DominantMaxStore, TailSet,
+        lis_indices, lis_length, lis_ranks, lis_ranks_u64, wlis_indices_from_scores, wlis_kind,
+        wlis_rangetree, wlis_rangeveb, wlis_with, DominantMaxKind, DominantMaxStore, TailSet,
     };
     pub use plis_rangetree::RangeMaxTree;
     pub use plis_rangeveb::RangeVeb;

@@ -12,8 +12,8 @@
 //! invariant the engine's determinism tests rely on.
 //!
 //! Grain selection: a driver aims for ~4 pieces per worker thread
-//! ([`TASKS_PER_THREAD`]) but never below a per-source floor
-//! ([`DEFAULT_GRAIN_FLOOR`] items for element-wise sources, a single item
+//! (`TASKS_PER_THREAD`) but never below a per-source floor
+//! (`DEFAULT_GRAIN_FLOOR` items for element-wise sources, a single item
 //! for `par_chunks*`, whose items are already coarse blocks).  `join` in
 //! this stand-in spawns real scoped threads, so pieces must amortize a
 //! thread spawn — that is why the floor is hundreds of items, not one.

@@ -9,7 +9,7 @@
 //!   The algorithms in `plis-primitives` funnel all of their parallelism
 //!   through `join` (via `maybe_join` / `parallel_for`), so the hot paths
 //!   still run on multiple cores.
-//! * The parallel-iterator surface ([`prelude`], [`slice`], [`iter`])
+//! * The parallel-iterator surface ([`prelude`], [`mod@slice`], [`iter`])
 //!   executes **in parallel** as well: pipelines over slices, vectors,
 //!   integer ranges, and chunk views are split recursively with [`join`]
 //!   down to an adaptive grain size and drained sequentially per piece,
