@@ -3,8 +3,15 @@
 //! count, over a heterogeneous fleet of workload streams — plus a
 //! *weighted* sweep driving the engine's weighted session kind (Algorithm
 //! 2 served as live traffic) over both dominant-max stores, and a *query*
-//! sweep driving the mixed ingest+query tick path over a read/write-mixed
-//! fleet at every requested read fraction.
+//! sweep driving mixed read/write ticks over a read/write-mixed fleet at
+//! every requested read fraction.
+//!
+//! All three sweeps drive the engine through its command plane: schedules
+//! are pre-built once as [`Tick`]s (explicit `CreateSession` ops up
+//! front, then one `Tick` per round) and the timed loop replays them
+//! borrowed through [`Engine::execute`] — no per-repeat deep copies, and
+//! every op's typed outcome is checked (`fully_applied`) so a sweep can
+//! never silently drop traffic.
 //!
 //! Emits one JSON object per sweep cell on stdout (one line per cell, see
 //! `plis_bench::json_line`), so results can be appended to `BENCH_*.json`
@@ -25,10 +32,7 @@ use plis_bench::{
     bench_repeats, effective_threads, env_f64_list, env_usize_list, json_line, time_min,
     with_bench_threads,
 };
-use plis_engine::{
-    Backend, DominantMaxKind, Engine, EngineConfig, Query, QueryBatch, SessionId, SessionKind,
-    TickBatch, TickOp,
-};
+use plis_engine::{Backend, DominantMaxKind, Engine, EngineConfig, Op, SessionKind, Tick};
 use plis_workloads::streaming::{
     mixed_session_fleet, round_robin_ticks, session_fleet, weighted_session_fleet, ReadWriteOp,
 };
@@ -53,11 +57,33 @@ fn max_weight() -> u64 {
     std::env::var("PLIS_BENCH_MAX_WEIGHT").ok().and_then(|s| s.parse().ok()).unwrap_or(1_000)
 }
 
+/// One explicit-lifecycle tick creating every fleet session up front —
+/// the timed loops replay it first, so the traffic ticks stay strict.
+fn creation_tick<B>(fleet: &[(String, B)], kind: SessionKind) -> Tick {
+    fleet.iter().fold(Tick::new(), |tick, (name, _)| tick.create(name.as_str(), kind))
+}
+
+/// Replay a prepared schedule through the executor, asserting every op
+/// landed; returns the final outcome-checked engine.
+fn replay(config: &EngineConfig, setup: &Tick, ticks: &[Tick]) -> Engine {
+    let mut engine = Engine::new(config.clone());
+    assert!(engine.execute(setup).fully_applied(), "session creation must land");
+    for tick in ticks {
+        let outcome = engine.execute(tick);
+        assert!(outcome.fully_applied(), "a sweep tick may not drop ops");
+    }
+    engine
+}
+
 fn unweighted_sweep(n: usize, session_counts: &[usize], batch_sizes: &[usize], threads: usize) {
     for &sessions in session_counts {
         for &mean_batch in batch_sizes {
             let (fleet, universe) = session_fleet(sessions, n, mean_batch, 0xBEEF);
-            let ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
+            let setup = creation_tick(&fleet, SessionKind::Unweighted);
+            let ticks: Vec<Tick> = round_robin_ticks(&fleet, |s| s.to_string())
+                .into_iter()
+                .map(|tick| tick.into_iter().collect())
+                .collect();
             let total_elems: usize =
                 fleet.iter().map(|(_, bs)| bs.iter().map(Vec::len).sum::<usize>()).sum();
 
@@ -71,10 +97,7 @@ fn unweighted_sweep(n: usize, session_counts: &[usize], batch_sizes: &[usize], t
                 let shards = config.shards;
                 let (secs, final_lis_sum) = with_bench_threads(|| {
                     time_min(|| {
-                        let mut engine = Engine::new(config.clone());
-                        for tick in &ticks {
-                            engine.ingest_tick_ref(tick);
-                        }
+                        let engine = replay(&config, &setup, &ticks);
                         engine
                             .session_ids()
                             .iter()
@@ -112,7 +135,11 @@ fn weighted_sweep(n: usize, session_counts: &[usize], batch_sizes: &[usize], thr
     for &sessions in session_counts {
         for &mean_batch in batch_sizes {
             let (fleet, universe) = weighted_session_fleet(sessions, n, mean_batch, max_w, 0xFEED);
-            let ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
+            let setup = creation_tick(&fleet, SessionKind::Weighted);
+            let ticks: Vec<Tick> = round_robin_ticks(&fleet, |s| s.to_string())
+                .into_iter()
+                .map(|tick| tick.into_iter().collect())
+                .collect();
             let total_elems: usize =
                 fleet.iter().map(|(_, bs)| bs.iter().map(Vec::len).sum::<usize>()).sum();
 
@@ -126,10 +153,7 @@ fn weighted_sweep(n: usize, session_counts: &[usize], batch_sizes: &[usize], thr
                 let shards = config.shards;
                 let (secs, final_score_sum) = with_bench_threads(|| {
                     time_min(|| {
-                        let mut engine = Engine::new(config.clone());
-                        for tick in &ticks {
-                            engine.ingest_weighted_tick_ref(tick);
-                        }
+                        let engine = replay(&config, &setup, &ticks);
                         engine
                             .session_ids()
                             .iter()
@@ -163,8 +187,8 @@ fn weighted_sweep(n: usize, session_counts: &[usize], batch_sizes: &[usize], thr
     }
 }
 
-/// The query sweep: a read/write-mixed fleet through the engine's mixed
-/// ingest+query tick path, one cell per (sessions × mean batch × mix).
+/// The query sweep: a read/write-mixed fleet through the command plane's
+/// mixed ticks, one cell per (sessions × mean batch × mix).
 fn query_sweep(
     n: usize,
     session_counts: &[usize],
@@ -178,23 +202,14 @@ fn query_sweep(
             for &mix in query_mixes {
                 let (fleet, universe) =
                     mixed_session_fleet(sessions, n, mean_batch, mix, QUERIES_PER_READ, 0xD00D);
-                let op_ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
-                // Pre-build engine-shaped ticks so the timed loop replays
-                // borrowed schedules, mirroring the ingest sweeps.
-                let ticks: Vec<Vec<(SessionId, TickOp)>> = op_ticks
+                let setup = creation_tick(&fleet, SessionKind::Unweighted);
+                // Pre-build command ticks so the timed loop replays
+                // borrowed schedules — the workload's read/write ops map
+                // 1:1 onto command-plane ops.
+                let ticks: Vec<Tick> = round_robin_ticks(&fleet, |s| s.to_string())
                     .into_iter()
                     .map(|tick| {
-                        tick.into_iter()
-                            .map(|(id, op)| {
-                                let op = match op {
-                                    ReadWriteOp::Write(b) => TickOp::Ingest(TickBatch::Plain(b)),
-                                    ReadWriteOp::Read(specs) => TickOp::Query(QueryBatch::new(
-                                        specs.into_iter().map(Query::from).collect(),
-                                    )),
-                                };
-                                (id, op)
-                            })
-                            .collect()
+                        tick.into_iter().map(|(id, op)| (id, Op::from(op))).collect::<Tick>()
                     })
                     .collect();
                 let total_elems: usize = fleet
@@ -211,9 +226,12 @@ fn query_sweep(
                 let (secs, answered) = with_bench_threads(|| {
                     time_min(|| {
                         let mut engine = Engine::new(config.clone());
+                        assert!(engine.execute(&setup).fully_applied());
                         let mut answered = 0usize;
                         for tick in &ticks {
-                            answered += engine.ingest_query_tick(tick).total_queries;
+                            let outcome = engine.execute(tick);
+                            assert!(outcome.fully_applied(), "a sweep tick may not drop ops");
+                            answered += outcome.total_queries;
                         }
                         answered
                     })
@@ -275,13 +293,18 @@ fn main() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use plis_engine::Query;
     use plis_workloads::streaming::QuerySpec;
 
     #[test]
     fn ticks_cover_every_batch_exactly_once() {
         let (fleet, _) = session_fleet(3, 500, 64, 7);
-        let ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
-        let from_ticks: usize = ticks.iter().flat_map(|t| t.iter().map(|(_, b)| b.len())).sum();
+        let ticks: Vec<Tick> = round_robin_ticks(&fleet, |s| s.to_string())
+            .into_iter()
+            .map(|tick| tick.into_iter().collect())
+            .collect();
+        let from_ticks: usize =
+            ticks.iter().flat_map(|t| t.slots().iter().map(|(_, op)| op.appends())).sum();
         let from_fleet: usize =
             fleet.iter().map(|(_, bs)| bs.iter().map(Vec::len).sum::<usize>()).sum();
         assert_eq!(from_ticks, from_fleet);
@@ -290,8 +313,12 @@ mod tests {
     #[test]
     fn weighted_ticks_cover_every_batch_exactly_once() {
         let (fleet, _) = weighted_session_fleet(3, 400, 64, 20, 9);
-        let ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
-        let from_ticks: usize = ticks.iter().flat_map(|t| t.iter().map(|(_, b)| b.len())).sum();
+        let ticks: Vec<Tick> = round_robin_ticks(&fleet, |s| s.to_string())
+            .into_iter()
+            .map(|tick| tick.into_iter().collect())
+            .collect();
+        let from_ticks: usize =
+            ticks.iter().flat_map(|t| t.slots().iter().map(|(_, op)| op.appends())).sum();
         let from_fleet: usize =
             fleet.iter().map(|(_, bs)| bs.iter().map(Vec::len).sum::<usize>()).sum();
         assert_eq!(from_ticks, from_fleet);
@@ -306,9 +333,14 @@ mod tests {
     #[test]
     fn mixed_ticks_preserve_writes_and_reads() {
         let (fleet, _) = mixed_session_fleet(3, 600, 64, 0.3, 4, 11);
-        let ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
-        let written: usize = ticks.iter().flat_map(|t| t.iter().map(|(_, op)| op.written())).sum();
-        let queried: usize = ticks.iter().flat_map(|t| t.iter().map(|(_, op)| op.queries())).sum();
+        let ticks: Vec<Tick> = round_robin_ticks(&fleet, |s| s.to_string())
+            .into_iter()
+            .map(|tick| tick.into_iter().map(|(id, op)| (id, Op::from(op))).collect::<Tick>())
+            .collect();
+        let written: usize =
+            ticks.iter().flat_map(|t| t.slots().iter().map(|(_, op)| op.appends())).sum();
+        let queried: usize =
+            ticks.iter().flat_map(|t| t.slots().iter().map(|(_, op)| op.queries())).sum();
         assert_eq!(written, 3 * 600);
         assert!(queried > 0);
         // The spec → engine-query mapping is total.
@@ -316,5 +348,17 @@ mod tests {
             let _ = Query::from(spec);
         }
         assert_eq!(Query::from(QuerySpec::Certificate), Query::Certificate);
+    }
+
+    #[test]
+    fn creation_ticks_cover_the_fleet() {
+        let (fleet, universe) = session_fleet(3, 200, 64, 5);
+        let setup = creation_tick(&fleet, SessionKind::Unweighted);
+        assert_eq!(setup.len(), 3);
+        let mut engine = Engine::new(EngineConfig { universe, ..EngineConfig::default() });
+        assert!(engine.execute(&setup).fully_applied());
+        assert_eq!(engine.session_count(), 3);
+        // Replaying the creation tick is rejected per-op, typed.
+        assert_eq!(engine.execute(&setup).failed_ops, 3);
     }
 }

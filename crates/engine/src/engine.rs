@@ -3,31 +3,39 @@
 //! — and process whole traffic ticks in parallel.
 //!
 //! Sessions are owned by *shards* (session id → shard by FNV-1a hash).  A
-//! tick is a list of `(SessionId, batch)` pairs — plain `Vec<u64>` batches,
-//! weighted `Vec<(u64, u64)>` batches, or a [`TickBatch`] mix of both —
-//! and [`Engine::ingest_tick_mixed`] partitions the tick by shard and
-//! processes the shards through the join-splitting `par_iter` surface with
-//! a one-shard grain (disjoint shards, no locks — the same isolation
-//! argument the vEB batch operations use for disjoint clusters), then
-//! returns per-batch [`BatchReport`]s in the original tick order.  Batches
-//! addressed to the same session within one tick are applied in tick
-//! order, because a session lives in exactly one shard and each shard
-//! replays its work list sequentially.  [`TickReport`] exposes how many
-//! distinct worker threads actually participated, which the determinism
-//! and parallelism tests assert on.
+//! [`Tick`] is a list of `(SessionId, Op)` slots — appends, queries, and
+//! explicit lifecycle ops — and [`Engine::execute`] partitions the tick by
+//! shard and processes the shards through the join-splitting `par_iter`
+//! surface with a one-shard grain (disjoint shards, no locks — the same
+//! isolation argument the vEB batch operations use for disjoint clusters),
+//! then returns one typed [`OpResult`] per slot in the original tick
+//! order.  Ops addressed to the same session within one tick apply in
+//! tick order, because a session lives in exactly one shard and each
+//! shard replays its work list sequentially — so reads observe every
+//! write that precedes them in the tick.  [`TickOutcome::worker_threads`]
+//! exposes how many distinct worker threads actually participated, which
+//! the determinism and parallelism tests assert on.
+//!
+//! Read-only traffic goes through [`Engine::execute_read`], which takes
+//! `&self`, mutates nothing, and runs the same one-shard-grain parallel
+//! pass over a [`ReadTick`] of query batches.
 //!
 //! # Session kinds
 //!
 //! Every session has a [`SessionKind`]: *unweighted* sessions serve plain
 //! LIS state, *weighted* sessions serve Algorithm-2 dp scores.  A session's
-//! kind is fixed when it is created — explicitly via
-//! [`Engine::create_session_kind`], or implicitly on first contact: a
+//! kind is fixed when it is created — explicitly via [`Op::CreateSession`]
+//! (or the [`Engine::create_session_kind`] convenience), or, when a tick
+//! opts into [`Tick::auto_create`], implicitly on first contact: a
 //! weighted batch creates a weighted session, a plain batch creates a
-//! session of the configured [`EngineConfig::default_kind`].  Plain batches
-//! into a weighted session ingest with unit weights; weighted batches into
-//! an unweighted session are a caller error (panic).
+//! session of the configured [`EngineConfig::default_kind`].  Plain
+//! batches into a weighted session ingest with unit weights; weighted
+//! batches into an unweighted session fail that op with
+//! [`OpError::KindMismatch`] — a malformed tick degrades per op, it never
+//! panics.
 
-use crate::query::{MixedTickReport, OpReport, QueryBatch, QueryReport, QueryTickReport, TickOp};
+use crate::op::{Op, OpError, OpOutput, OpResult, ReadOutcome, ReadTick, Tick, TickOutcome};
+use crate::query::{QueryBatch, QueryReport};
 use crate::session::{Backend, IngestReport, StreamingLis};
 use crate::wsession::{WeightedIngestReport, WeightedStreamingLis};
 use plis_lis::DominantMaxKind;
@@ -37,7 +45,7 @@ use std::sync::Arc;
 
 /// Name of one independent stream within an [`Engine`].
 ///
-/// Internally an `Arc<str>`: ids are cloned into every per-batch report and
+/// Internally an `Arc<str>`: ids are cloned into every per-op outcome and
 /// into the shard maps, so cloning must be a reference bump, not a heap
 /// copy.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -53,6 +61,17 @@ impl SessionId {
     fn key(&self) -> Arc<str> {
         Arc::clone(&self.0)
     }
+
+    /// Internal constructor sharing an existing allocation.
+    pub(crate) fn from_key(key: Arc<str>) -> Self {
+        SessionId(key)
+    }
+
+    /// Whether two ids share the same backing allocation (test hook).
+    #[cfg(test)]
+    pub(crate) fn shares_allocation(&self, other: &SessionId) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
 }
 
 impl From<&str> for SessionId {
@@ -64,6 +83,12 @@ impl From<&str> for SessionId {
 impl From<String> for SessionId {
     fn from(s: String) -> Self {
         SessionId(Arc::from(s))
+    }
+}
+
+impl From<&SessionId> for SessionId {
+    fn from(id: &SessionId) -> Self {
+        id.clone()
     }
 }
 
@@ -83,7 +108,8 @@ pub enum SessionKind {
     Weighted,
 }
 
-/// One batch of a mixed tick.
+/// One batch of values, plain or weighted — the payload shape shared by
+/// [`Op::Append`] / [`Op::AppendWeighted`] and the legacy mixed ticks.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TickBatch {
     /// Unweighted values.
@@ -119,7 +145,7 @@ impl From<Vec<(u64, u64)>> for TickBatch {
     }
 }
 
-/// Borrowed view of one tick batch (what the shard workers consume).
+/// Borrowed view of one append batch (what the shard workers consume).
 #[derive(Debug, Clone, Copy)]
 enum BatchRef<'a> {
     Plain(&'a [u64]),
@@ -136,13 +162,36 @@ impl BatchRef<'_> {
             BatchRef::Weighted(_) => SessionKind::Weighted,
         }
     }
+
+    /// First value outside `[0, universe)`, if any.
+    fn overflow(self, universe: u64) -> Option<u64> {
+        match self {
+            BatchRef::Plain(b) => b.iter().copied().find(|&v| v >= universe),
+            BatchRef::Weighted(b) => b.iter().map(|&(v, _)| v).find(|&v| v >= universe),
+        }
+    }
 }
 
-/// Borrowed view of one slot of a mixed tick: a write or a read.
+/// Borrowed view of one tick slot (the executor's working shape).
 #[derive(Debug, Clone, Copy)]
 enum OpRef<'a> {
-    Ingest(BatchRef<'a>),
+    Append(BatchRef<'a>),
     Query(&'a QueryBatch),
+    Create(SessionKind),
+    Remove,
+}
+
+impl Op {
+    /// Lower an owned op to the borrowed view the shard workers consume.
+    fn as_op_ref(&self) -> OpRef<'_> {
+        match self {
+            Op::Append(b) => OpRef::Append(BatchRef::Plain(b)),
+            Op::AppendWeighted(b) => OpRef::Append(BatchRef::Weighted(b)),
+            Op::Query(q) => OpRef::Query(q),
+            Op::CreateSession { kind } => OpRef::Create(*kind),
+            Op::RemoveSession => OpRef::Remove,
+        }
+    }
 }
 
 /// Engine-wide configuration, applied to every session it creates.
@@ -155,7 +204,8 @@ pub struct EngineConfig {
     /// Dominant-max store for every weighted session.
     pub dommax: DominantMaxKind,
     /// Kind given to sessions created without an explicit kind (by
-    /// [`Engine::create_session`] or implicitly by a plain batch).
+    /// [`Engine::create_session`] or implicitly by a plain batch under
+    /// [`Tick::auto_create`]).
     pub default_kind: SessionKind,
     /// Number of shards sessions are spread over.  Defaults to the
     /// hardware parallelism.
@@ -238,7 +288,8 @@ impl SessionState {
     }
 }
 
-/// What one batch of a tick did — the per-kind report.
+/// What one landed append did — the per-kind ingest report, carried by
+/// [`OpOutput::Appended`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BatchReport {
     /// Report from an unweighted session.
@@ -273,32 +324,12 @@ impl BatchReport {
     }
 }
 
-/// What one tick-ingest call did.
-#[derive(Debug, Clone)]
-pub struct TickReport {
-    /// One report per input batch, in the original tick order.
-    pub reports: Vec<(SessionId, BatchReport)>,
-    /// Total elements ingested across all batches.
-    pub total_ingested: usize,
-    /// Number of distinct sessions that received data.
-    pub sessions_touched: usize,
-    /// Of [`TickReport::sessions_touched`], how many were weighted
-    /// sessions — the session-kind axis of the tick.
-    pub weighted_sessions_touched: usize,
-    /// Number of distinct worker threads that processed shards in this
-    /// tick.  Purely observational (scheduling-dependent): it is 1 under a
-    /// 1-thread pool and may exceed 1 when the pool and the helper-thread
-    /// budget allow real parallelism.  Excluded from determinism
-    /// comparisons, which use [`TickReport::reports`] and the totals.
-    pub worker_threads: usize,
-}
-
 #[derive(Debug, Default)]
 struct Shard {
     sessions: HashMap<Arc<str>, SessionState>,
 }
 
-/// What one shard hands back from a tick: position-labeled reports plus
+/// What one shard hands back from a tick: position-labeled results plus
 /// the worker thread that produced them.
 type ShardOutput<R> = (Vec<(usize, SessionId, R)>, std::thread::ThreadId);
 
@@ -309,24 +340,14 @@ fn reassemble<R>(per_shard: Vec<ShardOutput<R>>, expected: usize) -> (Vec<(Sessi
     let worker_threads =
         per_shard.iter().map(|(_, id)| *id).collect::<std::collections::HashSet<_>>().len().max(1);
     let mut labeled: Vec<(usize, SessionId, R)> =
-        per_shard.into_iter().flat_map(|(reports, _)| reports).collect();
+        per_shard.into_iter().flat_map(|(results, _)| results).collect();
     labeled.sort_unstable_by_key(|slot| slot.0);
     debug_assert_eq!(labeled.len(), expected);
     (labeled.into_iter().map(|(_, id, r)| (id, r)).collect(), worker_threads)
 }
 
-/// Distinct sessions among `(name, flag)` pairs: `(total, flagged)` counts
-/// — the session-axis summaries of the tick reports.
-fn distinct_sessions<'a>(pairs: impl Iterator<Item = (&'a str, bool)>) -> (usize, usize) {
-    let mut names: Vec<(&str, bool)> = pairs.collect();
-    names.sort_unstable();
-    names.dedup();
-    let flagged = names.iter().filter(|&&(_, flag)| flag).count();
-    (names.len(), flagged)
-}
-
-/// One slot of a mixed tick, borrowed from the caller: original tick
-/// position, target session, payload.
+/// One slot of a tick, borrowed from the caller: original tick position,
+/// target session, payload.
 type WorkItem<'a> = (usize, &'a SessionId, OpRef<'a>);
 
 /// One query batch of a read-only tick: original tick position, target
@@ -334,55 +355,105 @@ type WorkItem<'a> = (usize, &'a SessionId, OpRef<'a>);
 type QueryItem<'a> = (usize, &'a SessionId, &'a QueryBatch);
 
 impl Shard {
-    /// Apply this shard's slice of a mixed tick, in tick order.  Writes
-    /// create sessions on first contact; reads never do — a query against
-    /// an absent session reports [`QueryReport::missing`].
+    /// Apply this shard's slice of a tick, in tick order.  Every op
+    /// resolves to a typed [`OpResult`]; a rejected op never touches the
+    /// session and never disturbs its neighbours.  `create_missing`
+    /// controls whether appends create their target on first contact
+    /// ([`Tick::auto_create`]); queries and removes never do.
     fn process(
         &mut self,
         work: Vec<WorkItem<'_>>,
         config: &EngineConfig,
-    ) -> Vec<(usize, SessionId, OpReport)> {
+        create_missing: bool,
+    ) -> Vec<(usize, SessionId, OpResult)> {
         work.into_iter()
             .map(|(index, id, op)| {
-                let report = match op {
-                    OpRef::Ingest(batch) => {
-                        let state = self.sessions.entry(id.key()).or_insert_with(|| {
-                            config.new_session(batch.implied_kind(config.default_kind))
-                        });
-                        let report = match (state, batch) {
-                            (SessionState::Unweighted(s), BatchRef::Plain(b)) => {
-                                BatchReport::Unweighted(s.ingest(b))
-                            }
-                            (SessionState::Weighted(s), BatchRef::Plain(b)) => {
-                                BatchReport::Weighted(s.ingest_plain(b))
-                            }
-                            (SessionState::Weighted(s), BatchRef::Weighted(b)) => {
-                                BatchReport::Weighted(s.ingest(b))
-                            }
-                            (SessionState::Unweighted(_), BatchRef::Weighted(_)) => {
-                                panic!("weighted batch sent to unweighted session {id}")
-                            }
-                        };
-                        OpReport::Ingest(report)
-                    }
-                    OpRef::Query(batch) => OpReport::Query(self.answer(id, batch)),
+                let result = match op {
+                    OpRef::Append(batch) => self.append(id, batch, config, create_missing),
+                    OpRef::Query(batch) => self
+                        .answer(id, batch)
+                        .map(OpOutput::Answered)
+                        .ok_or(OpError::UnknownSession),
+                    OpRef::Create(kind) => match self.sessions.entry(id.key()) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            Err(OpError::SessionExists { kind: e.get().kind() })
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(config.new_session(kind));
+                            Ok(OpOutput::Created)
+                        }
+                    },
+                    OpRef::Remove => self
+                        .sessions
+                        .remove(id.as_str())
+                        .map(|_| OpOutput::Removed)
+                        .ok_or(OpError::UnknownSession),
                 };
-                (index, id.clone(), report)
+                (index, id.clone(), result)
             })
             .collect()
     }
 
-    /// Answer one query batch against this shard's copy of the session.
-    fn answer(&self, id: &SessionId, batch: &QueryBatch) -> QueryReport {
-        match self.sessions.get(id.as_str()) {
-            Some(state) => state.answer_batch(batch),
-            None => QueryReport::missing(),
+    /// One append op: validate the batch against the universe, resolve
+    /// (or create) the target session, check the kind axis, ingest.
+    fn append(
+        &mut self,
+        id: &SessionId,
+        batch: BatchRef<'_>,
+        config: &EngineConfig,
+        create_missing: bool,
+    ) -> OpResult {
+        // Deliberately redundant with the per-element asserts inside the
+        // session ingest paths: this pre-scan is what makes a rejected
+        // batch *atomic* (a typed error before any element mutates the
+        // session), while the session-level asserts keep guarding callers
+        // that drive StreamingLis/WeightedStreamingLis directly.
+        if let Some(value) = batch.overflow(config.universe) {
+            return Err(OpError::UniverseOverflow { value, universe: config.universe });
         }
+        let state = match self.sessions.entry(id.key()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) if create_missing => {
+                e.insert(config.new_session(batch.implied_kind(config.default_kind)))
+            }
+            std::collections::hash_map::Entry::Vacant(_) => return Err(OpError::UnknownSession),
+        };
+        let report = match (state, batch) {
+            (SessionState::Unweighted(s), BatchRef::Plain(b)) => {
+                BatchReport::Unweighted(s.ingest(b))
+            }
+            (SessionState::Weighted(s), BatchRef::Plain(b)) => {
+                BatchReport::Weighted(s.ingest_plain(b))
+            }
+            (SessionState::Weighted(s), BatchRef::Weighted(b)) => {
+                BatchReport::Weighted(s.ingest(b))
+            }
+            (SessionState::Unweighted(_), BatchRef::Weighted(_)) => {
+                return Err(OpError::KindMismatch {
+                    session: SessionKind::Unweighted,
+                    batch: SessionKind::Weighted,
+                })
+            }
+        };
+        Ok(OpOutput::Appended(report))
+    }
+
+    /// Answer one query batch against this shard's copy of the session
+    /// (`None` when the session does not exist — queries never create).
+    fn answer(&self, id: &SessionId, batch: &QueryBatch) -> Option<QueryReport> {
+        self.sessions.get(id.as_str()).map(|state| state.answer_batch(batch))
     }
 
     /// Answer this shard's slice of a read-only tick, in tick order.
-    fn query(&self, work: &[QueryItem<'_>]) -> Vec<(usize, SessionId, QueryReport)> {
-        work.iter().map(|&(index, id, batch)| (index, id.clone(), self.answer(id, batch))).collect()
+    fn read(
+        &self,
+        work: &[QueryItem<'_>],
+    ) -> Vec<(usize, SessionId, Result<QueryReport, OpError>)> {
+        work.iter()
+            .map(|&(index, id, batch)| {
+                (index, id.clone(), self.answer(id, batch).ok_or(OpError::UnknownSession))
+            })
+            .collect()
     }
 }
 
@@ -427,8 +498,8 @@ impl Engine {
     }
 
     /// Create an empty session of the engine's default kind; returns
-    /// `false` if the id already exists.  (Sessions are also created
-    /// implicitly on first ingest.)
+    /// `false` if the id already exists.  Convenience over
+    /// [`Op::CreateSession`] for administrative callers outside a tick.
     pub fn create_session(&mut self, id: impl Into<SessionId>) -> bool {
         let kind = self.config.default_kind;
         self.create_session_kind(id, kind)
@@ -450,6 +521,8 @@ impl Engine {
     }
 
     /// Drop a session and all its state; returns `true` if it existed.
+    /// Convenience over [`Op::RemoveSession`] for administrative callers
+    /// outside a tick.
     pub fn remove_session(&mut self, id: &str) -> bool {
         let shard = self.shard_index(id);
         self.shards[shard].sessions.remove(id).is_some()
@@ -460,13 +533,14 @@ impl Engine {
         self.shards.iter().map(|s| s.sessions.len()).sum()
     }
 
-    /// All session ids, sorted.  Ids are `Arc`-backed, so this clones
-    /// references, not strings.
+    /// All session ids, in deterministic sorted order (shard maps iterate
+    /// in hash order, which is never exposed).  Ids are `Arc`-backed, so
+    /// this clones references, not strings.
     pub fn session_ids(&self) -> Vec<SessionId> {
         let mut ids: Vec<SessionId> = self
             .shards
             .iter()
-            .flat_map(|s| s.sessions.keys().map(|k| SessionId(Arc::clone(k))))
+            .flat_map(|s| s.sessions.keys().map(|k| SessionId::from_key(Arc::clone(k))))
             .collect();
         ids.sort();
         ids
@@ -504,107 +578,67 @@ impl Engine {
         self.weighted_session(id).map(WeightedStreamingLis::best_score)
     }
 
-    /// Ingest one traffic tick of plain batches: many `(session, batch)`
-    /// pairs, processed shard-parallel.  Unknown sessions are created on
-    /// the fly.
-    pub fn ingest_tick(&mut self, tick: Vec<(SessionId, Vec<u64>)>) -> TickReport {
-        self.ingest_tick_ref(&tick)
-    }
+    /// Execute one tick of commands — the engine's **single write/mixed
+    /// entry point**.  The tick is partitioned by shard and the disjoint
+    /// shards are processed through the parallel-iterator surface (one
+    /// piece per shard — shards are few but heavy, so the default
+    /// element-count grain would under-split); results come back as one
+    /// typed [`OpResult`] per slot, in submission order.
+    ///
+    /// Ops for the same session apply in submission order, so a
+    /// [`Op::Query`] slot observes every earlier slot of the same tick
+    /// addressed to its session (read-your-writes), an append lands in a
+    /// session created by an earlier [`Op::CreateSession`] of the same
+    /// tick, and an append after [`Op::RemoveSession`] fails with
+    /// [`OpError::UnknownSession`] (unless the tick opted into
+    /// [`Tick::auto_create`]).
+    ///
+    /// The tick is borrowed: callers that replay a prepared schedule
+    /// (benchmarks, log replays) build their [`Tick`]s once and execute
+    /// them any number of times without deep-copying batches.
+    pub fn execute(&mut self, tick: &Tick) -> TickOutcome {
+        let mut work =
+            self.partition_by_shard(tick.slots().iter().map(|(id, op)| (id, op.as_op_ref())));
 
-    /// As [`Engine::ingest_tick`], but borrowing the tick — callers that
-    /// replay a prepared schedule (benchmarks, log replays) avoid deep
-    /// copies of every batch.
-    pub fn ingest_tick_ref(&mut self, tick: &[(SessionId, Vec<u64>)]) -> TickReport {
-        let work: Vec<(&SessionId, BatchRef<'_>)> =
-            tick.iter().map(|(id, batch)| (id, BatchRef::Plain(batch.as_slice()))).collect();
-        self.process_tick(&work)
-    }
-
-    /// Ingest one traffic tick of weighted batches (`(value, weight)`
-    /// pairs).  Unknown sessions are created weighted.
-    pub fn ingest_weighted_tick(&mut self, tick: Vec<(SessionId, Vec<(u64, u64)>)>) -> TickReport {
-        self.ingest_weighted_tick_ref(&tick)
-    }
-
-    /// As [`Engine::ingest_weighted_tick`], borrowing the tick.
-    pub fn ingest_weighted_tick_ref(
-        &mut self,
-        tick: &[(SessionId, Vec<(u64, u64)>)],
-    ) -> TickReport {
-        let work: Vec<(&SessionId, BatchRef<'_>)> =
-            tick.iter().map(|(id, batch)| (id, BatchRef::Weighted(batch.as_slice()))).collect();
-        self.process_tick(&work)
-    }
-
-    /// Ingest a mixed tick: plain and weighted batches interleaved, so one
-    /// engine serves both traffic kinds in a single parallel pass.
-    pub fn ingest_tick_mixed(&mut self, tick: &[(SessionId, TickBatch)]) -> TickReport {
-        let work: Vec<(&SessionId, BatchRef<'_>)> = tick
-            .iter()
-            .map(|(id, batch)| {
-                let r = match batch {
-                    TickBatch::Plain(b) => BatchRef::Plain(b.as_slice()),
-                    TickBatch::Weighted(b) => BatchRef::Weighted(b.as_slice()),
-                };
-                (id, r)
+        let config = &self.config;
+        let create_missing = tick.creates_missing();
+        let per_shard: Vec<ShardOutput<OpResult>> = self
+            .shards
+            .par_iter_mut()
+            .zip(work.par_iter_mut())
+            .with_max_len(1)
+            .map(|(shard, work)| {
+                (
+                    shard.process(std::mem::take(work), config, create_missing),
+                    std::thread::current().id(),
+                )
             })
             .collect();
-        self.process_tick(&work)
+        let (outcomes, worker_threads) = reassemble(per_shard, tick.len());
+        TickOutcome::collect(outcomes, worker_threads)
     }
 
-    /// Execute a mixed read/write tick: each slot either ingests a batch
-    /// (plain or weighted) or answers a [`QueryBatch`], and slots for the
-    /// same session apply in tick order — so reads observe every write
-    /// that precedes them in the tick.  Writes create sessions on first
-    /// contact exactly like [`Engine::ingest_tick_mixed`]; reads never do.
-    pub fn ingest_query_tick(&mut self, tick: &[(SessionId, TickOp)]) -> MixedTickReport {
-        let work: Vec<(&SessionId, OpRef<'_>)> = tick
-            .iter()
-            .map(|(id, op)| {
-                let r = match op {
-                    TickOp::Ingest(TickBatch::Plain(b)) => {
-                        OpRef::Ingest(BatchRef::Plain(b.as_slice()))
-                    }
-                    TickOp::Ingest(TickBatch::Weighted(b)) => {
-                        OpRef::Ingest(BatchRef::Weighted(b.as_slice()))
-                    }
-                    TickOp::Query(q) => OpRef::Query(q),
-                };
-                (id, r)
-            })
-            .collect();
-        self.process_ops(&work)
-    }
-
-    /// Answer one tick of query batches, shard-parallel with the same
-    /// one-shard grain as ingest.  Reads take `&self`: they mutate
-    /// nothing, never create sessions (absent ids report
-    /// [`QueryReport::missing`]), and reports come back in tick order.
-    pub fn query_tick(&self, tick: &[(SessionId, QueryBatch)]) -> QueryTickReport {
-        let work = self.partition_by_shard(tick.iter().map(|(id, batch)| (id, batch)));
-        let per_shard: Vec<ShardOutput<QueryReport>> = self
+    /// Execute one read-only tick — the engine's **single read entry
+    /// point**.  Takes `&self`: reads mutate nothing, never create
+    /// sessions (absent ids fail their slot with
+    /// [`OpError::UnknownSession`]), and answers come back in submission
+    /// order, served shard-parallel with the same one-shard grain as
+    /// [`Engine::execute`].
+    pub fn execute_read(&self, tick: &ReadTick) -> ReadOutcome {
+        let work = self.partition_by_shard(tick.slots().iter().map(|(id, batch)| (id, batch)));
+        let per_shard: Vec<ShardOutput<Result<QueryReport, OpError>>> = self
             .shards
             .par_iter()
             .zip(work.par_iter())
             .with_max_len(1)
-            .map(|(shard, work)| (shard.query(work), std::thread::current().id()))
+            .map(|(shard, work)| (shard.read(work), std::thread::current().id()))
             .collect();
-        let (reports, worker_threads) = reassemble(per_shard, tick.len());
-
-        let total_queries = reports.iter().map(|(_, r)| r.answers.len()).sum();
-        let (total_sessions, sessions_queried) =
-            distinct_sessions(reports.iter().map(|(id, r)| (id.as_str(), r.answered())));
-        QueryTickReport {
-            reports,
-            total_queries,
-            sessions_queried,
-            sessions_missing: total_sessions - sessions_queried,
-            worker_threads,
-        }
+        let (outcomes, worker_threads) = reassemble(per_shard, tick.len());
+        ReadOutcome::collect(outcomes, worker_threads)
     }
 
     /// The first stage of every tick path: partition tick slots by shard,
-    /// remembering original positions so reports can be reassembled in
+    /// remembering original positions so results can be reassembled in
     /// tick order.
     fn partition_by_shard<'a, P>(
         &self,
@@ -616,68 +650,6 @@ impl Engine {
             work[self.shard_index(id.as_str())].push((index, id, payload));
         }
         work
-    }
-
-    /// The write-plane tick path: wrap every batch as a write op and strip
-    /// the mixed report back down to a [`TickReport`].
-    fn process_tick(&mut self, tick: &[(&SessionId, BatchRef<'_>)]) -> TickReport {
-        let ops: Vec<(&SessionId, OpRef<'_>)> =
-            tick.iter().map(|&(id, batch)| (id, OpRef::Ingest(batch))).collect();
-        let mixed = self.process_ops(&ops);
-        TickReport {
-            reports: mixed
-                .reports
-                .into_iter()
-                .map(|(id, op)| match op {
-                    OpReport::Ingest(r) => (id, r),
-                    OpReport::Query(_) => unreachable!("write-only tick produced a query report"),
-                })
-                .collect(),
-            total_ingested: mixed.total_ingested,
-            sessions_touched: mixed.sessions_touched,
-            weighted_sessions_touched: mixed.weighted_sessions_touched,
-            worker_threads: mixed.worker_threads,
-        }
-    }
-
-    /// The shared mixed-tick path: partition by shard, process shards
-    /// through the parallel-iterator surface (one piece per shard — shards
-    /// are few but heavy, so the default element-count grain would
-    /// under-split), reassemble reports in tick order.
-    fn process_ops(&mut self, tick: &[(&SessionId, OpRef<'_>)]) -> MixedTickReport {
-        let mut work = self.partition_by_shard(tick.iter().map(|&(id, op)| (id, op)));
-
-        // Process the disjoint shards through the parallel-iterator surface.
-        let config = &self.config;
-        let per_shard: Vec<ShardOutput<OpReport>> = self
-            .shards
-            .par_iter_mut()
-            .zip(work.par_iter_mut())
-            .with_max_len(1)
-            .map(|(shard, work)| {
-                (shard.process(std::mem::take(work), config), std::thread::current().id())
-            })
-            .collect();
-        let (reports, worker_threads) = reassemble(per_shard, tick.len());
-
-        let total_ingested = reports.iter().map(|(_, r)| r.ingested()).sum();
-        let total_queries = reports.iter().map(|(_, r)| r.queries()).sum();
-        let (sessions_touched, weighted_sessions_touched) =
-            distinct_sessions(reports.iter().filter_map(|(id, r)| {
-                r.as_ingest().map(|r| (id.as_str(), matches!(r, BatchReport::Weighted(_))))
-            }));
-        let (sessions_queried, _) = distinct_sessions(reports.iter().filter_map(|(id, r)| {
-            r.as_query().filter(|q| q.answered()).map(|_| (id.as_str(), false))
-        }));
-        MixedTickReport {
-            reports,
-            total_ingested,
-            total_queries,
-            sessions_touched,
-            weighted_sessions_touched,
-            sessions_queried,
-            worker_threads,
-        }
     }
 
     /// Cross-check invariants of every session; used by the test suites.
@@ -693,6 +665,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::{Query, QueryAnswer};
 
     fn xorshift(state: &mut u64) -> u64 {
         *state ^= *state << 13;
@@ -701,20 +674,33 @@ mod tests {
         *state
     }
 
+    /// The landed ingest reports of an outcome, in tick order.
+    fn ingests(outcome: &TickOutcome) -> Vec<(SessionId, BatchReport)> {
+        outcome
+            .outcomes
+            .iter()
+            .filter_map(|(id, r)| {
+                r.as_ref().ok().and_then(OpOutput::as_appended).map(|b| (id.clone(), *b))
+            })
+            .collect()
+    }
+
     #[test]
-    fn tick_reports_preserve_input_order() {
+    fn tick_outcomes_preserve_input_order() {
         let mut engine =
             Engine::new(EngineConfig { universe: 1 << 16, shards: 4, ..EngineConfig::default() });
-        let tick: Vec<(SessionId, Vec<u64>)> = (0..20)
-            .map(|i| (SessionId::from(format!("s{}", i % 7)), vec![i as u64, i as u64 + 1]))
-            .collect();
-        let expect_ids: Vec<SessionId> = tick.iter().map(|(id, _)| id.clone()).collect();
-        let report = engine.ingest_tick(tick);
-        let got_ids: Vec<SessionId> = report.reports.iter().map(|(id, _)| id.clone()).collect();
+        let tick: Tick = (0..20)
+            .map(|i| (format!("s{}", i % 7), vec![i as u64, i as u64 + 1]))
+            .collect::<Tick>()
+            .auto_create();
+        let expect_ids: Vec<&str> = tick.slots().iter().map(|(id, _)| id.as_str()).collect();
+        let outcome = engine.execute(&tick);
+        let got_ids: Vec<&str> = outcome.outcomes.iter().map(|(id, _)| id.as_str()).collect();
         assert_eq!(got_ids, expect_ids);
-        assert_eq!(report.total_ingested, 40);
-        assert_eq!(report.sessions_touched, 7);
-        assert_eq!(report.weighted_sessions_touched, 0);
+        assert!(outcome.fully_applied());
+        assert_eq!(outcome.total_ingested, 40);
+        assert_eq!(outcome.sessions_touched, 7);
+        assert_eq!(outcome.weighted_sessions_touched, 0);
         assert_eq!(engine.session_count(), 7);
         engine.check_invariants();
     }
@@ -734,15 +720,18 @@ mod tests {
             .iter()
             .map(|&name| (name, StreamingLis::new(universe, Backend::Auto).with_par_threshold(64)))
             .collect();
+        for &name in &session_names {
+            assert!(engine.create_session(name));
+        }
         for _round in 0..12 {
-            let mut tick = Vec::new();
+            let mut tick = Tick::new();
             for &name in &session_names {
                 let len = (xorshift(&mut state) % 200) as usize;
                 let batch: Vec<u64> = (0..len).map(|_| xorshift(&mut state) % universe).collect();
                 reference.get_mut(name).unwrap().ingest(&batch);
-                tick.push((SessionId::from(name), batch));
+                tick.push(name, Op::Append(batch));
             }
-            engine.ingest_tick(tick);
+            assert!(engine.execute(&tick).fully_applied());
         }
         for &name in &session_names {
             let live = engine.session(name).expect("session exists");
@@ -756,17 +745,46 @@ mod tests {
     #[test]
     fn same_session_twice_in_one_tick_applies_in_order() {
         let mut engine = Engine::with_universe(1 << 10);
-        let report = engine.ingest_tick(vec![
-            (SessionId::from("s"), vec![100, 200]),
-            (SessionId::from("s"), vec![150, 300]),
-        ]);
-        assert_eq!(report.reports.len(), 2);
-        assert_eq!(report.sessions_touched, 1);
+        let outcome = engine.execute(
+            &Tick::new()
+                .create("s", SessionKind::Unweighted)
+                .append("s", vec![100, 200])
+                .append("s", vec![150, 300]),
+        );
+        assert_eq!(outcome.outcomes.len(), 3);
+        assert_eq!(outcome.sessions_touched, 1);
+        assert_eq!(outcome.sessions_created, 1);
+        assert!(outcome.fully_applied());
         // 100 < 200 then 150 does not extend, 300 does: LIS = 100, 200, 300.
         assert_eq!(engine.lis_length("s"), Some(3));
         let session = engine.session("s").unwrap();
         assert_eq!(session.values(), &[100, 200, 150, 300]);
         assert_eq!(session.ranks(), &[1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn lifecycle_ops_ride_the_tick_in_order() {
+        let mut engine = Engine::with_universe(1 << 10);
+        let outcome = engine.execute(
+            &Tick::new()
+                .create("s", SessionKind::Unweighted)
+                .append("s", vec![1, 2, 3])
+                .remove("s")
+                .create("s", SessionKind::Weighted)
+                .append_weighted("s", vec![(4, 9), (5, 2)]),
+        );
+        assert!(outcome.fully_applied(), "errors: {:?}", outcome.errors().collect::<Vec<_>>());
+        assert_eq!(outcome.sessions_created, 2);
+        assert_eq!(outcome.sessions_removed, 1);
+        // One distinct session received data, even though its kind
+        // flipped across the mid-tick removal; the weighted axis counts
+        // it because it took weighted data at some point.
+        assert_eq!(outcome.sessions_touched, 1);
+        assert_eq!(outcome.weighted_sessions_touched, 1);
+        // The surviving session is the weighted re-creation.
+        assert_eq!(engine.session_kind("s"), Some(SessionKind::Weighted));
+        assert_eq!(engine.best_score("s"), Some(11));
+        engine.check_invariants();
     }
 
     #[test]
@@ -786,11 +804,10 @@ mod tests {
     fn single_shard_engine_still_works() {
         let mut engine =
             Engine::new(EngineConfig { universe: 1 << 10, shards: 1, ..EngineConfig::default() });
-        let report = engine.ingest_tick(vec![
-            (SessionId::from("a"), vec![1, 2, 3]),
-            (SessionId::from("b"), vec![3, 2, 1]),
-        ]);
-        assert_eq!(report.total_ingested, 6);
+        let outcome = engine.execute(
+            &Tick::new().append("a", vec![1, 2, 3]).append("b", vec![3, 2, 1]).auto_create(),
+        );
+        assert_eq!(outcome.total_ingested, 6);
         assert_eq!(engine.lis_length("a"), Some(3));
         assert_eq!(engine.lis_length("b"), Some(1));
     }
@@ -798,26 +815,26 @@ mod tests {
     #[test]
     fn session_ids_are_sorted_and_complete() {
         let mut engine = Engine::with_universe(64);
-        for name in ["zeta", "alpha", "mid"] {
+        for name in ["zeta", "alpha", "mid", "bravo", "yankee", "delta"] {
             engine.create_session(name);
         }
         let ids: Vec<String> =
             engine.session_ids().iter().map(|id| id.as_str().to_string()).collect();
-        assert_eq!(ids, vec!["alpha", "mid", "zeta"]);
+        assert_eq!(ids, vec!["alpha", "bravo", "delta", "mid", "yankee", "zeta"]);
     }
 
     #[test]
     fn weighted_sessions_multiplex_next_to_plain_ones() {
         let mut engine =
             Engine::new(EngineConfig { universe: 1 << 10, shards: 3, ..EngineConfig::default() });
-        let tick: Vec<(SessionId, TickBatch)> = vec![
-            (SessionId::from("plain"), vec![5u64, 7, 6, 8].into()),
-            (SessionId::from("heavy"), vec![(5u64, 10u64), (7, 1), (6, 20), (8, 1)].into()),
-        ];
-        let report = engine.ingest_tick_mixed(&tick);
-        assert_eq!(report.total_ingested, 8);
-        assert_eq!(report.sessions_touched, 2);
-        assert_eq!(report.weighted_sessions_touched, 1);
+        let tick = Tick::new()
+            .append("plain", vec![5u64, 7, 6, 8])
+            .append_weighted("heavy", vec![(5u64, 10u64), (7, 1), (6, 20), (8, 1)])
+            .auto_create();
+        let outcome = engine.execute(&tick);
+        assert_eq!(outcome.total_ingested, 8);
+        assert_eq!(outcome.sessions_touched, 2);
+        assert_eq!(outcome.weighted_sessions_touched, 1);
         assert_eq!(engine.session_kind("plain"), Some(SessionKind::Unweighted));
         assert_eq!(engine.session_kind("heavy"), Some(SessionKind::Weighted));
         assert_eq!(engine.lis_length("plain"), Some(3)); // 5 < 6 < 8
@@ -835,23 +852,67 @@ mod tests {
             default_kind: SessionKind::Weighted,
             ..EngineConfig::default()
         });
-        let report = engine.ingest_tick(vec![(SessionId::from("w"), vec![3, 1, 4, 1, 5])]);
-        assert_eq!(report.weighted_sessions_touched, 1);
+        let outcome = engine.execute(&Tick::new().append("w", vec![3, 1, 4, 1, 5]).auto_create());
+        assert_eq!(outcome.weighted_sessions_touched, 1);
         let session = engine.weighted_session("w").expect("created weighted by default kind");
         assert_eq!(session.scores(), &[1, 1, 2, 1, 3]);
         assert_eq!(engine.best_score("w"), Some(3));
-        match &report.reports[0].1 {
+        match ingests(&outcome)[0].1 {
             BatchReport::Weighted(r) => assert_eq!(r.score_after, 3),
             other => panic!("expected a weighted report, got {other:?}"),
         }
     }
 
     #[test]
-    #[should_panic(expected = "weighted batch sent to unweighted session")]
-    fn weighted_batch_into_plain_session_panics() {
+    fn weighted_batch_into_plain_session_fails_typed_without_touching_it() {
         let mut engine = Engine::with_universe(1 << 8);
         engine.create_session("p");
-        engine.ingest_weighted_tick(vec![(SessionId::from("p"), vec![(1, 1)])]);
+        let outcome =
+            engine.execute(&Tick::new().append("p", vec![9]).append_weighted("p", vec![(1, 1)]));
+        assert_eq!(outcome.failed_ops, 1);
+        assert_eq!(
+            outcome.outcomes[1].1,
+            Err(OpError::KindMismatch {
+                session: SessionKind::Unweighted,
+                batch: SessionKind::Weighted,
+            })
+        );
+        // The plain append before it landed; the session is untouched by
+        // the rejected op.
+        assert_eq!(outcome.total_ingested, 1);
+        assert_eq!(engine.session("p").unwrap().values(), &[9]);
+        engine.check_invariants();
+    }
+
+    #[test]
+    fn universe_overflow_rejects_the_whole_batch_atomically() {
+        let mut engine = Engine::with_universe(8);
+        engine.create_session("s");
+        let outcome = engine.execute(&Tick::new().append("s", vec![1, 2, 99, 3]));
+        assert_eq!(
+            outcome.outcomes[0].1,
+            Err(OpError::UniverseOverflow { value: 99, universe: 8 })
+        );
+        assert_eq!(engine.session("s").unwrap().len(), 0, "no element of the batch may land");
+        // Weighted overflow reports the first offending value too.
+        engine.create_session_kind("w", SessionKind::Weighted);
+        let outcome = engine.execute(&Tick::new().append_weighted("w", vec![(3, 1), (8, 2)]));
+        assert_eq!(outcome.outcomes[0].1, Err(OpError::UniverseOverflow { value: 8, universe: 8 }));
+        assert_eq!(engine.weighted_session("w").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn strict_ticks_require_explicit_creation() {
+        let mut engine = Engine::with_universe(1 << 8);
+        let outcome = engine.execute(&Tick::new().append("ghost", vec![1]));
+        assert_eq!(outcome.outcomes[0].1, Err(OpError::UnknownSession));
+        assert_eq!(engine.session_count(), 0, "strict appends never create sessions");
+        // The same tick with an explicit create succeeds end to end.
+        let outcome = engine.execute(
+            &Tick::new().create("ghost", SessionKind::Unweighted).append("ghost", vec![1]),
+        );
+        assert!(outcome.fully_applied());
+        assert_eq!(engine.lis_length("ghost"), Some(1));
     }
 
     #[test]
@@ -862,35 +923,47 @@ mod tests {
         assert_eq!(engine.session_kind("w"), Some(SessionKind::Weighted));
         assert_eq!(engine.best_score("w"), Some(0));
         assert_eq!(engine.lis_length("w"), None, "kind-mismatched accessor returns None");
+        // The op-level create reports the occupant's kind.
+        let outcome = engine.execute(&Tick::new().create("w", SessionKind::Unweighted));
+        assert_eq!(
+            outcome.outcomes[0].1,
+            Err(OpError::SessionExists { kind: SessionKind::Weighted })
+        );
     }
 
     #[test]
-    fn query_ticks_answer_in_order_and_skip_missing_sessions() {
-        use crate::query::{Query, QueryAnswer, QueryBatch};
+    fn read_ticks_answer_in_order_and_flag_missing_sessions() {
         let mut engine =
             Engine::new(EngineConfig { universe: 1 << 10, shards: 4, ..EngineConfig::default() });
-        engine.ingest_tick(vec![(SessionId::from("a"), vec![1, 5, 3, 7])]);
-        engine.ingest_weighted_tick(vec![(SessionId::from("w"), vec![(2u64, 10u64), (4, 20)])]);
+        engine.execute(
+            &Tick::new()
+                .append("a", vec![1, 5, 3, 7])
+                .append_weighted("w", vec![(2u64, 10u64), (4, 20)])
+                .auto_create(),
+        );
 
-        let tick: Vec<(SessionId, QueryBatch)> = vec![
-            (SessionId::from("a"), vec![Query::RankOf(3), Query::CountAt(1)].into()),
-            (SessionId::from("ghost"), Query::Certificate.into()),
-            (SessionId::from("w"), vec![Query::RankOf(1), Query::TopK(1)].into()),
-            (SessionId::from("a"), Query::Certificate.into()),
-        ];
-        let report = engine.query_tick(&tick);
-        assert_eq!(report.reports.len(), 4);
-        assert_eq!(report.total_queries, 5, "missing sessions answer nothing");
-        assert_eq!(report.sessions_queried, 2);
-        assert_eq!(report.sessions_missing, 1);
-        let ids: Vec<&str> = report.reports.iter().map(|(id, _)| id.as_str()).collect();
+        let tick = ReadTick::new()
+            .query("a", vec![Query::RankOf(3), Query::CountAt(1)])
+            .query("ghost", Query::Certificate)
+            .query("w", vec![Query::RankOf(1), Query::TopK(1)])
+            .query("a", Query::Certificate);
+        let outcome = engine.execute_read(&tick);
+        assert_eq!(outcome.outcomes.len(), 4);
+        assert_eq!(outcome.total_queries, 5, "missing sessions answer nothing");
+        assert_eq!(outcome.sessions_queried, 2);
+        assert_eq!(outcome.sessions_missing, 1);
+        assert!(!outcome.fully_answered());
+        let ids: Vec<&str> = outcome.outcomes.iter().map(|(id, _)| id.as_str()).collect();
         assert_eq!(ids, vec!["a", "ghost", "w", "a"]);
-        assert_eq!(report.reports[0].1.answers[0], QueryAnswer::Rank(Some(3)));
-        assert_eq!(report.reports[0].1.answers[1], QueryAnswer::Count(1));
-        assert!(!report.reports[1].1.answered());
-        assert_eq!(report.reports[2].1.answers[0], QueryAnswer::Rank(Some(30)));
-        assert_eq!(report.reports[2].1.answers[1], QueryAnswer::TopK(vec![(1, 30)]));
-        let QueryAnswer::Certificate(cert) = &report.reports[3].1.answers[0] else {
+        let a = outcome.outcomes[0].1.as_ref().unwrap();
+        assert_eq!(a.answers[0], QueryAnswer::Rank(Some(3)));
+        assert_eq!(a.answers[1], QueryAnswer::Count(1));
+        assert_eq!(outcome.outcomes[1].1, Err(OpError::UnknownSession));
+        let w = outcome.outcomes[2].1.as_ref().unwrap();
+        assert_eq!(w.answers[0], QueryAnswer::Rank(Some(30)));
+        assert_eq!(w.answers[1], QueryAnswer::TopK(vec![(1, 30)]));
+        let QueryAnswer::Certificate(cert) = &outcome.outcomes[3].1.as_ref().unwrap().answers[0]
+        else {
             panic!("expected a certificate");
         };
         assert_eq!(cert.claimed, 3); // 1 < 5 < 7 (or 1 < 3 < 7)
@@ -900,28 +973,29 @@ mod tests {
 
     #[test]
     fn mixed_read_write_ticks_read_their_own_writes() {
-        use crate::query::{Query, QueryAnswer, TickOp};
         let mut engine =
             Engine::new(EngineConfig { universe: 1 << 10, shards: 2, ..EngineConfig::default() });
-        let tick: Vec<(SessionId, TickOp)> = vec![
-            // Query before the session exists: missing, no session created.
-            (SessionId::from("s"), TickOp::Query(Query::RankOf(0).into())),
-            (SessionId::from("s"), TickOp::Ingest(vec![10u64, 20].into())),
+        let tick = Tick::new()
+            // Query before the session exists: typed error, no session
+            // created (auto_create only applies to appends).
+            .query("s", Query::RankOf(0))
+            .append("s", vec![10u64, 20])
             // Query between two writes to the same session sees the first.
-            (SessionId::from("s"), TickOp::Query(vec![Query::RankOf(1), Query::RankOf(2)].into())),
-            (SessionId::from("s"), TickOp::Ingest(vec![30u64].into())),
-            (SessionId::from("s"), TickOp::Query(Query::RankOf(2).into())),
-        ];
-        let report = engine.ingest_query_tick(&tick);
-        assert_eq!(report.total_ingested, 3);
-        assert_eq!(report.total_queries, 3, "the missing-session batch answers nothing");
-        assert_eq!(report.sessions_touched, 1);
-        assert_eq!(report.weighted_sessions_touched, 0);
-        assert_eq!(report.sessions_queried, 1);
-        assert!(!report.reports[0].1.as_query().unwrap().answered());
-        let mid = report.reports[2].1.as_query().unwrap();
+            .query("s", vec![Query::RankOf(1), Query::RankOf(2)])
+            .append("s", vec![30u64])
+            .query("s", Query::RankOf(2))
+            .auto_create();
+        let outcome = engine.execute(&tick);
+        assert_eq!(outcome.total_ingested, 3);
+        assert_eq!(outcome.total_queries, 3, "the missing-session batch answers nothing");
+        assert_eq!(outcome.sessions_touched, 1);
+        assert_eq!(outcome.weighted_sessions_touched, 0);
+        assert_eq!(outcome.sessions_queried, 1);
+        assert_eq!(outcome.failed_ops, 1);
+        assert_eq!(outcome.outcomes[0].1, Err(OpError::UnknownSession));
+        let mid = outcome.outcomes[2].1.as_ref().unwrap().as_answered().unwrap();
         assert_eq!(mid.answers, vec![QueryAnswer::Rank(Some(2)), QueryAnswer::Rank(None)]);
-        let last = report.reports[4].1.as_query().unwrap();
+        let last = outcome.outcomes[4].1.as_ref().unwrap().as_answered().unwrap();
         assert_eq!(last.answers, vec![QueryAnswer::Rank(Some(3))]);
         assert_eq!(engine.lis_length("s"), Some(3));
     }
@@ -930,9 +1004,9 @@ mod tests {
     fn session_ids_share_the_arc_allocation() {
         let id = SessionId::from("shared");
         let clone = id.clone();
-        assert!(Arc::ptr_eq(&id.0, &clone.0), "cloning must bump the refcount, not copy");
+        assert!(id.shares_allocation(&clone), "cloning must bump the refcount, not copy");
         let mut engine = Engine::with_universe(64);
-        engine.ingest_tick(vec![(id.clone(), vec![1, 2])]);
+        engine.execute(&Tick::new().append(id.clone(), vec![1, 2]).auto_create());
         let ids = engine.session_ids();
         assert_eq!(ids.len(), 1);
         assert_eq!(ids[0], id);

@@ -1,0 +1,403 @@
+//! The **legacy command surface**: the seven historical tick entry
+//! points (six entry-point families — the `_ref` variants ride with
+//! their owners) and their report shapes, kept as one-line deprecated
+//! wrappers over the typed executor ([`Engine::execute`] /
+//! [`Engine::execute_read`]).
+//!
+//! Before the command plane existed, the engine grew one entry point per
+//! feature (`ingest_tick`, `ingest_tick_ref`, `ingest_weighted_tick`,
+//! `ingest_weighted_tick_ref`, `ingest_tick_mixed`, `ingest_query_tick`,
+//! `query_tick`) and one report type per entry point.  All of them now
+//! desugar to a [`Tick`] / [`ReadTick`] and run the same shard-parallel
+//! spine; the wrappers only translate shapes:
+//!
+//! | legacy entry point | [`Op`] mapping |
+//! |---|---|
+//! | `ingest_tick(_ref)` | [`Op::Append`] per batch, [`Tick::auto_create`] |
+//! | `ingest_weighted_tick(_ref)` | [`Op::AppendWeighted`] per batch, [`Tick::auto_create`] |
+//! | `ingest_tick_mixed` | [`Op::Append`] / [`Op::AppendWeighted`] per [`TickBatch`] |
+//! | `ingest_query_tick` | [`Op::Append*`](Op::Append) / [`Op::Query`] per [`TickOp`] |
+//! | `query_tick` | a [`ReadTick`] of the same query batches |
+//!
+//! Two legacy behaviours are preserved by the wrappers, not the executor:
+//! sessions are created implicitly on first append (the ticks opt into
+//! [`Tick::auto_create`]), and a query against an absent session reports
+//! [`QueryReport::missing`] instead of a typed error.  One legacy
+//! behaviour is deliberately **not** preserved: a weighted batch aimed at
+//! an unweighted session used to `panic!`; it now fails that op with
+//! [`OpError::KindMismatch`] and the
+//! wrapper drops the slot from the legacy report (which cannot express
+//! errors) — the rest of the tick is served normally.
+
+#![allow(deprecated)]
+
+use crate::engine::{BatchReport, Engine, SessionId, TickBatch};
+use crate::op::{Op, OpError, OpOutput, ReadOutcome, ReadTick, Tick, TickOutcome};
+use crate::query::{QueryBatch, QueryReport};
+
+/// What one tick-ingest call did.
+#[deprecated(note = "use `Engine::execute`, which returns a `TickOutcome`")]
+#[derive(Debug, Clone)]
+pub struct TickReport {
+    /// One report per input batch that landed, in the original tick order
+    /// (rejected batches — e.g. kind mismatches that used to panic — are
+    /// dropped; the typed API reports them as `Err(OpError)`).
+    pub reports: Vec<(SessionId, BatchReport)>,
+    /// Total elements ingested across all batches.
+    pub total_ingested: usize,
+    /// Number of distinct sessions that received data.
+    pub sessions_touched: usize,
+    /// Of [`TickReport::sessions_touched`], how many were weighted
+    /// sessions — the session-kind axis of the tick.
+    pub weighted_sessions_touched: usize,
+    /// Number of distinct worker threads that processed shards in this
+    /// tick (see [`TickOutcome::worker_threads`]).
+    pub worker_threads: usize,
+}
+
+/// One slot of a mixed read/write tick (the input shape of the legacy
+/// `ingest_query_tick`).
+#[deprecated(note = "use `Op` slots in a `Tick` (`Op::Append*` / `Op::Query`)")]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TickOp {
+    /// Write: ingest one batch (plain or weighted).
+    Ingest(TickBatch),
+    /// Read: answer one query batch against the state so far — including
+    /// every earlier slot of the *same tick* addressed to the session.
+    Query(QueryBatch),
+}
+
+impl From<TickBatch> for TickOp {
+    fn from(batch: TickBatch) -> Self {
+        TickOp::Ingest(batch)
+    }
+}
+
+impl From<QueryBatch> for TickOp {
+    fn from(batch: QueryBatch) -> Self {
+        TickOp::Query(batch)
+    }
+}
+
+impl From<TickOp> for Op {
+    fn from(op: TickOp) -> Self {
+        match op {
+            TickOp::Ingest(batch) => batch.into(),
+            TickOp::Query(batch) => Op::Query(batch),
+        }
+    }
+}
+
+/// What one slot of a mixed tick did.
+#[deprecated(note = "use the typed `OpResult` slots of `TickOutcome`")]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpReport {
+    /// The slot was a write.
+    Ingest(BatchReport),
+    /// The slot was a read.
+    Query(QueryReport),
+}
+
+impl OpReport {
+    /// Elements ingested by this slot (0 for reads).
+    pub fn ingested(&self) -> usize {
+        match self {
+            OpReport::Ingest(r) => r.ingested(),
+            OpReport::Query(_) => 0,
+        }
+    }
+
+    /// Queries answered by this slot (0 for writes).
+    pub fn queries(&self) -> usize {
+        match self {
+            OpReport::Ingest(_) => 0,
+            OpReport::Query(r) => r.answers.len(),
+        }
+    }
+
+    /// The ingest report, if this slot was a write.
+    pub fn as_ingest(&self) -> Option<&BatchReport> {
+        match self {
+            OpReport::Ingest(r) => Some(r),
+            OpReport::Query(_) => None,
+        }
+    }
+
+    /// The query report, if this slot was a read.
+    pub fn as_query(&self) -> Option<&QueryReport> {
+        match self {
+            OpReport::Query(r) => Some(r),
+            OpReport::Ingest(_) => None,
+        }
+    }
+}
+
+/// What one legacy `ingest_query_tick` call did.
+#[deprecated(note = "use `Engine::execute`, which returns a `TickOutcome`")]
+#[derive(Debug, Clone)]
+pub struct MixedTickReport {
+    /// One report per input slot, in the original tick order (slots
+    /// rejected with a typed error other than a missing queried session
+    /// are dropped).
+    pub reports: Vec<(SessionId, OpReport)>,
+    /// Total elements ingested by the write slots.
+    pub total_ingested: usize,
+    /// Total queries answered by the read slots.
+    pub total_queries: usize,
+    /// Number of distinct sessions that received data.
+    pub sessions_touched: usize,
+    /// Of [`MixedTickReport::sessions_touched`], how many were weighted.
+    pub weighted_sessions_touched: usize,
+    /// Number of distinct existing sessions that answered queries.
+    pub sessions_queried: usize,
+    /// Number of distinct worker threads that served shards (see
+    /// [`TickOutcome::worker_threads`]).
+    pub worker_threads: usize,
+}
+
+/// What one legacy `query_tick` call did.
+#[deprecated(note = "use `Engine::execute_read`, which returns a `ReadOutcome`")]
+#[derive(Debug, Clone)]
+pub struct QueryTickReport {
+    /// One report per input query batch, in the original tick order
+    /// (absent sessions report [`QueryReport::missing`]).
+    pub reports: Vec<(SessionId, QueryReport)>,
+    /// Total queries answered across all batches (missing sessions answer
+    /// nothing).
+    pub total_queries: usize,
+    /// Number of distinct existing sessions that answered queries.
+    pub sessions_queried: usize,
+    /// Number of distinct session ids addressed that do not exist.
+    pub sessions_missing: usize,
+    /// Number of distinct worker threads that served shards (see
+    /// [`TickOutcome::worker_threads`]).
+    pub worker_threads: usize,
+}
+
+impl From<TickOutcome> for TickReport {
+    fn from(outcome: TickOutcome) -> Self {
+        TickReport {
+            total_ingested: outcome.total_ingested,
+            sessions_touched: outcome.sessions_touched,
+            weighted_sessions_touched: outcome.weighted_sessions_touched,
+            worker_threads: outcome.worker_threads,
+            reports: outcome
+                .outcomes
+                .into_iter()
+                .filter_map(|(id, result)| match result {
+                    Ok(OpOutput::Appended(report)) => Some((id, report)),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl MixedTickReport {
+    /// The legacy shape for one executed mixed tick.  The original slots
+    /// are consulted to classify failures: a *query* that missed its
+    /// session keeps its position as [`QueryReport::missing`] (the old
+    /// contract), while any other rejected slot — e.g. the kind mismatch
+    /// that used to panic — is dropped from the report.
+    fn for_tick(outcome: TickOutcome, tick: &[(SessionId, TickOp)]) -> Self {
+        MixedTickReport {
+            total_ingested: outcome.total_ingested,
+            total_queries: outcome.total_queries,
+            sessions_touched: outcome.sessions_touched,
+            weighted_sessions_touched: outcome.weighted_sessions_touched,
+            sessions_queried: outcome.sessions_queried,
+            worker_threads: outcome.worker_threads,
+            reports: outcome
+                .outcomes
+                .into_iter()
+                .zip(tick)
+                .filter_map(|((id, result), (_, op))| match result {
+                    Ok(OpOutput::Appended(report)) => Some((id, OpReport::Ingest(report))),
+                    Ok(OpOutput::Answered(report)) => Some((id, OpReport::Query(report))),
+                    Err(OpError::UnknownSession) if matches!(op, TickOp::Query(_)) => {
+                        Some((id, OpReport::Query(QueryReport::missing())))
+                    }
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl From<ReadOutcome> for QueryTickReport {
+    fn from(outcome: ReadOutcome) -> Self {
+        QueryTickReport {
+            total_queries: outcome.total_queries,
+            sessions_queried: outcome.sessions_queried,
+            sessions_missing: outcome.sessions_missing,
+            worker_threads: outcome.worker_threads,
+            reports: outcome
+                .outcomes
+                .into_iter()
+                .map(|(id, result)| (id, result.unwrap_or_else(|_| QueryReport::missing())))
+                .collect(),
+        }
+    }
+}
+
+impl Engine {
+    /// Ingest one traffic tick of plain batches.  Unknown sessions are
+    /// created on the fly.
+    #[deprecated(note = "use `Engine::execute` with `Op::Append` slots in a `Tick`")]
+    pub fn ingest_tick(&mut self, tick: Vec<(SessionId, Vec<u64>)>) -> TickReport {
+        self.execute(&tick.into_iter().collect::<Tick>().auto_create()).into()
+    }
+
+    /// As `ingest_tick`, borrowing the tick.
+    ///
+    /// **Note**: this wrapper now clones the batches into a [`Tick`] on
+    /// every call — it no longer avoids deep copies.  Replaying callers
+    /// (benchmarks, log replays) should build the [`Tick`] once and pass
+    /// it borrowed to [`Engine::execute`], which copies nothing.
+    #[deprecated(note = "clones every batch per call; build a `Tick` once and replay it through \
+                `Engine::execute`")]
+    pub fn ingest_tick_ref(&mut self, tick: &[(SessionId, Vec<u64>)]) -> TickReport {
+        self.execute(&tick.iter().cloned().collect::<Tick>().auto_create()).into()
+    }
+
+    /// Ingest one traffic tick of weighted batches (`(value, weight)`
+    /// pairs).  Unknown sessions are created weighted.
+    #[deprecated(note = "use `Engine::execute` with `Op::AppendWeighted` slots in a `Tick`")]
+    pub fn ingest_weighted_tick(&mut self, tick: Vec<(SessionId, Vec<(u64, u64)>)>) -> TickReport {
+        self.execute(&tick.into_iter().collect::<Tick>().auto_create()).into()
+    }
+
+    /// As `ingest_weighted_tick`, borrowing the tick.
+    ///
+    /// **Note**: clones the batches per call, exactly like
+    /// [`Engine::ingest_tick_ref`] — replaying callers should build a
+    /// [`Tick`] once and execute it borrowed.
+    #[deprecated(note = "clones every batch per call; build a `Tick` once and replay it through \
+                `Engine::execute`")]
+    pub fn ingest_weighted_tick_ref(
+        &mut self,
+        tick: &[(SessionId, Vec<(u64, u64)>)],
+    ) -> TickReport {
+        self.execute(&tick.iter().cloned().collect::<Tick>().auto_create()).into()
+    }
+
+    /// Ingest a mixed tick: plain and weighted batches interleaved.
+    #[deprecated(note = "use `Engine::execute`; `TickBatch` converts straight into an `Op`")]
+    pub fn ingest_tick_mixed(&mut self, tick: &[(SessionId, TickBatch)]) -> TickReport {
+        self.execute(&tick.iter().cloned().collect::<Tick>().auto_create()).into()
+    }
+
+    /// Execute a mixed read/write tick of [`TickOp`] slots, with
+    /// read-your-writes in tick order.
+    #[deprecated(note = "use `Engine::execute`; `Op` covers writes, reads, and lifecycle")]
+    pub fn ingest_query_tick(&mut self, tick: &[(SessionId, TickOp)]) -> MixedTickReport {
+        MixedTickReport::for_tick(
+            self.execute(&tick.iter().cloned().collect::<Tick>().auto_create()),
+            tick,
+        )
+    }
+
+    /// Answer one tick of query batches, read-only and shard-parallel.
+    #[deprecated(note = "use `Engine::execute_read` with a `ReadTick`")]
+    pub fn query_tick(&self, tick: &[(SessionId, QueryBatch)]) -> QueryTickReport {
+        self.execute_read(&tick.iter().cloned().collect::<ReadTick>()).into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, SessionKind};
+    use crate::query::{Query, QueryAnswer};
+
+    #[test]
+    fn legacy_ingest_wrappers_delegate_to_the_executor() {
+        let mut legacy = Engine::with_universe(1 << 10);
+        let report = legacy.ingest_tick(vec![
+            (SessionId::from("s"), vec![100, 200]),
+            (SessionId::from("s"), vec![150, 300]),
+        ]);
+        assert_eq!(report.reports.len(), 2);
+        assert_eq!(report.total_ingested, 4);
+        assert_eq!(report.sessions_touched, 1);
+
+        let mut typed = Engine::with_universe(1 << 10);
+        typed.execute(
+            &Tick::new().append("s", vec![100, 200]).append("s", vec![150, 300]).auto_create(),
+        );
+        assert_eq!(legacy.session("s").unwrap().ranks(), typed.session("s").unwrap().ranks());
+        assert_eq!(legacy.session("s").unwrap().tails(), typed.session("s").unwrap().tails());
+    }
+
+    #[test]
+    fn legacy_weighted_wrappers_create_weighted_sessions() {
+        let mut engine = Engine::with_universe(1 << 10);
+        let tick = vec![(SessionId::from("w"), vec![(5u64, 10u64), (7, 1)])];
+        let by_ref = engine.ingest_weighted_tick_ref(&tick);
+        assert_eq!(by_ref.weighted_sessions_touched, 1);
+        let by_val = engine.ingest_weighted_tick(tick);
+        assert_eq!(by_val.total_ingested, 2);
+        assert_eq!(engine.session_kind("w"), Some(SessionKind::Weighted));
+        assert_eq!(engine.best_score("w"), Some(11));
+    }
+
+    #[test]
+    fn kind_mismatch_no_longer_panics_and_drops_the_slot() {
+        let mut engine = Engine::with_universe(1 << 8);
+        engine.create_session("p");
+        let report = engine.ingest_weighted_tick(vec![
+            (SessionId::from("p"), vec![(1, 1)]),
+            (SessionId::from("fresh"), vec![(2, 5)]),
+        ]);
+        // The mismatched slot is dropped from the legacy report; the rest
+        // of the tick is served.
+        assert_eq!(report.reports.len(), 1);
+        assert_eq!(report.reports[0].0.as_str(), "fresh");
+        assert_eq!(report.total_ingested, 1);
+        assert_eq!(engine.session("p").unwrap().len(), 0, "rejected op never touches the session");
+        assert_eq!(engine.best_score("fresh"), Some(5));
+    }
+
+    #[test]
+    fn legacy_mixed_and_query_wrappers_preserve_missing_semantics() {
+        let mut engine =
+            Engine::new(EngineConfig { universe: 1 << 10, shards: 2, ..EngineConfig::default() });
+        let mixed: Vec<(SessionId, TickOp)> = vec![
+            (SessionId::from("s"), TickOp::Query(Query::RankOf(0).into())),
+            (SessionId::from("s"), TickOp::Ingest(TickBatch::Plain(vec![10u64, 20]))),
+            (SessionId::from("s"), TickOp::Query(Query::RankOf(1).into())),
+        ];
+        let report = engine.ingest_query_tick(&mixed);
+        assert_eq!(report.reports.len(), 3, "missing-session queries keep their slot");
+        assert!(!report.reports[0].1.as_query().unwrap().answered());
+        assert_eq!(report.total_ingested, 2);
+        assert_eq!(report.total_queries, 1);
+        assert_eq!(report.reports[2].1.as_query().unwrap().answers[0], QueryAnswer::Rank(Some(2)));
+
+        let read = vec![
+            (SessionId::from("s"), QueryBatch::from(Query::CountAt(1))),
+            (SessionId::from("ghost"), QueryBatch::from(Query::Certificate)),
+        ];
+        let report = engine.query_tick(&read);
+        assert_eq!(report.reports.len(), 2);
+        assert_eq!(report.sessions_queried, 1);
+        assert_eq!(report.sessions_missing, 1);
+        assert!(!report.reports[1].1.answered());
+        assert_eq!(engine.session_count(), 1, "queries never create sessions");
+    }
+
+    #[test]
+    fn legacy_mixed_batches_route_by_payload_kind() {
+        let mut engine = Engine::with_universe(1 << 10);
+        let tick: Vec<(SessionId, TickBatch)> = vec![
+            (SessionId::from("plain"), vec![5u64, 7, 6, 8].into()),
+            (SessionId::from("heavy"), vec![(5u64, 10u64), (7, 1), (6, 20), (8, 1)].into()),
+        ];
+        let report = engine.ingest_tick_mixed(&tick);
+        assert_eq!(report.total_ingested, 8);
+        assert_eq!(report.sessions_touched, 2);
+        assert_eq!(report.weighted_sessions_touched, 1);
+        assert_eq!(engine.lis_length("plain"), Some(3));
+        assert_eq!(engine.best_score("heavy"), Some(31));
+    }
+}

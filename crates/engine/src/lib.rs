@@ -26,66 +26,85 @@
 //!   store chosen by [`DominantMaxKind`] — see [`wsession`].
 //! * [`Engine`] — a front that multiplexes many independent named sessions
 //!   ([`SessionId`]) of **both kinds** ([`SessionKind`]), shards them
-//!   across the fork-join pool, and processes a whole tick — plain,
-//!   weighted, or mixed ([`TickBatch`]) — in parallel: the "heavy traffic"
-//!   shape of the ROADMAP.
-//! * The **query plane** ([`query`]) — typed reads served from live
-//!   sessions with the same shard/tick parallelism as ingest: per-element
-//!   dp values ([`Query::RankOf`]), dp-value counts ([`Query::CountAt`]),
-//!   top-k by dp ([`Query::TopK`]), and full LIS/WLIS certificate
-//!   reconstruction ([`Query::Certificate`]), batched per session
-//!   ([`QueryBatch`]) and executed by [`Engine::query_tick`] (read-only)
-//!   or interleaved with writes by [`Engine::ingest_query_tick`]
-//!   ([`TickOp`]).
+//!   across the fork-join pool, and executes whole command ticks in
+//!   parallel: the "heavy traffic" shape of the ROADMAP.
+//! * The **command plane** ([`op`]) — the single typed submission API:
+//!   one [`Op`] enum covering appends ([`Op::Append`] /
+//!   [`Op::AppendWeighted`]), reads ([`Op::Query`]), and explicit
+//!   lifecycle ([`Op::CreateSession`] / [`Op::RemoveSession`]); a
+//!   [`Tick`] builder grouping ops per session in submission order;
+//!   [`Engine::execute`] for write/mixed traffic and
+//!   [`Engine::execute_read`] (over a [`ReadTick`]) for read-only
+//!   traffic.  Every op resolves to a typed [`Result<OpOutput, OpError>`]
+//!   — unknown sessions, kind mismatches, universe overflows, and
+//!   create-twice races degrade per op instead of panicking or vanishing.
+//! * The **query vocabulary** ([`query`]) — typed reads served from live
+//!   sessions: per-element dp values ([`Query::RankOf`]), dp-value counts
+//!   ([`Query::CountAt`]), top-k by dp ([`Query::TopK`]), and full
+//!   LIS/WLIS certificate reconstruction ([`Query::Certificate`]),
+//!   batched per session ([`QueryBatch`]).
+//! * The **legacy surface** ([`legacy`]) — the historical tick entry
+//!   points (`ingest_tick` and friends), kept as one-line deprecated
+//!   wrappers over the executor, with a migration table in the module
+//!   docs.
 //!
 //! # Quick start
 //!
 //! ```
-//! use plis_engine::{Backend, Engine, EngineConfig, SessionId, TickBatch};
+//! use plis_engine::{Engine, EngineConfig, Op, SessionKind, Tick};
 //!
-//! let mut engine = Engine::new(EngineConfig {
-//!     universe: 1 << 16,
-//!     backend: Backend::Veb,
-//!     ..EngineConfig::default()
-//! });
-//! let tick = vec![
-//!     (SessionId::from("alice"), vec![5u64, 3, 4, 8]),
-//!     (SessionId::from("bob"), vec![9u64, 1, 2]),
-//!     (SessionId::from("alice"), vec![6u64, 9]),
-//! ];
-//! let report = engine.ingest_tick(tick);
-//! assert_eq!(report.total_ingested, 9);
+//! let mut engine = Engine::new(EngineConfig { universe: 1 << 16, ..EngineConfig::default() });
+//!
+//! // One tick, every kind of command: explicit lifecycle, plain and
+//! // weighted appends, and a read that sees the writes before it.
+//! use plis_engine::{Query, QueryAnswer};
+//! let tick = Tick::new()
+//!     .create("alice", SessionKind::Unweighted)
+//!     .create("orders", SessionKind::Weighted)
+//!     .append("alice", vec![5u64, 3, 4, 8])
+//!     .append_weighted("orders", vec![(100u64, 5u64), (200, 9)])
+//!     .append("alice", vec![6u64, 9])
+//!     .query("alice", Query::RankOf(5));
+//! let outcome = engine.execute(&tick);
+//! assert!(outcome.fully_applied());
+//! assert_eq!(outcome.total_ingested, 8);
 //! assert_eq!(engine.lis_length("alice"), Some(4)); // 3 < 4 < 6 < 9
-//! assert_eq!(engine.lis_length("bob"), Some(2));   // 1 < 2
-//! let lis = engine.session("alice").unwrap().reconstruct_lis();
-//! assert_eq!(lis.len(), 4);
+//! assert_eq!(engine.best_score("orders"), Some(14)); // 100 < 200: 5 + 9
 //!
-//! // Weighted sessions ride the same ticks: (value, weight) batches.
-//! let wtick = vec![(SessionId::from("carol"), TickBatch::from(vec![(3u64, 10u64), (7, 5)]))];
-//! engine.ingest_tick_mixed(&wtick);
-//! assert_eq!(engine.best_score("carol"), Some(15)); // 3 then 7: 10 + 5
+//! // Every op resolved to a typed Result; the query saw both writes.
+//! let answered = outcome.outcomes[5].1.as_ref().unwrap().as_answered().unwrap();
+//! assert_eq!(answered.answers[0], QueryAnswer::Rank(Some(4))); // ...6 < 9
 //!
-//! // Reads ride ticks too: batched queries, answered shard-parallel.
-//! use plis_engine::{Query, QueryAnswer, QueryBatch};
-//! let qtick = vec![(SessionId::from("alice"), QueryBatch::from(Query::TopK(1)))];
-//! let answers = engine.query_tick(&qtick);
-//! assert_eq!(answers.reports[0].1.answers[0], QueryAnswer::TopK(vec![(5, 4)])); // 9, rank 4
+//! // Malformed ops fail typed instead of panicking or being skipped.
+//! use plis_engine::{OpError, ReadTick};
+//! let bad = engine.execute(&Tick::new().append("ghost", vec![1]));
+//! assert_eq!(bad.outcomes[0].1, Err(OpError::UnknownSession));
+//!
+//! // Read-only traffic takes &self.
+//! let reads = engine.execute_read(&ReadTick::new().query("alice", Query::TopK(1)));
+//! assert_eq!(
+//!     reads.outcomes[0].1.as_ref().unwrap().answers[0],
+//!     QueryAnswer::TopK(vec![(5, 4)]) // value 9, dp 4
+//! );
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod legacy;
+pub mod op;
 pub mod query;
 pub mod session;
 pub mod wsession;
 
 pub use engine::{
-    BatchReport, Engine, EngineConfig, SessionId, SessionKind, SessionState, TickBatch, TickReport,
+    BatchReport, Engine, EngineConfig, SessionId, SessionKind, SessionState, TickBatch,
 };
+pub use op::{Op, OpError, OpOutput, OpResult, ReadOutcome, ReadTick, Tick, TickOutcome};
 pub use plis_lis::DominantMaxKind;
-pub use query::{
-    Certificate, MixedTickReport, OpReport, Query, QueryAnswer, QueryBatch, QueryReport,
-    QueryTickReport, TickOp,
-};
+pub use query::{Certificate, Query, QueryAnswer, QueryBatch, QueryReport};
 pub use session::{Backend, IngestPath, IngestReport, StreamingLis, StreamingLisOn};
 pub use wsession::{WeightedIngestReport, WeightedStreamingLis};
+
+#[allow(deprecated)]
+pub use legacy::{MixedTickReport, OpReport, QueryTickReport, TickOp, TickReport};

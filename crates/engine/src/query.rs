@@ -1,22 +1,16 @@
-//! The engine's **query plane**: typed reads against live sessions,
-//! batched and executed shard-parallel exactly like ingest ticks.
+//! The engine's **query vocabulary**: typed reads against live sessions,
+//! batched per session and served by the command plane.
 //!
-//! The write plane (PR 1–3) ships data *into* sessions as
-//! `(SessionId, TickBatch)` pairs; this module is its read mirror.  A
-//! [`Query`] is one read, a [`QueryBatch`] is the reads addressed to one
-//! session (the analogue of [`TickBatch`]), and
-//! [`Engine::query_tick`](crate::Engine::query_tick) partitions a whole
-//! tick of query batches by shard and answers them through the same
-//! join-splitting `par_iter` surface — one piece per shard — that ingest
-//! uses.  Reads take `&Engine`, mutate nothing, and never create sessions.
-//!
-//! Mixed read/write traffic goes through
-//! [`Engine::ingest_query_tick`](crate::Engine::ingest_query_tick): a tick
-//! of [`TickOp`]s, where each slot either ingests a batch or answers a
-//! query batch.  Because a session lives in exactly one shard and each
-//! shard replays its slice of the tick sequentially, a query slot observes
-//! every write slot that precedes it in the tick — the natural
-//! read-your-writes ordering.
+//! A [`Query`] is one read, a [`QueryBatch`] is the reads addressed to
+//! one session.  Query batches travel two ways: as [`Op::Query`] slots
+//! of a write/mixed [`Tick`](crate::Tick) (executed by
+//! [`Engine::execute`](crate::Engine::execute), where a read observes
+//! every earlier write of the same tick addressed to its session), or as
+//! slots of a read-only [`ReadTick`](crate::ReadTick) (executed by
+//! [`Engine::execute_read`](crate::Engine::execute_read) over `&Engine`
+//! — reads mutate nothing and never create sessions).  Either way whole
+//! ticks are partitioned by shard and answered through the same
+//! join-splitting `par_iter` surface as ingest, one piece per shard.
 //!
 //! Every query has one semantics over the session-kind axis: the *dp
 //! value* of an element is its rank in an unweighted session and its
@@ -28,10 +22,11 @@
 //! bit-identical to the offline Appendix-A walk on the same prefix, which
 //! is what `crates/engine/tests/query_oracle.rs` asserts.
 //!
+//! [`Op::Query`]: crate::Op::Query
 //! [`StreamingLisOn::reconstruct_lis`]: crate::StreamingLisOn::reconstruct_lis
 //! [`WeightedStreamingLis::reconstruct_wlis`]: crate::WeightedStreamingLis::reconstruct_wlis
 
-use crate::engine::{SessionKind, SessionState, TickBatch};
+use crate::engine::{SessionKind, SessionState};
 
 /// One read against a live session.  The *dp value* a query speaks of is
 /// the element's rank (unweighted sessions) or its Algorithm-2 score
@@ -51,8 +46,7 @@ pub enum Query {
     Certificate,
 }
 
-/// The reads addressed to one session within a query tick — the read
-/// analogue of [`TickBatch`].
+/// The reads addressed to one session within a tick.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct QueryBatch(Vec<Query>);
 
@@ -133,19 +127,25 @@ pub enum QueryAnswer {
     Certificate(Certificate),
 }
 
-/// What one [`QueryBatch`] returned.
+/// What one [`QueryBatch`] returned, carried by
+/// [`OpOutput::Answered`](crate::OpOutput::Answered) and the read plane.
+///
+/// In the typed API a batch addressed to an absent session is an
+/// [`OpError::UnknownSession`](crate::OpError::UnknownSession), so `kind`
+/// is always present; [`QueryReport::missing`] survives for the legacy
+/// wrappers, which cannot express errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryReport {
-    /// Kind of the session that answered, or `None` when the session does
-    /// not exist (queries never create sessions; `answers` is then empty).
+    /// Kind of the session that answered, or `None` in the legacy
+    /// missing-session shape (`answers` is then empty).
     pub kind: Option<SessionKind>,
     /// One answer per query, in batch order.
     pub answers: Vec<QueryAnswer>,
 }
 
 impl QueryReport {
-    /// The report for a query batch addressed to a session that does not
-    /// exist.
+    /// The legacy report for a query batch addressed to a session that
+    /// does not exist.
     pub fn missing() -> Self {
         QueryReport { kind: None, answers: Vec::new() }
     }
@@ -154,112 +154,6 @@ impl QueryReport {
     pub fn answered(&self) -> bool {
         self.kind.is_some()
     }
-}
-
-/// One slot of a mixed read/write tick
-/// ([`Engine::ingest_query_tick`](crate::Engine::ingest_query_tick)).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TickOp {
-    /// Write: ingest one batch (plain or weighted).
-    Ingest(TickBatch),
-    /// Read: answer one query batch against the state so far — including
-    /// every earlier slot of the *same tick* addressed to the session.
-    Query(QueryBatch),
-}
-
-impl From<TickBatch> for TickOp {
-    fn from(batch: TickBatch) -> Self {
-        TickOp::Ingest(batch)
-    }
-}
-
-impl From<QueryBatch> for TickOp {
-    fn from(batch: QueryBatch) -> Self {
-        TickOp::Query(batch)
-    }
-}
-
-/// What one slot of a mixed tick did.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum OpReport {
-    /// The slot was a write.
-    Ingest(crate::BatchReport),
-    /// The slot was a read.
-    Query(QueryReport),
-}
-
-impl OpReport {
-    /// Elements ingested by this slot (0 for reads).
-    pub fn ingested(&self) -> usize {
-        match self {
-            OpReport::Ingest(r) => r.ingested(),
-            OpReport::Query(_) => 0,
-        }
-    }
-
-    /// Queries answered by this slot (0 for writes).
-    pub fn queries(&self) -> usize {
-        match self {
-            OpReport::Ingest(_) => 0,
-            OpReport::Query(r) => r.answers.len(),
-        }
-    }
-
-    /// The ingest report, if this slot was a write.
-    pub fn as_ingest(&self) -> Option<&crate::BatchReport> {
-        match self {
-            OpReport::Ingest(r) => Some(r),
-            OpReport::Query(_) => None,
-        }
-    }
-
-    /// The query report, if this slot was a read.
-    pub fn as_query(&self) -> Option<&QueryReport> {
-        match self {
-            OpReport::Query(r) => Some(r),
-            OpReport::Ingest(_) => None,
-        }
-    }
-}
-
-/// What one [`Engine::query_tick`](crate::Engine::query_tick) call did.
-#[derive(Debug, Clone)]
-pub struct QueryTickReport {
-    /// One report per input query batch, in the original tick order.
-    pub reports: Vec<(crate::SessionId, QueryReport)>,
-    /// Total queries answered across all batches (missing sessions answer
-    /// nothing).
-    pub total_queries: usize,
-    /// Number of distinct existing sessions that answered queries.
-    pub sessions_queried: usize,
-    /// Number of distinct session ids addressed that do not exist.
-    pub sessions_missing: usize,
-    /// Number of distinct worker threads that served shards — the same
-    /// observational field as
-    /// [`TickReport::worker_threads`](crate::TickReport::worker_threads).
-    pub worker_threads: usize,
-}
-
-/// What one [`Engine::ingest_query_tick`](crate::Engine::ingest_query_tick)
-/// call did — the mixed analogue of [`TickReport`](crate::TickReport) and
-/// [`QueryTickReport`].
-#[derive(Debug, Clone)]
-pub struct MixedTickReport {
-    /// One report per input slot, in the original tick order.
-    pub reports: Vec<(crate::SessionId, OpReport)>,
-    /// Total elements ingested by the write slots.
-    pub total_ingested: usize,
-    /// Total queries answered by the read slots.
-    pub total_queries: usize,
-    /// Number of distinct sessions that received data.
-    pub sessions_touched: usize,
-    /// Of [`MixedTickReport::sessions_touched`], how many were weighted.
-    pub weighted_sessions_touched: usize,
-    /// Number of distinct existing sessions that answered queries.
-    pub sessions_queried: usize,
-    /// Number of distinct worker threads that served shards (see
-    /// [`TickReport::worker_threads`](crate::TickReport::worker_threads)).
-    pub worker_threads: usize,
 }
 
 impl SessionState {

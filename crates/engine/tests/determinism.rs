@@ -1,12 +1,12 @@
 //! Engine determinism across thread counts: a multi-session tick schedule
-//! ingested under `num_threads(1)` and under the full pool must produce
-//! identical `IngestReport`s for every batch and identical final state
+//! executed under `num_threads(1)` and under the full pool must produce
+//! identical per-op outcomes for every slot and identical final state
 //! (ranks and patience tails) for every session.  Also asserts, via
-//! `TickReport::worker_threads`, that the full-pool run really processes
+//! `TickOutcome::worker_threads`, that the full-pool run really processes
 //! shards on more than one worker thread — i.e. the tick path goes through
 //! the join-splitting `par_iter` surface, not a sequential fallback.
 
-use plis_engine::{Backend, Engine, EngineConfig, SessionId, TickReport};
+use plis_engine::{Backend, Engine, EngineConfig, SessionId, Tick, TickOutcome};
 use plis_workloads::streaming::{round_robin_ticks, session_fleet};
 
 /// Pool size for the parallel leg: `PLIS_BENCH_THREADS`, else the hardware
@@ -24,18 +24,31 @@ fn on_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
     rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap().install(f)
 }
 
+/// The schedule as command-plane ticks, built once and replayed borrowed
+/// on every leg (appends create their session on first contact).
+fn command_ticks(fleet: &[(String, Vec<Vec<u64>>)]) -> Vec<Tick> {
+    round_robin_ticks(fleet, |s| SessionId::from(s))
+        .into_iter()
+        .map(|tick| tick.into_iter().collect::<Tick>().auto_create())
+        .collect()
+}
+
 struct RunOutcome {
-    tick_reports: Vec<TickReport>,
+    tick_outcomes: Vec<TickOutcome>,
     /// (session, ranks, tails) per session, sorted by session id.
     final_state: Vec<(String, Vec<u32>, Vec<u64>)>,
     max_worker_threads: usize,
 }
 
-fn run(threads: usize, ticks: &[Vec<(SessionId, Vec<u64>)>], config: &EngineConfig) -> RunOutcome {
+fn run(threads: usize, ticks: &[Tick], config: &EngineConfig) -> RunOutcome {
     on_pool(threads, || {
         let mut engine = Engine::new(config.clone());
-        let tick_reports: Vec<TickReport> =
-            ticks.iter().map(|tick| engine.ingest_tick_ref(tick)).collect();
+        let tick_outcomes: Vec<TickOutcome> =
+            ticks.iter().map(|tick| engine.execute(tick)).collect();
+        assert!(
+            tick_outcomes.iter().all(TickOutcome::fully_applied),
+            "a well-formed schedule must land every op"
+        );
         engine.check_invariants();
         let final_state = engine
             .session_ids()
@@ -45,16 +58,16 @@ fn run(threads: usize, ticks: &[Vec<(SessionId, Vec<u64>)>], config: &EngineConf
                 (id.as_str().to_string(), session.ranks().to_vec(), session.tails().to_vec())
             })
             .collect();
-        let max_worker_threads = tick_reports.iter().map(|r| r.worker_threads).max().unwrap_or(1);
-        RunOutcome { tick_reports, final_state, max_worker_threads }
+        let max_worker_threads = tick_outcomes.iter().map(|r| r.worker_threads).max().unwrap_or(1);
+        RunOutcome { tick_outcomes, final_state, max_worker_threads }
     })
 }
 
 fn assert_identical(seq: &RunOutcome, par: &RunOutcome) {
-    assert_eq!(seq.tick_reports.len(), par.tick_reports.len());
-    for (t, (a, b)) in seq.tick_reports.iter().zip(par.tick_reports.iter()).enumerate() {
+    assert_eq!(seq.tick_outcomes.len(), par.tick_outcomes.len());
+    for (t, (a, b)) in seq.tick_outcomes.iter().zip(par.tick_outcomes.iter()).enumerate() {
         // worker_threads is observational and intentionally excluded.
-        assert_eq!(a.reports, b.reports, "tick {t}: per-batch reports diverged");
+        assert_eq!(a.outcomes, b.outcomes, "tick {t}: per-op outcomes diverged");
         assert_eq!(a.total_ingested, b.total_ingested, "tick {t}");
         assert_eq!(a.sessions_touched, b.sessions_touched, "tick {t}");
     }
@@ -64,7 +77,7 @@ fn assert_identical(seq: &RunOutcome, par: &RunOutcome) {
 #[test]
 fn multi_session_ticks_are_deterministic_across_thread_counts() {
     let (fleet, universe) = session_fleet(9, 4_000, 96, 0x00D1CE);
-    let ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
+    let ticks = command_ticks(&fleet);
     assert!(ticks.len() > 10, "schedule should span many ticks");
     let config = EngineConfig {
         universe,
@@ -83,7 +96,7 @@ fn multi_session_ticks_are_deterministic_across_thread_counts() {
 #[test]
 fn full_pool_tick_processing_engages_multiple_workers() {
     let (fleet, universe) = session_fleet(12, 2_000, 128, 0xFEED);
-    let ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
+    let ticks = command_ticks(&fleet);
     let config = EngineConfig {
         universe,
         backend: Backend::Auto,
@@ -110,7 +123,7 @@ fn full_pool_tick_processing_engages_multiple_workers() {
 fn both_backends_are_deterministic() {
     for backend in [Backend::Veb, Backend::SortedVec] {
         let (fleet, universe) = session_fleet(6, 1_500, 64, 0xB0B);
-        let ticks = round_robin_ticks(&fleet, |s| SessionId::from(s));
+        let ticks = command_ticks(&fleet);
         let config = EngineConfig {
             universe,
             backend,

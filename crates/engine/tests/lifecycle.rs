@@ -1,11 +1,13 @@
 //! Engine session lifecycle under churn: sessions removed mid-stream and
-//! re-created — explicitly or implicitly by later ticks — must behave
+//! re-created — by explicit [`plis_engine::Op::RemoveSession`] /
+//! [`plis_engine::Op::CreateSession`] slots riding the same ticks as the
+//! traffic, or implicitly by later auto-create ticks — must behave
 //! exactly like fresh sessions fed only the post-removal traffic, and must
 //! never disturb their neighbours.
 
 use plis_engine::{
-    Backend, DominantMaxKind, Engine, EngineConfig, SessionId, SessionKind, StreamingLis,
-    TickBatch, WeightedStreamingLis,
+    Backend, DominantMaxKind, Engine, EngineConfig, Op, SessionKind, StreamingLis, Tick,
+    WeightedStreamingLis,
 };
 use plis_workloads::streaming::{stream, weighted_stream, StreamPattern};
 
@@ -26,17 +28,22 @@ fn removed_session_recreated_by_ingest_restarts_from_scratch() {
     let mut neighbour_reference = StreamingLis::new(universe, Backend::Auto).with_par_threshold(32);
 
     for (round, batch) in batches.iter().enumerate() {
+        let mut tick = Tick::new().auto_create();
         if round == cut {
-            // Mid-stream churn: drop the session entirely.
-            assert!(engine.remove_session("churny"));
-            assert!(engine.session("churny").is_none());
+            // Mid-stream churn: the removal rides the same tick as the
+            // traffic, ordered before the batch that re-creates the id.
+            tick.push("churny", Op::RemoveSession);
         }
-        let mut tick = vec![(SessionId::from("churny"), batch.clone())];
+        tick.push("churny", Op::Append(batch.clone()));
         if let Some(nb) = neighbour.get(round) {
             neighbour_reference.ingest(nb);
-            tick.push((SessionId::from("stable"), nb.clone()));
+            tick.push("stable", Op::Append(nb.clone()));
         }
-        engine.ingest_tick(tick);
+        let outcome = engine.execute(&tick);
+        assert!(outcome.fully_applied(), "errors: {:?}", outcome.errors().collect::<Vec<_>>());
+        if round == cut {
+            assert_eq!(outcome.sessions_removed, 1);
+        }
     }
 
     // The re-created session must equal a fresh session fed only the
@@ -68,11 +75,20 @@ fn removed_weighted_session_recreated_mid_stream_matches_fresh_session() {
         default_kind: SessionKind::Weighted,
         ..config(universe)
     });
+    engine.create_session_kind("w", SessionKind::Weighted);
     for (round, batch) in batches.iter().enumerate() {
-        if round == cut {
-            assert!(engine.remove_session("w"));
-        }
-        engine.ingest_weighted_tick(vec![(SessionId::from("w"), batch.clone())]);
+        // Strict ticks with an explicit remove/create pair at the churn
+        // point: lifecycle is part of the command vocabulary, not a side
+        // effect of ingest.
+        let tick = if round == cut {
+            Tick::new()
+                .remove("w")
+                .create("w", SessionKind::Weighted)
+                .append_weighted("w", batch.clone())
+        } else {
+            Tick::new().append_weighted("w", batch.clone())
+        };
+        assert!(engine.execute(&tick).fully_applied());
     }
 
     let mut fresh =
@@ -89,12 +105,17 @@ fn removed_weighted_session_recreated_mid_stream_matches_fresh_session() {
 #[test]
 fn kind_can_change_across_a_removal() {
     let mut engine = Engine::new(config(1 << 10));
-    engine.ingest_tick(vec![(SessionId::from("s"), vec![1, 2, 3])]);
+    engine.execute(&Tick::new().append("s", vec![1, 2, 3]).auto_create());
     assert_eq!(engine.session_kind("s"), Some(SessionKind::Unweighted));
 
-    assert!(engine.remove_session("s"));
-    // A weighted batch re-creates the id as a weighted session.
-    engine.ingest_tick_mixed(&[(SessionId::from("s"), TickBatch::Weighted(vec![(4, 9), (5, 2)]))]);
+    // One tick: remove, then re-create the id as a weighted session.
+    let outcome = engine.execute(
+        &Tick::new()
+            .remove("s")
+            .create("s", SessionKind::Weighted)
+            .append_weighted("s", vec![(4, 9), (5, 2)]),
+    );
+    assert!(outcome.fully_applied());
     assert_eq!(engine.session_kind("s"), Some(SessionKind::Weighted));
     assert_eq!(engine.best_score("s"), Some(11));
     assert_eq!(engine.lis_length("s"), None);
@@ -106,7 +127,9 @@ fn repeated_create_remove_cycles_stay_consistent() {
     let mut engine = Engine::new(config(1 << 10));
     for cycle in 0..10u64 {
         let id = format!("cycle-{}", cycle % 3);
-        engine.ingest_tick(vec![(SessionId::from(id.as_str()), vec![cycle % 7, cycle % 5 + 3])]);
+        engine.execute(
+            &Tick::new().append(id.as_str(), vec![cycle % 7, cycle % 5 + 3]).auto_create(),
+        );
         if cycle % 2 == 1 {
             assert!(engine.remove_session(&id));
             assert!(!engine.remove_session(&id), "double removal must be a no-op");

@@ -11,8 +11,8 @@
 //! with their claimed length/score.
 
 use plis_engine::{
-    Backend, DominantMaxKind, Engine, EngineConfig, MixedTickReport, Query, QueryAnswer,
-    QueryBatch, SessionId, SessionKind, TickBatch, TickOp,
+    Backend, DominantMaxKind, Engine, EngineConfig, Op, OpOutput, Query, QueryAnswer, ReadTick,
+    SessionId, SessionKind, Tick, TickOutcome,
 };
 use plis_lis::{lis_indices_from_ranks, lis_ranks_u64, wlis_indices_from_scores, wlis_kind};
 use plis_workloads::streaming::{
@@ -105,9 +105,6 @@ fn assert_certificate(values: &[u64], indices: &[usize]) {
     );
 }
 
-/// One session's mixed schedule as engine ticks (round-robin across the
-/// fleet), plus the flattened per-session schedules for oracle replay.
-type MixedTick = Vec<(SessionId, TickOp)>;
 /// One tick of weighted read/write slots, pre-conversion.
 type WeightedOpTick = Vec<(SessionId, ReadWriteOp<(u64, u64)>)>;
 /// One named weighted read/write schedule.
@@ -115,13 +112,13 @@ type WeightedSchedule = (String, Vec<ReadWriteOp<(u64, u64)>>);
 
 /// Run a fleet of plain read/write schedules through an engine, checking
 /// every query answer against the offline oracle on the exact prefix it
-/// observed.  Returns all mixed-tick reports for determinism comparison.
+/// observed.  Returns all tick outcomes for determinism comparison.
 fn run_plain_checked(
     ticks: &[Vec<(SessionId, ReadWriteOp<u64>)>],
     universe: u64,
     backend: Backend,
     threads: usize,
-) -> Vec<MixedTickReport> {
+) -> Vec<TickOutcome> {
     on_pool(threads, || {
         let mut engine = Engine::new(EngineConfig {
             universe,
@@ -131,34 +128,26 @@ fn run_plain_checked(
             ..EngineConfig::default()
         });
         let mut prefixes: HashMap<String, Vec<u64>> = HashMap::new();
-        let mut reports = Vec::new();
+        let mut outcomes = Vec::new();
         for tick in ticks {
-            let ops: MixedTick = tick
-                .iter()
-                .map(|(id, op)| {
-                    let op = match op {
-                        ReadWriteOp::Write(b) => TickOp::Ingest(TickBatch::Plain(b.clone())),
-                        ReadWriteOp::Read(specs) => TickOp::Query(QueryBatch::new(
-                            specs.iter().copied().map(Query::from).collect(),
-                        )),
-                    };
-                    (id.clone(), op)
-                })
-                .collect();
-            let report = engine.ingest_query_tick(&ops);
+            // The workload's read/write ops map 1:1 onto command-plane ops.
+            let command: Tick = tick.iter().cloned().collect::<Tick>().auto_create();
+            let outcome = engine.execute(&command);
+            assert!(outcome.fully_applied(), "well-formed mixed ticks land every op");
 
             // Replay the tick against growing offline prefixes: a query
             // slot must equal the oracle on everything written before it.
-            for ((id, op), (_, got)) in tick.iter().zip(&report.reports) {
+            for ((id, op), (_, got)) in tick.iter().zip(&outcome.outcomes) {
                 let prefix = prefixes.entry(id.as_str().to_string()).or_default();
+                let got = got.as_ref().expect("no op failed");
                 match op {
                     ReadWriteOp::Write(b) => {
                         prefix.extend_from_slice(b);
-                        assert!(got.as_ingest().is_some(), "write slot must report an ingest");
+                        assert!(got.as_appended().is_some(), "write slot must report an append");
                     }
                     ReadWriteOp::Read(specs) => {
                         let want = plain_oracle(prefix, specs);
-                        let answered = got.as_query().expect("read slot must report a query");
+                        let answered = got.as_answered().expect("read slot must report answers");
                         assert_eq!(answered.kind, Some(SessionKind::Unweighted));
                         assert_eq!(
                             answered.answers, want,
@@ -167,10 +156,10 @@ fn run_plain_checked(
                     }
                 }
             }
-            reports.push(report);
+            outcomes.push(outcome);
         }
         engine.check_invariants();
-        reports
+        outcomes
     })
 }
 
@@ -180,7 +169,7 @@ fn run_weighted_checked(
     universe: u64,
     dommax: DominantMaxKind,
     threads: usize,
-) -> Vec<MixedTickReport> {
+) -> Vec<TickOutcome> {
     on_pool(threads, || {
         let mut engine = Engine::new(EngineConfig {
             universe,
@@ -191,28 +180,19 @@ fn run_weighted_checked(
             ..EngineConfig::default()
         });
         let mut prefixes: HashMap<String, Vec<(u64, u64)>> = HashMap::new();
-        let mut reports = Vec::new();
+        let mut outcomes = Vec::new();
         for tick in ticks {
-            let ops: MixedTick = tick
-                .iter()
-                .map(|(id, op)| {
-                    let op = match op {
-                        ReadWriteOp::Write(b) => TickOp::Ingest(TickBatch::Weighted(b.clone())),
-                        ReadWriteOp::Read(specs) => TickOp::Query(QueryBatch::new(
-                            specs.iter().copied().map(Query::from).collect(),
-                        )),
-                    };
-                    (id.clone(), op)
-                })
-                .collect();
-            let report = engine.ingest_query_tick(&ops);
-            for ((id, op), (_, got)) in tick.iter().zip(&report.reports) {
+            let command: Tick = tick.iter().cloned().collect::<Tick>().auto_create();
+            let outcome = engine.execute(&command);
+            assert!(outcome.fully_applied(), "well-formed weighted ticks land every op");
+            for ((id, op), (_, got)) in tick.iter().zip(&outcome.outcomes) {
                 let prefix = prefixes.entry(id.as_str().to_string()).or_default();
+                let got = got.as_ref().expect("no op failed");
                 match op {
                     ReadWriteOp::Write(b) => prefix.extend_from_slice(b),
                     ReadWriteOp::Read(specs) => {
                         let want = weighted_oracle(prefix, specs, dommax);
-                        let answered = got.as_query().expect("read slot must report a query");
+                        let answered = got.as_answered().expect("read slot must report answers");
                         assert_eq!(answered.kind, Some(SessionKind::Weighted));
                         assert_eq!(
                             answered.answers, want,
@@ -221,18 +201,18 @@ fn run_weighted_checked(
                     }
                 }
             }
-            reports.push(report);
+            outcomes.push(outcome);
         }
         engine.check_invariants();
-        reports
+        outcomes
     })
 }
 
-fn assert_identical(a: &[MixedTickReport], b: &[MixedTickReport], label: &str) {
+fn assert_identical(a: &[TickOutcome], b: &[TickOutcome], label: &str) {
     assert_eq!(a.len(), b.len(), "{label}");
     for (t, (x, y)) in a.iter().zip(b).enumerate() {
         // worker_threads is observational and intentionally excluded.
-        assert_eq!(x.reports, y.reports, "{label}: tick {t} reports diverged");
+        assert_eq!(x.outcomes, y.outcomes, "{label}: tick {t} outcomes diverged");
         assert_eq!(x.total_ingested, y.total_ingested, "{label}: tick {t}");
         assert_eq!(x.total_queries, y.total_queries, "{label}: tick {t}");
     }
@@ -283,43 +263,58 @@ fn weighted_queries_match_offline_oracles_on_both_stores_and_pools() {
 }
 
 #[test]
-fn read_only_query_ticks_match_the_mixed_path() {
-    // After ingesting everything, a read-only query_tick over &self must
+fn read_only_ticks_match_the_mixed_path() {
+    // After ingesting everything, a read-only execute_read over &self must
     // answer exactly like query slots appended to a mixed tick.
     let (fleet, universe) = mixed_session_fleet(3, 800, 64, 0.0, 4, 0xF00);
     let mut engine = Engine::new(EngineConfig { universe, shards: 3, ..EngineConfig::default() });
     let mut prefixes: HashMap<String, Vec<u64>> = HashMap::new();
     for tick in round_robin_ticks(&fleet, |s| SessionId::from(s)) {
-        let plain: Vec<(SessionId, Vec<u64>)> = tick
+        let command: Tick = tick
             .into_iter()
-            .map(|(id, op)| match op {
-                ReadWriteOp::Write(b) => {
-                    prefixes.entry(id.as_str().to_string()).or_default().extend_from_slice(&b);
-                    (id, b)
+            .map(|(id, op)| {
+                match &op {
+                    ReadWriteOp::Write(b) => {
+                        prefixes.entry(id.as_str().to_string()).or_default().extend_from_slice(b)
+                    }
+                    ReadWriteOp::Read(_) => unreachable!("mix 0.0 generates no reads"),
                 }
-                ReadWriteOp::Read(_) => unreachable!("mix 0.0 generates no reads"),
+                (id, Op::from(op))
             })
-            .collect();
-        engine.ingest_tick(plain);
+            .collect::<Tick>()
+            .auto_create();
+        assert!(engine.execute(&command).fully_applied());
     }
 
     let specs =
         [QuerySpec::RankOf(17), QuerySpec::CountAt(3), QuerySpec::TopK(6), QuerySpec::Certificate];
-    let tick: Vec<(SessionId, QueryBatch)> = prefixes
+    let tick: ReadTick = prefixes
         .keys()
         .map(|name| {
             (
                 SessionId::from(name.as_str()),
-                specs.iter().copied().map(Query::from).collect::<Vec<_>>().into(),
+                specs.iter().copied().map(Query::from).collect::<Vec<_>>(),
             )
         })
         .collect();
-    let report = engine.query_tick(&tick);
-    assert_eq!(report.sessions_queried, prefixes.len());
-    assert_eq!(report.sessions_missing, 0);
-    assert_eq!(report.total_queries, prefixes.len() * specs.len());
-    for (id, got) in &report.reports {
+    let outcome = engine.execute_read(&tick);
+    assert!(outcome.fully_answered());
+    assert_eq!(outcome.sessions_queried, prefixes.len());
+    assert_eq!(outcome.sessions_missing, 0);
+    assert_eq!(outcome.total_queries, prefixes.len() * specs.len());
+    for (id, got) in &outcome.outcomes {
         let want = plain_oracle(&prefixes[id.as_str()], &specs);
-        assert_eq!(got.answers, want, "read-only answers for {id}");
+        assert_eq!(got.as_ref().unwrap().answers, want, "read-only answers for {id}");
+    }
+
+    // And slot-for-slot like the same queries as Op::Query slots.
+    let mixed: Tick =
+        tick.slots().iter().map(|(id, q)| (id.clone(), Op::Query(q.clone()))).collect();
+    let via_execute = engine.execute(&mixed);
+    for ((_, read), (_, slot)) in outcome.outcomes.iter().zip(&via_execute.outcomes) {
+        let OpOutput::Answered(report) = slot.as_ref().unwrap() else {
+            panic!("query slot must answer")
+        };
+        assert_eq!(read.as_ref().unwrap(), report, "execute_read vs execute diverged");
     }
 }

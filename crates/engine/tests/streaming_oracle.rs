@@ -4,7 +4,7 @@
 //! concatenated prefix — for multiple workload patterns, random batch
 //! sizes, and both backends.
 
-use plis_engine::{Backend, Engine, EngineConfig, SessionId, StreamingLis};
+use plis_engine::{Backend, Engine, EngineConfig, SessionId, StreamingLis, Tick};
 use plis_lis::lis_ranks_u64;
 use plis_workloads::{line_pattern, random_permutation, range_pattern};
 use rand::rngs::StdRng;
@@ -131,17 +131,20 @@ fn engine_fleet_matches_oracle_per_session() {
             random_permutation(3_000, 3).iter().map(|&v| v % universe).collect(),
         ),
     ];
+    for (id, _) in &streams {
+        assert!(engine.create_session_kind(id.clone(), plis_engine::SessionKind::Unweighted));
+    }
     let mut cursors: Vec<usize> = vec![0; streams.len()];
     while cursors.iter().zip(&streams).any(|(&c, (_, v))| c < v.len()) {
-        let mut tick = Vec::new();
+        let mut tick = Tick::new();
         for (i, (id, values)) in streams.iter().enumerate() {
             if cursors[i] < values.len() {
                 let take = rng.gen_range(1..=400usize).min(values.len() - cursors[i]);
-                tick.push((id.clone(), values[cursors[i]..cursors[i] + take].to_vec()));
+                tick.push(id.clone(), values[cursors[i]..cursors[i] + take].to_vec());
                 cursors[i] += take;
             }
         }
-        engine.ingest_tick(tick);
+        assert!(engine.execute(&tick).fully_applied());
     }
     for (id, values) in &streams {
         let session = engine.session(id.as_str()).expect("session exists");

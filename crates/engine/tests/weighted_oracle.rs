@@ -1,5 +1,5 @@
 //! The acceptance property of the *weighted* engine path: after every
-//! ingested tick, a weighted session's dp scores must equal the offline
+//! executed tick, a weighted session's dp scores must equal the offline
 //! Algorithm-2 oracle (`plis_lis::wlis_kind`, itself differentially tested
 //! against the quadratic dp in `crates/lis/tests/wlis_oracle.rs`) run on
 //! the concatenated `(value, weight)` prefix — for both dominant-max
@@ -7,13 +7,14 @@
 //! bit-identical to each other and to the other store.
 
 use plis_engine::{
-    BatchReport, DominantMaxKind, Engine, EngineConfig, SessionId, SessionKind, TickReport,
+    BatchReport, DominantMaxKind, Engine, EngineConfig, OpOutput, SessionId, SessionKind, Tick,
+    TickOutcome,
 };
 use plis_lis::wlis_kind;
 use plis_workloads::streaming::{round_robin_ticks, weighted_session_fleet};
 use std::collections::HashMap;
 
-/// One engine tick of weighted batches.
+/// One engine tick of weighted batches (the raw schedule shape).
 type WeightedTick = Vec<(SessionId, Vec<(u64, u64)>)>;
 /// `(session, scores, frontier)` snapshot.
 type SessionSnapshot = (String, Vec<u64>, Vec<(u64, u64)>);
@@ -34,7 +35,7 @@ fn on_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
 }
 
 struct RunOutcome {
-    tick_reports: Vec<TickReport>,
+    tick_outcomes: Vec<TickOutcome>,
     /// One [`SessionSnapshot`] per session, sorted by session id.
     final_state: Vec<SessionSnapshot>,
 }
@@ -59,12 +60,16 @@ fn run_checked(
             ..EngineConfig::default()
         });
         let mut prefixes: HashMap<String, Vec<(u64, u64)>> = HashMap::new();
-        let mut tick_reports = Vec::new();
+        let mut tick_outcomes = Vec::new();
         for tick in ticks {
-            let report = engine.ingest_weighted_tick_ref(tick);
-            assert!(report.reports.iter().all(|(_, r)| matches!(r, BatchReport::Weighted(_))));
-            assert_eq!(report.weighted_sessions_touched, report.sessions_touched);
-            tick_reports.push(report);
+            let command: Tick = tick.iter().cloned().collect::<Tick>().auto_create();
+            let outcome = engine.execute(&command);
+            assert!(outcome.fully_applied(), "well-formed weighted ticks land every op");
+            assert!(outcome
+                .outputs()
+                .all(|(_, o)| matches!(o, OpOutput::Appended(BatchReport::Weighted(_)))));
+            assert_eq!(outcome.weighted_sessions_touched, outcome.sessions_touched);
+            tick_outcomes.push(outcome);
             for (id, batch) in tick {
                 prefixes.entry(id.as_str().to_string()).or_default().extend_from_slice(batch);
             }
@@ -92,15 +97,15 @@ fn run_checked(
                 (id.as_str().to_string(), s.scores().to_vec(), s.frontier().to_vec())
             })
             .collect();
-        RunOutcome { tick_reports, final_state }
+        RunOutcome { tick_outcomes, final_state }
     })
 }
 
 fn assert_identical(a: &RunOutcome, b: &RunOutcome, label: &str) {
-    assert_eq!(a.tick_reports.len(), b.tick_reports.len(), "{label}");
-    for (t, (x, y)) in a.tick_reports.iter().zip(b.tick_reports.iter()).enumerate() {
+    assert_eq!(a.tick_outcomes.len(), b.tick_outcomes.len(), "{label}");
+    for (t, (x, y)) in a.tick_outcomes.iter().zip(b.tick_outcomes.iter()).enumerate() {
         // worker_threads is observational and intentionally excluded.
-        assert_eq!(x.reports, y.reports, "{label}: tick {t} reports diverged");
+        assert_eq!(x.outcomes, y.outcomes, "{label}: tick {t} outcomes diverged");
         assert_eq!(x.total_ingested, y.total_ingested, "{label}: tick {t}");
     }
     assert_eq!(a.final_state, b.final_state, "{label}: final scores/frontiers diverged");
@@ -119,16 +124,15 @@ fn weighted_sessions_match_offline_oracle_on_both_stores_and_pools() {
         assert_identical(&seq, &par, &format!("{dommax:?}: 1-thread vs full pool"));
         per_store.push(seq);
     }
-    // Both dominant-max stores must agree bit-for-bit on scores (reports
+    // Both dominant-max stores must agree bit-for-bit on scores (outcomes
     // include frontier sizes, which are store-independent too).
     assert_identical(&per_store[0], &per_store[1], "range-tree vs range-veb");
 }
 
 #[test]
 fn mixed_ticks_serve_both_kinds_against_their_oracles() {
-    use plis_engine::TickBatch;
     use plis_lis::lis_ranks_u64;
-    use plis_workloads::streaming::{session_fleet, weighted_session_fleet};
+    use plis_workloads::streaming::session_fleet;
 
     let n = 900;
     let (plain_fleet, u1) = session_fleet(2, n, 48, 0xA1);
@@ -148,19 +152,20 @@ fn mixed_ticks_serve_both_kinds_against_their_oracles() {
         .max()
         .unwrap();
     for round in 0..rounds {
-        let mut tick: Vec<(SessionId, TickBatch)> = Vec::new();
+        let mut tick = Tick::new().auto_create();
         for (name, batches) in &plain_fleet {
             if let Some(b) = batches.get(round) {
-                tick.push((SessionId::from(name.as_str()), TickBatch::Plain(b.clone())));
+                tick.push(name.as_str(), b.clone());
             }
         }
         for (name, batches) in &weighted_fleet {
             if let Some(b) = batches.get(round) {
-                tick.push((SessionId::from(name.as_str()), TickBatch::Weighted(b.clone())));
+                tick.push(name.as_str(), b.clone());
             }
         }
-        let report = engine.ingest_tick_mixed(&tick);
-        assert!(report.weighted_sessions_touched <= report.sessions_touched);
+        let outcome = engine.execute(&tick);
+        assert!(outcome.fully_applied());
+        assert!(outcome.weighted_sessions_touched <= outcome.sessions_touched);
     }
 
     for (name, batches) in &plain_fleet {

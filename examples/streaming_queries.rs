@@ -6,24 +6,29 @@
 //! Run with: `cargo run --release --example streaming_queries`
 
 use plis::prelude::*;
-use plis::workloads::streaming::{mixed_session_fleet, round_robin_ticks, ReadWriteOp};
+use plis::workloads::streaming::{mixed_session_fleet, round_robin_ticks};
 
 fn main() {
     // --- One session: every query kind --------------------------------
     let mut engine = Engine::with_universe(1 << 16);
-    engine.ingest_tick(vec![(SessionId::from("sensor"), vec![520u64, 310, 450, 260, 610])]);
+    engine.execute(
+        &Tick::new()
+            .create("sensor", SessionKind::Unweighted)
+            .append("sensor", vec![520u64, 310, 450, 260, 610]),
+    );
 
-    let tick = vec![(
-        SessionId::from("sensor"),
-        QueryBatch::from(vec![
+    // Read-only traffic takes &self: a ReadTick of query batches.
+    let tick = ReadTick::new().query(
+        "sensor",
+        vec![
             Query::RankOf(4),   // dp value of the 5th reading
             Query::CountAt(1),  // how many readings start a fresh run
             Query::TopK(3),     // the three deepest runs
             Query::Certificate, // one actual LIS
-        ]),
-    )];
-    let report = engine.query_tick(&tick);
-    let answers = &report.reports[0].1.answers;
+        ],
+    );
+    let outcome = engine.execute_read(&tick);
+    let answers = &outcome.outcomes[0].1.as_ref().unwrap().answers;
     assert_eq!(answers[0], QueryAnswer::Rank(Some(3))); // 310 < 450 < 610
     assert_eq!(answers[1], QueryAnswer::Count(3)); // 520, 310, 260
     println!("sensor answers: {answers:?}");
@@ -33,27 +38,29 @@ fn main() {
     println!("certificate: indices {:?} claim a LIS of length {}", cert.indices, cert.claimed);
 
     // --- Reads interleaved with writes, in one tick --------------------
-    // A query slot sees every write slot before it in the same tick.
-    let mixed: Vec<(SessionId, TickOp)> = vec![
-        (SessionId::from("sensor"), TickOp::Ingest(TickBatch::Plain(vec![700, 100]))),
-        (SessionId::from("sensor"), TickOp::Query(Query::RankOf(5).into())),
-    ];
-    let report = engine.ingest_query_tick(&mixed);
-    let after_write = report.reports[1].1.as_query().unwrap();
+    // A query op sees every op before it in the same tick.
+    let mixed = Tick::new().append("sensor", vec![700, 100]).query("sensor", Query::RankOf(5));
+    let outcome = engine.execute(&mixed);
+    let after_write = outcome.outcomes[1].1.as_ref().unwrap().as_answered().unwrap();
     assert_eq!(after_write.answers[0], QueryAnswer::Rank(Some(4))); // ... 610 < 700
     println!("mid-tick read sees the write before it: {:?}", after_write.answers[0]);
 
+    // --- Typed errors instead of silent drops --------------------------
+    // Queries against absent sessions (and appends, in strict ticks) fail
+    // their own op; the rest of the tick is served normally.
+    let outcome = engine.execute_read(&ReadTick::new().query("ghost", Query::Certificate));
+    assert_eq!(outcome.outcomes[0].1, Err(OpError::UnknownSession));
+    println!("absent session fails typed: {:?}", outcome.outcomes[0].1);
+
     // --- Weighted sessions answer the same queries ---------------------
-    engine.ingest_weighted_tick(vec![(
-        SessionId::from("orders"),
-        vec![(100u64, 5u64), (300, 2), (200, 9), (400, 1)],
-    )]);
-    let tick = vec![(
-        SessionId::from("orders"),
-        QueryBatch::from(vec![Query::TopK(2), Query::Certificate]),
-    )];
-    let report = engine.query_tick(&tick);
-    let answers = &report.reports[0].1.answers;
+    engine.execute(
+        &Tick::new()
+            .create("orders", SessionKind::Weighted)
+            .append_weighted("orders", vec![(100u64, 5u64), (300, 2), (200, 9), (400, 1)]),
+    );
+    let outcome = engine
+        .execute_read(&ReadTick::new().query("orders", vec![Query::TopK(2), Query::Certificate]));
+    let answers = &outcome.outcomes[0].1.as_ref().unwrap().answers;
     // Best chain: 100 (5) < 200 (9) < 400 (1) = 15.
     assert_eq!(answers[0], QueryAnswer::TopK(vec![(3, 15), (2, 14)]));
     let QueryAnswer::Certificate(cert) = &answers[1] else { panic!("expected a certificate") };
@@ -61,30 +68,25 @@ fn main() {
     println!("weighted certificate: {:?} with total weight {}", cert.indices, cert.claimed);
 
     // --- Heavy traffic: a read/write-mixed fleet -----------------------
-    // The workload generator interleaves reads into every stream; the
-    // engine serves whole mixed ticks shard-parallel.
+    // The workload generator interleaves reads into every stream; its
+    // ReadWriteOps map 1:1 onto command-plane Ops and the engine serves
+    // whole mixed ticks shard-parallel.
     let (fleet, universe) = mixed_session_fleet(6, 20_000, 256, 0.3, 8, 42);
     let mut engine = Engine::with_universe(universe);
     let mut served = 0usize;
     let mut written = 0usize;
-    for tick in round_robin_ticks(&fleet, |s| SessionId::from(s)) {
-        let ops: Vec<(SessionId, TickOp)> = tick
+    for tick in round_robin_ticks(&fleet, |s| s.to_string()) {
+        let ops: Tick = tick
             .into_iter()
-            .map(|(id, op)| {
-                let op = match op {
-                    ReadWriteOp::Write(batch) => TickOp::Ingest(TickBatch::Plain(batch)),
-                    // The canonical QuerySpec -> Query conversion lives in
-                    // plis-engine, so consumers never hand-map specs.
-                    ReadWriteOp::Read(specs) => {
-                        TickOp::Query(QueryBatch::new(specs.into_iter().map(Query::from).collect()))
-                    }
-                };
-                (id, op)
-            })
-            .collect();
-        let report = engine.ingest_query_tick(&ops);
-        served += report.total_queries;
-        written += report.total_ingested;
+            // The canonical ReadWriteOp -> Op conversion lives in
+            // plis-engine, so consumers never hand-map specs.
+            .map(|(id, op)| (id, Op::from(op)))
+            .collect::<Tick>()
+            .auto_create();
+        let outcome = engine.execute(&ops);
+        assert!(outcome.fully_applied());
+        served += outcome.total_queries;
+        written += outcome.total_ingested;
     }
     println!("fleet: {written} elements written, {served} queries served live");
 

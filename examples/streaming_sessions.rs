@@ -30,20 +30,26 @@ fn main() {
     println!("longest run strictly below 450: {}", session.lis_length_below(450));
 
     // --- A fleet of sessions, tick by tick ------------------------------
-    // The heavy-traffic shape: many sessions, batched arrivals, one parallel
-    // ingest call per tick.
+    // The heavy-traffic shape: many sessions, batched arrivals, one
+    // parallel `execute` call per tick.  Lifecycle is explicit — the
+    // first tick creates every session, the rest are strict appends.
     let (fleet, universe) = session_fleet(6, 30_000, 512, 7);
     let mut engine =
         Engine::new(EngineConfig { universe, backend: Backend::Auto, ..EngineConfig::default() });
+    let setup: Tick = fleet
+        .iter()
+        .fold(Tick::new(), |tick, (name, _)| tick.create(name.as_str(), SessionKind::Unweighted));
+    assert!(engine.execute(&setup).fully_applied());
     let rounds = fleet.iter().map(|(_, batches)| batches.len()).max().unwrap();
     for round in 0..rounds {
-        let tick: Vec<(SessionId, Vec<u64>)> = fleet
+        let tick: Tick = fleet
             .iter()
             .filter_map(|(name, batches)| {
-                batches.get(round).map(|b| (SessionId::from(name.as_str()), b.clone()))
+                batches.get(round).map(|b| (name.as_str(), Op::Append(b.clone())))
             })
             .collect();
-        engine.ingest_tick(tick);
+        let outcome = engine.execute(&tick);
+        assert!(outcome.fully_applied());
     }
     println!("fleet after {rounds} ticks:");
     for id in engine.session_ids() {
@@ -67,11 +73,13 @@ fn main() {
     // --- Weighted sessions in the same engine ----------------------------
     // Algorithm 2 served as live traffic: (value, weight) batches flow
     // through the same ticks, and dp scores are exact after every batch.
-    let wtick: Vec<(SessionId, TickBatch)> = vec![
-        (SessionId::from("orders"), TickBatch::Weighted(vec![(100, 5), (300, 2), (200, 9)])),
-        (SessionId::from("orders"), TickBatch::Weighted(vec![(250, 4), (400, 1)])),
-    ];
-    engine.ingest_tick_mixed(&wtick);
+    let wtick = Tick::new()
+        .create("orders", SessionKind::Weighted)
+        .append_weighted("orders", vec![(100, 5), (300, 2), (200, 9)])
+        .append_weighted("orders", vec![(250, 4), (400, 1)]);
+    let outcome = engine.execute(&wtick);
+    assert!(outcome.fully_applied());
+    assert_eq!(outcome.weighted_sessions_touched, 1);
     let orders = engine.weighted_session("orders").unwrap();
     // Best chain: 100 (5) < 200 (9) < 250 (4) < 400 (1) = 19.
     assert_eq!(engine.best_score("orders"), Some(19));

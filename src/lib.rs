@@ -18,7 +18,9 @@
 //!   the evaluation, plus batched streaming arrivals.
 //! * [`primitives`] — the fork-join scan/pack/merge/sort substrate.
 //! * [`engine`] — the streaming-LIS engine: incremental per-session LIS
-//!   state over batched arrivals, multiplexed and sharded across sessions.
+//!   state over batched arrivals, multiplexed and sharded across sessions
+//!   and driven through one typed command plane (`Op` ticks executed by
+//!   `Engine::execute` / `Engine::execute_read`).
 //!
 //! # Quick start
 //!
@@ -55,10 +57,15 @@ pub struct ReadmeDoctests;
 pub mod prelude {
     pub use plis_baselines::{seq_avl, seq_bs, seq_bs_length, swgs_lis, swgs_wlis};
     pub use plis_engine::{
-        Backend, BatchReport, Certificate, Engine, EngineConfig, IngestReport, Query, QueryAnswer,
-        QueryBatch, QueryReport, SessionId, SessionKind, StreamingLis, TickBatch, TickOp,
-        TickReport, WeightedIngestReport, WeightedStreamingLis,
+        Backend, BatchReport, Certificate, Engine, EngineConfig, IngestReport, Op, OpError,
+        OpOutput, OpResult, Query, QueryAnswer, QueryBatch, QueryReport, ReadOutcome, ReadTick,
+        SessionId, SessionKind, StreamingLis, Tick, TickBatch, TickOutcome, WeightedIngestReport,
+        WeightedStreamingLis,
     };
+    // The legacy tick surface, kept importable for external callers of
+    // the deprecated wrappers (in-repo code uses the command plane).
+    #[allow(deprecated)]
+    pub use plis_engine::{MixedTickReport, OpReport, QueryTickReport, TickOp, TickReport};
     pub use plis_lis::{
         lis_indices, lis_length, lis_ranks, lis_ranks_u64, wlis_indices_from_scores, wlis_kind,
         wlis_rangetree, wlis_rangeveb, wlis_with, DominantMaxKind, DominantMaxStore, TailSet,

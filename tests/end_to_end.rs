@@ -193,16 +193,16 @@ fn streaming_engine_agrees_with_every_offline_algorithm() {
     let mut state = 0xA5A5_5A5A_1234_4321u64;
     let mut cursors = [0usize; 3];
     while cursors.iter().zip(&cases).any(|(&c, (_, v))| c < v.len()) {
-        let mut tick: Vec<(SessionId, Vec<u64>)> = Vec::new();
+        let mut tick = Tick::new().auto_create();
         for (i, (name, values)) in cases.iter().enumerate() {
             if cursors[i] < values.len() {
                 let take =
                     ((xorshift(&mut state) % 900) as usize + 1).min(values.len() - cursors[i]);
-                tick.push((SessionId::from(*name), values[cursors[i]..cursors[i] + take].to_vec()));
+                tick.push(*name, values[cursors[i]..cursors[i] + take].to_vec());
                 cursors[i] += take;
             }
         }
-        engine.ingest_tick(tick);
+        assert!(engine.execute(&tick).fully_applied());
     }
     for (name, values) in &cases {
         let session = engine.session(name).expect("session exists");
