@@ -22,6 +22,8 @@
 //! session counts, default `1,4,16`), `PLIS_BENCH_BATCH` (comma-separated
 //! mean batch sizes, default `64,512,4096`), `PLIS_BENCH_THREADS` (pin the
 //! rayon pool; recorded as the `threads` JSON field),
+//! `PLIS_BENCH_SHARDS` (comma-separated engine shard counts; `0` = the
+//! config default, i.e. the pool width; recorded as the `shards` field),
 //! `PLIS_BENCH_WEIGHTED_N` (elements per weighted session, default
 //! `PLIS_BENCH_N / 5`; `0` skips the weighted sweep),
 //! `PLIS_BENCH_MAX_WEIGHT` (uniform weight bound, default 1,000), and
@@ -30,12 +32,22 @@
 
 use plis_bench::{
     bench_repeats, effective_threads, env_f64_list, env_usize_list, json_line, time_min,
-    with_bench_threads,
+    with_bench_threads, JsonValue,
 };
-use plis_engine::{Backend, DominantMaxKind, Engine, EngineConfig, Op, SessionKind, Tick};
+use plis_engine::{
+    Backend, DominantMaxKind, Engine, EngineConfig, MetricsSnapshot, Op, SessionKind, Tick,
+};
 use plis_workloads::streaming::{
     mixed_session_fleet, round_robin_ticks, session_fleet, weighted_session_fleet, ReadWriteOp,
 };
+
+/// Version of the JSON line layout emitted by this bin (the `schema`
+/// field on every line).  Bump when fields change meaning; adding fields
+/// keeps the version.  Schema 2 = schema 1 plus the telemetry columns
+/// (`tick_p50_us`, `tick_p99_us`, `seq_ticks`, `par_merge_ticks`,
+/// `veb_delta_elems`, `session_bytes`) and a `threads` field on every
+/// sweep kind.
+const SCHEMA: u64 = 2;
 
 fn n_per_session() -> usize {
     std::env::var("PLIS_BENCH_N").ok().and_then(|s| s.parse().ok()).unwrap_or(100_000)
@@ -75,7 +87,44 @@ fn replay(config: &EngineConfig, setup: &Tick, ticks: &[Tick]) -> Engine {
     engine
 }
 
-fn unweighted_sweep(n: usize, session_counts: &[usize], batch_sizes: &[usize], threads: usize) {
+/// The telemetry columns shared by every sweep's JSON line (schema 2).
+/// All-zero when the engine was built with `--no-default-features`.
+fn telemetry_fields(snap: &MetricsSnapshot) -> Vec<(&'static str, JsonValue)> {
+    vec![
+        ("tick_p50_us", (snap.tick_latency.p50() as f64 / 1_000.0).into()),
+        ("tick_p99_us", (snap.tick_latency.p99() as f64 / 1_000.0).into()),
+        ("seq_ticks", snap.seq_ingests.into()),
+        ("par_merge_ticks", snap.par_merge_ingests.into()),
+        ("veb_delta_elems", snap.veb_delta_elems.into()),
+        ("session_bytes", snap.session_bytes.into()),
+    ]
+}
+
+/// Cross-check the telemetry counters against the ground truth the sweep
+/// already knows.  Gated on `snap.ticks != 0` so a telemetry-off engine
+/// build (all-zero snapshot) still benches cleanly.
+fn reconcile(snap: &MetricsSnapshot, executed_ticks: usize, total_elems: usize) {
+    if snap.ticks == 0 {
+        return;
+    }
+    assert_eq!(
+        snap.ticks as usize,
+        executed_ticks + 1, // the creation tick plus the traffic ticks
+        "telemetry must record one tick per execute call"
+    );
+    assert_eq!(
+        snap.elems_ingested as usize, total_elems,
+        "telemetry ingest counter must reconcile with the schedule"
+    );
+}
+
+fn unweighted_sweep(
+    n: usize,
+    session_counts: &[usize],
+    batch_sizes: &[usize],
+    shard_counts: &[usize],
+    threads: usize,
+) {
     for &sessions in session_counts {
         for &mean_batch in batch_sizes {
             let (fleet, universe) = session_fleet(sessions, n, mean_batch, 0xBEEF);
@@ -87,29 +136,34 @@ fn unweighted_sweep(n: usize, session_counts: &[usize], batch_sizes: &[usize], t
             let total_elems: usize =
                 fleet.iter().map(|(_, bs)| bs.iter().map(Vec::len).sum::<usize>()).sum();
 
-            for backend in [Backend::Veb, Backend::SortedVec] {
-                let backend_name = match backend {
-                    Backend::Veb => "veb",
-                    Backend::SortedVec => "sorted-vec",
-                    Backend::Auto => "auto",
-                };
-                let config = EngineConfig { universe, backend, ..EngineConfig::default() };
-                let shards = config.shards;
-                let (secs, final_lis_sum) = with_bench_threads(|| {
-                    time_min(|| {
-                        let engine = replay(&config, &setup, &ticks);
-                        engine
-                            .session_ids()
-                            .iter()
-                            .filter_map(|id| engine.lis_length(id.as_str()))
-                            .map(|k| k as u64)
-                            .sum::<u64>()
-                    })
-                });
-                println!(
-                    "{}",
-                    json_line(&[
+            for &shard_spec in shard_counts {
+                for backend in [Backend::Veb, Backend::SortedVec] {
+                    let backend_name = match backend {
+                        Backend::Veb => "veb",
+                        Backend::SortedVec => "sorted-vec",
+                        Backend::Auto => "auto",
+                    };
+                    let mut config = EngineConfig { universe, backend, ..EngineConfig::default() };
+                    if shard_spec > 0 {
+                        config.shards = shard_spec;
+                    }
+                    let shards = config.shards;
+                    let (secs, (final_lis_sum, snap)) = with_bench_threads(|| {
+                        time_min(|| {
+                            let engine = replay(&config, &setup, &ticks);
+                            let lis_sum = engine
+                                .session_ids()
+                                .iter()
+                                .filter_map(|id| engine.lis_length(id.as_str()))
+                                .map(|k| k as u64)
+                                .sum::<u64>();
+                            (lis_sum, engine.metrics_snapshot())
+                        })
+                    });
+                    reconcile(&snap, ticks.len(), total_elems);
+                    let mut fields = vec![
                         ("bench", "streaming".into()),
+                        ("schema", SCHEMA.into()),
                         ("sessions", sessions.into()),
                         ("mean_batch", mean_batch.into()),
                         ("n_per_session", n.into()),
@@ -120,9 +174,11 @@ fn unweighted_sweep(n: usize, session_counts: &[usize], batch_sizes: &[usize], t
                         ("total_elems", total_elems.into()),
                         ("secs", secs.into()),
                         ("elems_per_sec", (total_elems as f64 / secs.max(1e-12)).into()),
-                        ("mean_final_lis", (final_lis_sum as f64 / sessions.max(1) as f64).into(),),
-                    ])
-                );
+                        ("mean_final_lis", (final_lis_sum as f64 / sessions.max(1) as f64).into()),
+                    ];
+                    fields.extend(telemetry_fields(&snap));
+                    println!("{}", json_line(&fields));
+                }
             }
         }
     }
@@ -130,7 +186,13 @@ fn unweighted_sweep(n: usize, session_counts: &[usize], batch_sizes: &[usize], t
 
 /// The weighted sweep: same fleet shape, weighted session kind, both
 /// dominant-max stores.
-fn weighted_sweep(n: usize, session_counts: &[usize], batch_sizes: &[usize], threads: usize) {
+fn weighted_sweep(
+    n: usize,
+    session_counts: &[usize],
+    batch_sizes: &[usize],
+    shard_counts: &[usize],
+    threads: usize,
+) {
     let max_w = max_weight();
     for &sessions in session_counts {
         for &mean_batch in batch_sizes {
@@ -143,28 +205,33 @@ fn weighted_sweep(n: usize, session_counts: &[usize], batch_sizes: &[usize], thr
             let total_elems: usize =
                 fleet.iter().map(|(_, bs)| bs.iter().map(Vec::len).sum::<usize>()).sum();
 
-            for dommax in [DominantMaxKind::RangeTree, DominantMaxKind::RangeVeb] {
-                let config = EngineConfig {
-                    universe,
-                    dommax,
-                    default_kind: SessionKind::Weighted,
-                    ..EngineConfig::default()
-                };
-                let shards = config.shards;
-                let (secs, final_score_sum) = with_bench_threads(|| {
-                    time_min(|| {
-                        let engine = replay(&config, &setup, &ticks);
-                        engine
-                            .session_ids()
-                            .iter()
-                            .filter_map(|id| engine.best_score(id.as_str()))
-                            .sum::<u64>()
-                    })
-                });
-                println!(
-                    "{}",
-                    json_line(&[
+            for &shard_spec in shard_counts {
+                for dommax in [DominantMaxKind::RangeTree, DominantMaxKind::RangeVeb] {
+                    let mut config = EngineConfig {
+                        universe,
+                        dommax,
+                        default_kind: SessionKind::Weighted,
+                        ..EngineConfig::default()
+                    };
+                    if shard_spec > 0 {
+                        config.shards = shard_spec;
+                    }
+                    let shards = config.shards;
+                    let (secs, (final_score_sum, snap)) = with_bench_threads(|| {
+                        time_min(|| {
+                            let engine = replay(&config, &setup, &ticks);
+                            let score_sum = engine
+                                .session_ids()
+                                .iter()
+                                .filter_map(|id| engine.best_score(id.as_str()))
+                                .sum::<u64>();
+                            (score_sum, engine.metrics_snapshot())
+                        })
+                    });
+                    reconcile(&snap, ticks.len(), total_elems);
+                    let mut fields = vec![
                         ("bench", "streaming-weighted".into()),
+                        ("schema", SCHEMA.into()),
                         ("sessions", sessions.into()),
                         ("mean_batch", mean_batch.into()),
                         ("n_per_session", n.into()),
@@ -180,8 +247,10 @@ fn weighted_sweep(n: usize, session_counts: &[usize], batch_sizes: &[usize], thr
                             "mean_final_score",
                             (final_score_sum as f64 / sessions.max(1) as f64).into(),
                         ),
-                    ])
-                );
+                    ];
+                    fields.extend(telemetry_fields(&snap));
+                    println!("{}", json_line(&fields));
+                }
             }
         }
     }
@@ -194,6 +263,7 @@ fn query_sweep(
     session_counts: &[usize],
     batch_sizes: &[usize],
     query_mixes: &[f64],
+    shard_counts: &[usize],
     threads: usize,
 ) {
     const QUERIES_PER_READ: usize = 8;
@@ -221,26 +291,36 @@ fn query_sweep(
                     .map(|(_, ops)| ops.iter().map(ReadWriteOp::queries).sum::<usize>())
                     .sum();
 
-                let config = EngineConfig { universe, ..EngineConfig::default() };
-                let shards = config.shards;
-                let (secs, answered) = with_bench_threads(|| {
-                    time_min(|| {
-                        let mut engine = Engine::new(config.clone());
-                        assert!(engine.execute(&setup).fully_applied());
-                        let mut answered = 0usize;
-                        for tick in &ticks {
-                            let outcome = engine.execute(tick);
-                            assert!(outcome.fully_applied(), "a sweep tick may not drop ops");
-                            answered += outcome.total_queries;
-                        }
-                        answered
-                    })
-                });
-                assert_eq!(answered, total_queries, "every generated query must be answered");
-                println!(
-                    "{}",
-                    json_line(&[
+                for &shard_spec in shard_counts {
+                    let mut config = EngineConfig { universe, ..EngineConfig::default() };
+                    if shard_spec > 0 {
+                        config.shards = shard_spec;
+                    }
+                    let shards = config.shards;
+                    let (secs, (answered, snap)) = with_bench_threads(|| {
+                        time_min(|| {
+                            let mut engine = Engine::new(config.clone());
+                            assert!(engine.execute(&setup).fully_applied());
+                            let mut answered = 0usize;
+                            for tick in &ticks {
+                                let outcome = engine.execute(tick);
+                                assert!(outcome.fully_applied(), "a sweep tick may not drop ops");
+                                answered += outcome.total_queries;
+                            }
+                            (answered, engine.metrics_snapshot())
+                        })
+                    });
+                    assert_eq!(answered, total_queries, "every generated query must be answered");
+                    reconcile(&snap, ticks.len(), total_elems);
+                    if snap.ticks != 0 {
+                        assert_eq!(
+                            snap.queries_answered as usize, total_queries,
+                            "telemetry query counter must reconcile with the schedule"
+                        );
+                    }
+                    let mut fields = vec![
                         ("bench", "streaming-queries".into()),
+                        ("schema", SCHEMA.into()),
                         ("sessions", sessions.into()),
                         ("mean_batch", mean_batch.into()),
                         ("n_per_session", n.into()),
@@ -254,8 +334,10 @@ fn query_sweep(
                         ("secs", secs.into()),
                         ("elems_per_sec", (total_elems as f64 / secs.max(1e-12)).into()),
                         ("queries_per_sec", (total_queries as f64 / secs.max(1e-12)).into()),
-                    ])
-                );
+                    ];
+                    fields.extend(telemetry_fields(&snap));
+                    println!("{}", json_line(&fields));
+                }
             }
         }
     }
@@ -273,20 +355,22 @@ fn main() {
         .filter(|&m| m > 0.0)
         .map(|m| m.min(0.9))
         .collect();
+    // `0` = keep the engine's default shard count (the pool width).
+    let shard_counts = env_usize_list("PLIS_BENCH_SHARDS", &[0]);
     let threads = effective_threads();
     eprintln!(
         "streaming sweep: n_per_session = {n}, weighted n = {wn}, sessions = {session_counts:?}, \
-         mean batch = {batch_sizes:?}, query mix = {query_mixes:?}, repeats = {}, \
-         threads = {threads}",
+         mean batch = {batch_sizes:?}, query mix = {query_mixes:?}, shards = {shard_counts:?}, \
+         repeats = {}, threads = {threads}",
         bench_repeats()
     );
 
-    unweighted_sweep(n, &session_counts, &batch_sizes, threads);
+    unweighted_sweep(n, &session_counts, &batch_sizes, &shard_counts, threads);
     if wn > 0 {
-        weighted_sweep(wn, &session_counts, &batch_sizes, threads);
+        weighted_sweep(wn, &session_counts, &batch_sizes, &shard_counts, threads);
     }
     if !query_mixes.is_empty() {
-        query_sweep(n, &session_counts, &batch_sizes, &query_mixes, threads);
+        query_sweep(n, &session_counts, &batch_sizes, &query_mixes, &shard_counts, threads);
     }
 }
 

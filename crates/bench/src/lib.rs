@@ -116,84 +116,10 @@ pub fn print_row(first: u64, cells: &[Option<f64>]) {
     println!();
 }
 
-/// One value of a machine-readable benchmark cell.
-#[derive(Debug, Clone)]
-pub enum JsonValue {
-    Int(u64),
-    Float(f64),
-    Str(String),
-}
-
-impl From<u64> for JsonValue {
-    fn from(v: u64) -> Self {
-        JsonValue::Int(v)
-    }
-}
-impl From<usize> for JsonValue {
-    fn from(v: usize) -> Self {
-        JsonValue::Int(v as u64)
-    }
-}
-impl From<u32> for JsonValue {
-    fn from(v: u32) -> Self {
-        JsonValue::Int(v as u64)
-    }
-}
-impl From<f64> for JsonValue {
-    fn from(v: f64) -> Self {
-        JsonValue::Float(v)
-    }
-}
-impl From<&str> for JsonValue {
-    fn from(v: &str) -> Self {
-        JsonValue::Str(v.to_string())
-    }
-}
-impl From<String> for JsonValue {
-    fn from(v: String) -> Self {
-        JsonValue::Str(v)
-    }
-}
-
-/// Render one benchmark cell as a single JSON object line — the format the
-/// perf-trajectory files (`BENCH_*.json`) accumulate.  Keys must be plain
-/// identifiers; string values are escaped.
-pub fn json_line(fields: &[(&str, JsonValue)]) -> String {
-    let mut out = String::from("{");
-    for (i, (key, value)) in fields.iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
-        }
-        out.push('"');
-        out.push_str(key);
-        out.push_str("\": ");
-        match value {
-            JsonValue::Int(v) => out.push_str(&v.to_string()),
-            JsonValue::Float(v) => {
-                if v.is_finite() {
-                    out.push_str(&format!("{v:.6}"));
-                } else {
-                    out.push_str("null");
-                }
-            }
-            JsonValue::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-        }
-    }
-    out.push('}');
-    out
-}
+/// The machine-readable cell format (`BENCH_*.json` lines) lives in
+/// `plis-telemetry` now, so engine metric snapshots serialize through the
+/// exact same renderer; re-exported here for the bench binaries.
+pub use plis_telemetry::{json_line, JsonValue};
 
 /// Comma-separated `usize` list from an environment variable, with a default.
 pub fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
@@ -225,17 +151,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn json_line_renders_all_value_kinds() {
-        let line = json_line(&[
-            ("bench", "streaming".into()),
-            ("sessions", 4usize.into()),
-            ("rate", 123.456789_f64.into()),
-            ("note", "has \"quotes\"".into()),
-        ]);
-        assert_eq!(
-            line,
-            r#"{"bench": "streaming", "sessions": 4, "rate": 123.456789, "note": "has \"quotes\""}"#
-        );
+    fn json_line_reexport_is_live() {
+        // The renderer itself is tested in plis-telemetry; this guards the
+        // re-export the bench binaries build their cells through.
+        let line = json_line(&[("bench", "streaming".into()), ("sessions", 4usize.into())]);
+        assert_eq!(line, r#"{"bench": "streaming", "sessions": 4}"#);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! [`OpError::KindMismatch`] — a malformed tick degrades per op, it never
 //! panics.
 
+use crate::metrics::{Metrics, MetricsSnapshot, TickDigest};
 use crate::op::{Op, OpError, OpOutput, OpResult, ReadOutcome, ReadTick, Tick, TickOutcome};
 use crate::query::{QueryBatch, QueryReport};
 use crate::session::{Backend, IngestReport, StreamingLis};
@@ -280,6 +281,17 @@ impl SessionState {
         }
     }
 
+    /// Rough heap footprint of the session in bytes, whatever the kind
+    /// (see `StreamingLisOn::approx_bytes` /
+    /// `WeightedStreamingLis::approx_bytes`).  Used by the telemetry
+    /// plane's per-shard memory accounting at snapshot time.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            SessionState::Unweighted(s) => s.approx_bytes(),
+            SessionState::Weighted(s) => s.approx_bytes(),
+        }
+    }
+
     fn check_invariants(&self) {
         match self {
             SessionState::Unweighted(s) => s.check_invariants(),
@@ -365,9 +377,11 @@ impl Shard {
         work: Vec<WorkItem<'_>>,
         config: &EngineConfig,
         create_missing: bool,
+        metrics: &Metrics,
     ) -> Vec<(usize, SessionId, OpResult)> {
         work.into_iter()
             .map(|(index, id, op)| {
+                let timer = metrics.start_timer();
                 let result = match op {
                     OpRef::Append(batch) => self.append(id, batch, config, create_missing),
                     OpRef::Query(batch) => self
@@ -389,6 +403,7 @@ impl Shard {
                         .map(|_| OpOutput::Removed)
                         .ok_or(OpError::UnknownSession),
                 };
+                metrics.record_op_since(timer);
                 (index, id.clone(), result)
             })
             .collect()
@@ -448,12 +463,21 @@ impl Shard {
     fn read(
         &self,
         work: &[QueryItem<'_>],
+        metrics: &Metrics,
     ) -> Vec<(usize, SessionId, Result<QueryReport, OpError>)> {
         work.iter()
             .map(|&(index, id, batch)| {
-                (index, id.clone(), self.answer(id, batch).ok_or(OpError::UnknownSession))
+                let timer = metrics.start_timer();
+                let result = self.answer(id, batch).ok_or(OpError::UnknownSession);
+                metrics.record_op_since(timer);
+                (index, id.clone(), result)
             })
             .collect()
+    }
+
+    /// Rough heap footprint of every session in this shard, in bytes.
+    fn approx_bytes(&self) -> usize {
+        self.sessions.values().map(SessionState::approx_bytes).sum()
     }
 }
 
@@ -465,6 +489,12 @@ impl Shard {
 pub struct Engine {
     config: EngineConfig,
     shards: Vec<Shard>,
+    /// The telemetry registry (a no-op ZST without the `telemetry`
+    /// feature).  Purely observational — see [`crate::metrics`].
+    metrics: Metrics,
+    /// Optional JSON-lines trace sink: one event per executed tick.
+    #[cfg(feature = "telemetry")]
+    trace: Option<plis_telemetry::TraceSink>,
 }
 
 impl Engine {
@@ -472,7 +502,13 @@ impl Engine {
     pub fn new(mut config: EngineConfig) -> Self {
         config.shards = config.shards.max(1);
         let shards = (0..config.shards).map(|_| Shard::default()).collect();
-        Engine { config, shards }
+        Engine {
+            config,
+            shards,
+            metrics: Metrics::new(),
+            #[cfg(feature = "telemetry")]
+            trace: None,
+        }
     }
 
     /// Engine with default config over the given universe.
@@ -483,6 +519,43 @@ impl Engine {
     /// The configuration every session of this engine is created under.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The engine's telemetry registry — use it to toggle recording at
+    /// runtime ([`Metrics::set_enabled`]).  A no-op handle when the
+    /// `telemetry` feature is off.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// A point-in-time copy of the whole telemetry plane: the cumulative
+    /// counters and latency histograms, plus live-session and per-shard
+    /// memory accounting computed by walking the shards now (`O(sessions)`
+    /// plus the store walks — snapshot-time cost, never per-op).  All-zero
+    /// when the `telemetry` feature is off (session accounting included,
+    /// so a feature-off build is observably inert).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.counters_snapshot();
+        if cfg!(feature = "telemetry") {
+            snap.sessions = self.session_count() as u64;
+            snap.shard_bytes = self.shards.iter().map(|s| s.approx_bytes() as u64).collect();
+            snap.session_bytes = snap.shard_bytes.iter().sum();
+        }
+        snap
+    }
+
+    /// Install (or clear) a JSON-lines trace sink: after every
+    /// [`Engine::execute`] / [`Engine::execute_read`] the engine emits one
+    /// event with the tick's latency, op counts, and ingest-path digest.
+    /// Emission follows the runtime [`Metrics::set_enabled`] toggle.  A
+    /// no-op when the `telemetry` feature is off.
+    pub fn set_trace_sink(&mut self, sink: Option<plis_telemetry::TraceSink>) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.trace = sink;
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = sink;
     }
 
     fn shard_index(&self, id: &str) -> usize {
@@ -597,10 +670,12 @@ impl Engine {
     /// (benchmarks, log replays) build their [`Tick`]s once and execute
     /// them any number of times without deep-copying batches.
     pub fn execute(&mut self, tick: &Tick) -> TickOutcome {
+        let timer = self.metrics.start_timer();
         let mut work =
             self.partition_by_shard(tick.slots().iter().map(|(id, op)| (id, op.as_op_ref())));
 
         let config = &self.config;
+        let metrics = &self.metrics;
         let create_missing = tick.creates_missing();
         let per_shard: Vec<ShardOutput<OpResult>> = self
             .shards
@@ -609,13 +684,17 @@ impl Engine {
             .with_max_len(1)
             .map(|(shard, work)| {
                 (
-                    shard.process(std::mem::take(work), config, create_missing),
+                    shard.process(std::mem::take(work), config, create_missing, metrics),
                     std::thread::current().id(),
                 )
             })
             .collect();
         let (outcomes, worker_threads) = reassemble(per_shard, tick.len());
-        TickOutcome::collect(outcomes, worker_threads)
+        let mut outcome = TickOutcome::collect(outcomes, worker_threads);
+        outcome.elapsed_ns = Metrics::elapsed_ns(timer);
+        let digest = self.metrics.record_tick(&outcome);
+        self.trace_tick(&outcome, digest);
+        outcome
     }
 
     /// Execute one read-only tick — the engine's **single read entry
@@ -625,17 +704,72 @@ impl Engine {
     /// order, served shard-parallel with the same one-shard grain as
     /// [`Engine::execute`].
     pub fn execute_read(&self, tick: &ReadTick) -> ReadOutcome {
+        let timer = self.metrics.start_timer();
         let work = self.partition_by_shard(tick.slots().iter().map(|(id, batch)| (id, batch)));
+        let metrics = &self.metrics;
         let per_shard: Vec<ShardOutput<Result<QueryReport, OpError>>> = self
             .shards
             .par_iter()
             .zip(work.par_iter())
             .with_max_len(1)
-            .map(|(shard, work)| (shard.read(work), std::thread::current().id()))
+            .map(|(shard, work)| (shard.read(work, metrics), std::thread::current().id()))
             .collect();
         let (outcomes, worker_threads) = reassemble(per_shard, tick.len());
-        ReadOutcome::collect(outcomes, worker_threads)
+        let mut outcome = ReadOutcome::collect(outcomes, worker_threads);
+        outcome.elapsed_ns = Metrics::elapsed_ns(timer);
+        self.metrics.record_read(&outcome);
+        self.trace_read(&outcome);
+        outcome
     }
+
+    /// Emit one trace event for an executed write tick (no-op without a
+    /// sink, with recording disabled, or without the `telemetry` feature).
+    #[cfg(feature = "telemetry")]
+    fn trace_tick(&self, outcome: &TickOutcome, digest: TickDigest) {
+        use plis_telemetry::JsonValue;
+        let Some(trace) = &self.trace else { return };
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        trace.emit(&[
+            ("event", JsonValue::from("tick")),
+            ("elapsed_us", JsonValue::from(outcome.elapsed_ns as f64 / 1_000.0)),
+            ("ops", JsonValue::from(outcome.outcomes.len())),
+            ("ingested", JsonValue::from(outcome.total_ingested)),
+            ("queries", JsonValue::from(outcome.total_queries)),
+            ("failed", JsonValue::from(outcome.failed_ops)),
+            ("seq_ingests", JsonValue::from(digest.seq_ingests)),
+            ("par_merge_ingests", JsonValue::from(digest.par_merge_ingests)),
+            ("par_merge_elems", JsonValue::from(digest.par_merge_elems)),
+            ("veb_delta_elems", JsonValue::from(digest.veb_delta_elems)),
+            ("worker_threads", JsonValue::from(outcome.worker_threads)),
+        ]);
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    fn trace_tick(&self, _outcome: &TickOutcome, _digest: TickDigest) {}
+
+    /// Emit one trace event for an executed read tick (same gating as
+    /// [`Engine::trace_tick`]).
+    #[cfg(feature = "telemetry")]
+    fn trace_read(&self, outcome: &ReadOutcome) {
+        use plis_telemetry::JsonValue;
+        let Some(trace) = &self.trace else { return };
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        trace.emit(&[
+            ("event", JsonValue::from("read_tick")),
+            ("elapsed_us", JsonValue::from(outcome.elapsed_ns as f64 / 1_000.0)),
+            ("ops", JsonValue::from(outcome.outcomes.len())),
+            ("queries", JsonValue::from(outcome.total_queries)),
+            ("missing", JsonValue::from(outcome.sessions_missing)),
+            ("worker_threads", JsonValue::from(outcome.worker_threads)),
+        ]);
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    fn trace_read(&self, _outcome: &ReadOutcome) {}
 
     /// The first stage of every tick path: partition tick slots by shard,
     /// remembering original positions so results can be reassembled in

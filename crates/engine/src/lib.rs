@@ -43,6 +43,12 @@
 //!   ([`Query::CountAt`]), top-k by dp ([`Query::TopK`]), and full
 //!   LIS/WLIS certificate reconstruction ([`Query::Certificate`]),
 //!   batched per session ([`QueryBatch`]).
+//! * The **telemetry plane** ([`metrics`]) — per-engine counters and
+//!   log-scale latency histograms behind the `telemetry` feature
+//!   (default on; compiled to no-ops when off), read through
+//!   [`Engine::metrics_snapshot`] as a typed [`MetricsSnapshot`], with an
+//!   optional JSON-lines trace sink ([`Engine::set_trace_sink`]).  Purely
+//!   observational: outcomes are bit-identical with telemetry on or off.
 //! * The **legacy surface** ([`legacy`]) — the historical tick entry
 //!   points (`ingest_tick` and friends), kept as one-line deprecated
 //!   wrappers over the executor, with a migration table in the module
@@ -92,6 +98,7 @@
 
 pub mod engine;
 pub mod legacy;
+pub mod metrics;
 pub mod op;
 pub mod query;
 pub mod session;
@@ -100,8 +107,10 @@ pub mod wsession;
 pub use engine::{
     BatchReport, Engine, EngineConfig, SessionId, SessionKind, SessionState, TickBatch,
 };
+pub use metrics::{Metrics, MetricsSnapshot, TickDigest};
 pub use op::{Op, OpError, OpOutput, OpResult, ReadOutcome, ReadTick, Tick, TickOutcome};
 pub use plis_lis::DominantMaxKind;
+pub use plis_telemetry::{HistogramSnapshot, MemorySink, TraceSink};
 pub use query::{Certificate, Query, QueryAnswer, QueryBatch, QueryReport};
 pub use session::{Backend, IngestPath, IngestReport, StreamingLis, StreamingLisOn};
 pub use wsession::{WeightedIngestReport, WeightedStreamingLis};

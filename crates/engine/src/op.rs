@@ -407,10 +407,19 @@ pub type OpResult = Result<OpOutput, OpError>;
 /// [`OpResult`] per submitted op, in submission order, plus the
 /// aggregate counters every legacy report carried.
 ///
-/// Equality ignores [`TickOutcome::worker_threads`] (it is
-/// scheduling-dependent), so whole outcomes from a 1-thread and a
-/// full-pool run of the same schedule compare equal — the determinism
-/// guarantee the test suites assert.
+/// # Equality is structural
+///
+/// This is the canonical statement of the outcome-equality invariant
+/// (both outcome types follow it): `==` compares only the *algorithmic*
+/// content of an outcome — per-op results and their aggregates — and
+/// excludes every observational field, i.e. anything that varies run to
+/// run under an identical schedule: [`TickOutcome::worker_threads`]
+/// (scheduling-dependent) and [`TickOutcome::elapsed_ns`] (wall-clock,
+/// and zero when telemetry is disabled).  So whole outcomes from a
+/// 1-thread run, a full-pool run, and a telemetry-off run of the same
+/// schedule all compare equal — the determinism guarantee the test
+/// suites assert.  Any new timing or telemetry field on an outcome type
+/// must join this exclusion list.
 #[derive(Debug, Clone)]
 pub struct TickOutcome {
     /// One result per input op, in the original tick order.
@@ -438,11 +447,16 @@ pub struct TickOutcome {
     /// helper-thread budget allow real parallelism.  Excluded from
     /// `==` so determinism comparisons can use whole outcomes.
     pub worker_threads: usize,
+    /// Wall-clock time the tick took, in nanoseconds.  Observational:
+    /// 0 when telemetry is disabled (or compiled out), and excluded from
+    /// `==` like [`TickOutcome::worker_threads`] (see the type docs).
+    pub elapsed_ns: u64,
 }
 
 impl PartialEq for TickOutcome {
-    /// Field-wise equality, excluding the scheduling-dependent
-    /// [`TickOutcome::worker_threads`].
+    /// Field-wise equality, excluding the observational
+    /// [`TickOutcome::worker_threads`] and [`TickOutcome::elapsed_ns`]
+    /// (see the type docs for the invariant).
     fn eq(&self, other: &Self) -> bool {
         self.outcomes == other.outcomes
             && self.total_ingested == other.total_ingested
@@ -489,6 +503,7 @@ impl TickOutcome {
             sessions_removed: count(&OpOutput::Removed),
             failed_ops: outcomes.iter().filter(|(_, r)| r.is_err()).count(),
             worker_threads,
+            elapsed_ns: 0,
             outcomes,
         }
     }
@@ -512,8 +527,9 @@ impl TickOutcome {
 /// What one [`Engine::execute_read`](crate::Engine::execute_read) call
 /// did: one typed result per query batch, in submission order.
 ///
-/// Equality ignores [`ReadOutcome::worker_threads`], exactly like
-/// [`TickOutcome`].
+/// Equality is structural, exactly like [`TickOutcome`] (see its type
+/// docs for the invariant): [`ReadOutcome::worker_threads`] and
+/// [`ReadOutcome::elapsed_ns`] are observational and excluded from `==`.
 #[derive(Debug, Clone)]
 pub struct ReadOutcome {
     /// One result per input query batch, in the original tick order.
@@ -527,11 +543,14 @@ pub struct ReadOutcome {
     /// Number of distinct worker threads that served shards (see
     /// [`TickOutcome::worker_threads`]; excluded from `==` like there).
     pub worker_threads: usize,
+    /// Wall-clock time the read tick took, in nanoseconds.  0 when
+    /// telemetry is disabled; excluded from `==` (see [`TickOutcome`]).
+    pub elapsed_ns: u64,
 }
 
 impl PartialEq for ReadOutcome {
-    /// Field-wise equality, excluding the scheduling-dependent
-    /// [`ReadOutcome::worker_threads`].
+    /// Field-wise equality, excluding the observational
+    /// [`ReadOutcome::worker_threads`] and [`ReadOutcome::elapsed_ns`].
     fn eq(&self, other: &Self) -> bool {
         self.outcomes == other.outcomes
             && self.total_queries == other.total_queries
@@ -557,7 +576,14 @@ impl ReadOutcome {
         let (sessions_missing, _) = distinct_sessions(
             outcomes.iter().filter(|(_, r)| r.is_err()).map(|(id, _)| (id.as_str(), false)),
         );
-        ReadOutcome { total_queries, sessions_queried, sessions_missing, worker_threads, outcomes }
+        ReadOutcome {
+            total_queries,
+            sessions_queried,
+            sessions_missing,
+            worker_threads,
+            elapsed_ns: 0,
+            outcomes,
+        }
     }
 
     /// The query batches that landed, in tick order.

@@ -440,6 +440,24 @@ impl<S: TailSet> StreamingLisOn<S> {
         }
     }
 
+    /// Rough heap footprint of the session in bytes: the value/rank/tail
+    /// arrays, the per-rank frontiers, and the tail-set mirror
+    /// ([`TailSet::approx_bytes`]).  `O(k)` plus the mirror walk —
+    /// intended for occasional telemetry snapshots, not the hot path.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.values.capacity() * std::mem::size_of::<u64>()
+            + self.ranks.capacity() * std::mem::size_of::<u32>()
+            + self.tails.capacity() * std::mem::size_of::<u64>()
+            + self.by_rank.capacity() * std::mem::size_of::<Vec<usize>>()
+            + self
+                .by_rank
+                .iter()
+                .map(|f| f.capacity() * std::mem::size_of::<usize>())
+                .sum::<usize>()
+            + self.store.approx_bytes()
+    }
+
     /// Cross-check every invariant; used by the test suites.
     pub fn check_invariants(&self) {
         assert_eq!(self.values.len(), self.ranks.len());

@@ -59,11 +59,17 @@
 //! and Range-vEB) serve streaming sessions with no per-backend code here.
 
 use crate::session::{IngestPath, DEFAULT_PAR_THRESHOLD};
-use plis_lis::{wlis_kind, DominantMaxKind};
+use plis_lis::{wlis_kind_stats, DominantMaxKind};
 use std::collections::HashMap;
 
 /// What one [`WeightedStreamingLis::ingest`] call did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Equality is structural in the sense of [`crate::TickOutcome`]'s
+/// invariant: the telemetry tallies ([`WeightedIngestReport::dommax_queries`],
+/// [`WeightedIngestReport::dommax_writeback_elems`]) are observational
+/// and excluded from `==`, so reports stay comparable across backends
+/// and paths.
+#[derive(Debug, Clone, Copy)]
 pub struct WeightedIngestReport {
     /// Number of `(value, weight)` pairs appended by this call.
     pub ingested: usize,
@@ -75,7 +81,28 @@ pub struct WeightedIngestReport {
     pub path: IngestPath,
     /// Pareto-frontier size after the batch.
     pub frontier_len: usize,
+    /// Dominant-max point queries the parallel path issued (one per
+    /// element of the `frontier ++ batch` run; 0 on the sequential
+    /// path).  Telemetry only — excluded from `==`.
+    pub dommax_queries: u64,
+    /// Elements the parallel path wrote back to the dominant-max store.
+    /// Telemetry only — excluded from `==`.
+    pub dommax_writeback_elems: u64,
 }
+
+impl PartialEq for WeightedIngestReport {
+    /// Field-wise equality, excluding the observational dominant-max
+    /// tallies (see the type docs).
+    fn eq(&self, other: &Self) -> bool {
+        self.ingested == other.ingested
+            && self.score_before == other.score_before
+            && self.score_after == other.score_after
+            && self.path == other.path
+            && self.frontier_len == other.frontier_len
+    }
+}
+
+impl Eq for WeightedIngestReport {}
 
 impl WeightedIngestReport {
     fn empty(score: u64, frontier_len: usize) -> Self {
@@ -85,6 +112,8 @@ impl WeightedIngestReport {
             score_after: score,
             path: IngestPath::Sequential,
             frontier_len,
+            dommax_queries: 0,
+            dommax_writeback_elems: 0,
         }
     }
 }
@@ -296,6 +325,8 @@ impl WeightedStreamingLis {
             score_after: self.best_score(),
             path: IngestPath::Sequential,
             frontier_len: self.frontier.len(),
+            dommax_queries: 0,
+            dommax_writeback_elems: 0,
         }
     }
 
@@ -350,7 +381,7 @@ impl WeightedStreamingLis {
             merged_values.push(v);
             merged_weights.push(w);
         }
-        let dp = wlis_kind(self.kind, &merged_values, &merged_weights);
+        let (dp, dommax_stats) = wlis_kind_stats(self.kind, &merged_values, &merged_weights);
         debug_assert!(
             dp[..k].iter().zip(&self.frontier).all(|(&d, &(_, s))| d == s),
             "the encoded frontier must reproduce its own scores"
@@ -375,7 +406,24 @@ impl WeightedStreamingLis {
             score_after: self.best_score(),
             path: IngestPath::ParallelMerge,
             frontier_len: self.frontier.len(),
+            dommax_queries: dommax_stats.queries,
+            dommax_writeback_elems: dommax_stats.writeback_elems,
         }
+    }
+
+    /// Rough heap footprint of the session in bytes: the value, weight
+    /// and score arrays, the Pareto frontier, and an estimate of the
+    /// score-multiplicity map.  Intended for occasional telemetry
+    /// snapshots, not the hot path.
+    pub fn approx_bytes(&self) -> usize {
+        // HashMap: one (key, value) slot plus a control byte per bucket.
+        let map_bytes = self.score_counts.capacity() * (std::mem::size_of::<(u64, usize)>() + 1);
+        std::mem::size_of::<Self>()
+            + self.values.capacity() * std::mem::size_of::<u64>()
+            + self.weights.capacity() * std::mem::size_of::<u64>()
+            + self.scores.capacity() * std::mem::size_of::<u64>()
+            + self.frontier.capacity() * std::mem::size_of::<(u64, u64)>()
+            + map_bytes
     }
 
     /// Cross-check every invariant; used by the test suites.

@@ -57,4 +57,7 @@ pub use reconstruct::{
     lis_indices, lis_indices_from_frontiers, lis_indices_from_ranks, wlis_indices_from_scores,
 };
 pub use tailset::{AnyTailSet, SortedVecTailSet, TailSet, VebTailSet};
-pub use wlis::{wlis_kind, wlis_rangetree, wlis_rangeveb, wlis_with, DominantMaxKind};
+pub use wlis::{
+    wlis_kind, wlis_kind_stats, wlis_rangetree, wlis_rangeveb, wlis_with, wlis_with_stats,
+    DominantMaxKind,
+};

@@ -53,6 +53,14 @@ pub trait TailSet: std::fmt::Debug + Clone {
     fn collect_keys(&self, tails: &[u64]) -> Vec<u64>;
     /// Assert every internal invariant against the canonical tails.
     fn check_invariants(&self, tails: &[u64]);
+    /// Rough heap footprint of the mirror structure in bytes (0 for
+    /// stateless backends, which answer from the canonical `tails` the
+    /// session already accounts for).  Used by the engine's per-session
+    /// memory accounting; `O(structure)` — call at snapshot time, not per
+    /// op.
+    fn approx_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// [`TailSet`] backed by a parallel van Emde Boas tree over the session
@@ -109,6 +117,9 @@ impl TailSet for VebTailSet {
     }
     fn check_invariants(&self, tails: &[u64]) {
         assert_eq!(self.0.iter_keys(), tails, "vEB mirror out of sync with tails");
+    }
+    fn approx_bytes(&self) -> usize {
+        self.0.approx_bytes()
     }
 }
 
@@ -206,6 +217,9 @@ impl TailSet for AnyTailSet {
     fn check_invariants(&self, tails: &[u64]) {
         dispatch!(self, s => s.check_invariants(tails))
     }
+    fn approx_bytes(&self) -> usize {
+        dispatch!(self, s => s.approx_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +266,15 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(AnyTailSet::veb(8).name(), "veb");
         assert_eq!(AnyTailSet::sorted_vec().name(), "sorted-vec");
+    }
+
+    #[test]
+    fn approx_bytes_reflects_mirror_state() {
+        assert_eq!(AnyTailSet::sorted_vec().approx_bytes(), 0);
+        let mut veb = AnyTailSet::veb(1 << 16);
+        let empty = veb.approx_bytes();
+        veb.batch_insert(&[1, 100, 5_000, 40_000]);
+        assert!(veb.approx_bytes() > empty, "populated mirror must account more bytes");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! [`wlis_rangeveb`] are the fixed-backend conveniences.
 
 use crate::compress::compress_to_ranks;
-use plis_primitives::{group_by_rank, par_map_collect, DominantMaxStore};
+use plis_primitives::{group_by_rank, par_map_collect, DomMaxStats, DominantMaxStore};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which dominant-max store backs a weighted-LIS run — the runtime-facing
@@ -68,10 +68,24 @@ impl DominantMaxKind {
 /// # Panics
 /// Panics if `values` and `weights` have different lengths.
 pub fn wlis_with<T: Ord + Sync, S: DominantMaxStore>(values: &[T], weights: &[u64]) -> Vec<u64> {
+    wlis_with_stats::<T, S>(values, weights).0
+}
+
+/// [`wlis_with`] plus the store's cumulative [`DomMaxStats`] — the hook the
+/// telemetry plane uses, since the store is built and dropped inside the
+/// driver.  The stats are purely observational: the returned dp vector is
+/// identical to [`wlis_with`]'s.
+///
+/// # Panics
+/// Panics if `values` and `weights` have different lengths.
+pub fn wlis_with_stats<T: Ord + Sync, S: DominantMaxStore>(
+    values: &[T],
+    weights: &[u64],
+) -> (Vec<u64>, DomMaxStats) {
     assert_eq!(values.len(), weights.len(), "one weight per value is required");
     let n = values.len();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), DomMaxStats::default());
     }
     // Line 11 of Alg. 2: ranks via Alg. 1, then group indices into frontiers.
     let (ranks, k) = crate::lis_ranks(values);
@@ -99,15 +113,28 @@ pub fn wlis_with<T: Ord + Sync, S: DominantMaxStore>(values: &[T], weights: &[u6
         });
         structure.update_batch(&updates);
     }
-    dp.into_iter().map(AtomicU64::into_inner).collect()
+    let stats = structure.stats();
+    (dp.into_iter().map(AtomicU64::into_inner).collect(), stats)
 }
 
 /// Weighted LIS with the backend chosen at runtime by [`DominantMaxKind`]
 /// (enum-dispatch into the generic driver, one monomorphization per store).
 pub fn wlis_kind<T: Ord + Sync>(kind: DominantMaxKind, values: &[T], weights: &[u64]) -> Vec<u64> {
+    wlis_kind_stats(kind, values, weights).0
+}
+
+/// [`wlis_kind`] plus the store's cumulative [`DomMaxStats`] (see
+/// [`wlis_with_stats`]).
+pub fn wlis_kind_stats<T: Ord + Sync>(
+    kind: DominantMaxKind,
+    values: &[T],
+    weights: &[u64],
+) -> (Vec<u64>, DomMaxStats) {
     match kind.resolve() {
-        DominantMaxKind::RangeTree => wlis_with::<T, plis_rangetree::RangeMaxTree>(values, weights),
-        DominantMaxKind::RangeVeb => wlis_with::<T, plis_rangeveb::RangeVeb>(values, weights),
+        DominantMaxKind::RangeTree => {
+            wlis_with_stats::<T, plis_rangetree::RangeMaxTree>(values, weights)
+        }
+        DominantMaxKind::RangeVeb => wlis_with_stats::<T, plis_rangeveb::RangeVeb>(values, weights),
         DominantMaxKind::Auto => unreachable!("resolve() never returns Auto"),
     }
 }
@@ -194,6 +221,23 @@ mod tests {
             assert_eq!(wlis_rangetree(&a, &w), want, "range tree, trial {trial}");
             assert_eq!(wlis_rangeveb(&a, &w), want, "range vEB, trial {trial}");
         }
+    }
+
+    #[test]
+    fn stats_variant_returns_same_dp_and_counts_work() {
+        let a = [9u64, 2, 7, 4, 8, 1, 6];
+        let w = [3u64, 5, 2, 9, 1, 4, 7];
+        let (dp, stats) = wlis_kind_stats(DominantMaxKind::RangeTree, &a, &w);
+        assert_eq!(dp, wlis_kind(DominantMaxKind::RangeTree, &a, &w));
+        // One dominant_max per object, one write-back entry per object.
+        assert_eq!(stats.queries, a.len() as u64);
+        assert_eq!(stats.writeback_elems, a.len() as u64);
+        // One update_batch per frontier: as many as distinct LIS ranks.
+        let (_, k) = crate::lis_ranks(&a);
+        assert_eq!(stats.writeback_batches, u64::from(k));
+        // The other backend reports the same trait-level totals.
+        let (_, veb_stats) = wlis_kind_stats(DominantMaxKind::RangeVeb, &a, &w);
+        assert_eq!(stats, veb_stats);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod par;
 pub mod scan;
 pub mod sort;
 
-pub use dommax::DominantMaxStore;
+pub use dommax::{DomMaxCounters, DomMaxStats, DominantMaxStore};
 pub use group::{group_by_rank, histogram};
 pub use merge::{merge_by, merge_by_key, parallel_merge};
 pub use pack::{pack, pack_index, pack_indices_where, partition_flags};

@@ -26,6 +26,7 @@
 //! result is identical to any sequential order).
 
 use plis_primitives::par::{maybe_join, par_for_each_chunk, GRAIN};
+use plis_primitives::{DomMaxCounters, DomMaxStats};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A 2D point; `x` and `y` are the coordinates used by dominance queries
@@ -98,6 +99,9 @@ pub struct RangeMaxTree {
     ys_by_pos: Vec<u64>,
     /// Outer segment tree in contiguous-subtree layout (`2n − 1` nodes).
     nodes: Vec<NodeData>,
+    /// Telemetry totals (observational only; counted at the
+    /// [`DominantMaxStore`](plis_primitives::DominantMaxStore) boundary).
+    counters: DomMaxCounters,
 }
 
 impl RangeMaxTree {
@@ -109,7 +113,13 @@ impl RangeMaxTree {
     pub fn new(points: &[Point2]) -> Self {
         let n = points.len();
         if n == 0 {
-            return RangeMaxTree { n, xs: Vec::new(), ys_by_pos: Vec::new(), nodes: Vec::new() };
+            return RangeMaxTree {
+                n,
+                xs: Vec::new(),
+                ys_by_pos: Vec::new(),
+                nodes: Vec::new(),
+                counters: DomMaxCounters::new(),
+            };
         }
         let mut order: Vec<(u64, u64)> = points.iter().map(|p| (p.x, p.y)).collect();
         plis_primitives::par_sort_unstable(&mut order);
@@ -121,7 +131,25 @@ impl RangeMaxTree {
         build(&mut nodes, &ys_by_pos, 0, n);
         let nodes: Vec<NodeData> =
             nodes.into_iter().map(|n| n.expect("build fills every node")).collect();
-        RangeMaxTree { n, xs, ys_by_pos, nodes }
+        RangeMaxTree { n, xs, ys_by_pos, nodes, counters: DomMaxCounters::new() }
+    }
+
+    /// Rough heap footprint of the tree in bytes (vector capacities of the
+    /// canonical nodes; used by the engine's memory accounting).
+    pub fn approx_bytes(&self) -> usize {
+        let node_bytes: usize = self
+            .nodes
+            .iter()
+            .map(|node| {
+                std::mem::size_of::<NodeData>()
+                    + node.ys.capacity() * std::mem::size_of::<u64>()
+                    + node.fenwick.capacity() * std::mem::size_of::<AtomicU64>()
+            })
+            .sum();
+        std::mem::size_of::<Self>()
+            + self.xs.capacity() * std::mem::size_of::<u64>()
+            + self.ys_by_pos.capacity() * std::mem::size_of::<u64>()
+            + node_bytes
     }
 
     /// Number of points.
@@ -252,9 +280,11 @@ impl plis_primitives::DominantMaxStore for RangeMaxTree {
         RangeMaxTree::new(&pts)
     }
     fn dominant_max(&self, qx: u64, qy: u64) -> u64 {
+        self.counters.count_query();
         RangeMaxTree::dominant_max(self, qx, qy)
     }
     fn update_batch(&mut self, updates: &[(u64, u64, u64)]) {
+        self.counters.count_writeback(updates.len());
         let ups: Vec<ScoreUpdate> = updates
             .iter()
             .map(|&(x, y, score)| ScoreUpdate { point: Point2 { x, y }, score })
@@ -263,6 +293,9 @@ impl plis_primitives::DominantMaxStore for RangeMaxTree {
     }
     fn name() -> &'static str {
         "range-tree"
+    }
+    fn stats(&self) -> DomMaxStats {
+        self.counters.snapshot()
     }
 }
 

@@ -24,6 +24,7 @@
 //! `DESIGN.md`).
 
 use plis_primitives::par::{maybe_join, GRAIN};
+use plis_primitives::{DomMaxCounters, DomMaxStats};
 use plis_veb::{MonoVeb, ScoredPoint};
 
 /// A 2D point (same convention as `plis_rangetree::Point2`).
@@ -63,6 +64,9 @@ pub struct RangeVeb {
     xs: Vec<u64>,
     ys_by_pos: Vec<u64>,
     nodes: Vec<VNode>,
+    /// Telemetry totals (observational only; counted at the
+    /// [`DominantMaxStore`](plis_primitives::DominantMaxStore) boundary).
+    counters: DomMaxCounters,
 }
 
 impl RangeVeb {
@@ -74,7 +78,13 @@ impl RangeVeb {
     pub fn new(points: &[Point2]) -> Self {
         let n = points.len();
         if n == 0 {
-            return RangeVeb { n, xs: Vec::new(), ys_by_pos: Vec::new(), nodes: Vec::new() };
+            return RangeVeb {
+                n,
+                xs: Vec::new(),
+                ys_by_pos: Vec::new(),
+                nodes: Vec::new(),
+                counters: DomMaxCounters::new(),
+            };
         }
         let mut order: Vec<(u64, u64)> = points.iter().map(|p| (p.x, p.y)).collect();
         plis_primitives::par_sort_unstable(&mut order);
@@ -93,7 +103,7 @@ impl RangeVeb {
         nodes.resize_with(2 * n - 1, || None);
         build(&mut nodes, &ys_by_pos, 0, n);
         let nodes = nodes.into_iter().map(|v| v.expect("build fills every node")).collect();
-        RangeVeb { n, xs, ys_by_pos, nodes }
+        RangeVeb { n, xs, ys_by_pos, nodes, counters: DomMaxCounters::new() }
     }
 
     /// Number of points.
@@ -187,9 +197,11 @@ impl plis_primitives::DominantMaxStore for RangeVeb {
         RangeVeb::new(&pts)
     }
     fn dominant_max(&self, qx: u64, qy: u64) -> u64 {
+        self.counters.count_query();
         RangeVeb::dominant_max(self, qx, qy)
     }
     fn update_batch(&mut self, updates: &[(u64, u64, u64)]) {
+        self.counters.count_writeback(updates.len());
         let ups: Vec<ScoreUpdate> = updates
             .iter()
             .map(|&(x, y, score)| ScoreUpdate { point: Point2 { x, y }, score })
@@ -198,6 +210,9 @@ impl plis_primitives::DominantMaxStore for RangeVeb {
     }
     fn name() -> &'static str {
         "range-veb"
+    }
+    fn stats(&self) -> DomMaxStats {
+        self.counters.snapshot()
     }
 }
 

@@ -1,0 +1,287 @@
+//! Fixed-bucket log-scale histogram (HdrHistogram-style log-linear layout).
+//!
+//! Bucket scheme: values below 16 get one exact bucket each; every larger
+//! value lands in one of 16 *log-linear* sub-buckets of its power-of-two
+//! octave, i.e. the bucket width is `2^(octave-4)` and the worst-case
+//! relative error of a reported bound is `1/16 = 6.25 %`.  Octaves 4..=63
+//! cover the rest of `u64`, so the total is `16 + 60 * 16 = 976` buckets —
+//! small enough to keep resident per histogram (7.6 KiB of `AtomicU64`)
+//! and to merge by plain elementwise addition.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Log-linear sub-bucket bits per octave (16 sub-buckets).
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count: 16 exact low buckets + 16 per octave for octaves
+/// 4..=63.
+pub const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// Bucket index of a recorded value.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros(); // >= SUB_BITS
+        let sub = (v >> (octave - SUB_BITS)) & (SUB as u64 - 1);
+        SUB + (octave - SUB_BITS) as usize * SUB + sub as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket — the value percentiles report.
+fn bucket_bound(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else {
+        let octave = (idx - SUB) as u32 / SUB as u32 + SUB_BITS;
+        let sub = ((idx - SUB) % SUB) as u64;
+        let width = 1u64 << (octave - SUB_BITS);
+        (1u64 << octave) + sub * width + (width - 1)
+    }
+}
+
+/// Concurrent fixed-bucket log-scale histogram.
+///
+/// [`record`](AtomicHistogram::record) is three relaxed atomic RMW
+/// operations (bucket increment, sum add, max fetch-max) — cheap enough for
+/// per-op latency tracking.  Reads go through
+/// [`snapshot`](AtomicHistogram::snapshot), which yields a plain
+/// [`HistogramSnapshot`] for merging and percentile queries.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        AtomicHistogram {
+            buckets: buckets.into_boxed_slice(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value (e.g. a latency in nanoseconds).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.  Taken while writers are
+    /// quiescent (the engine snapshots between ticks), the copy is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain (non-atomic) histogram state: bucket counts plus exact sum and max.
+///
+/// Merging is elementwise bucket addition (plus sum addition and max of
+/// maxes), which is associative and commutative — snapshots from different
+/// shards or runs combine in any order to the same result.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (empty means "all zero" — the [`Default`] state).
+    buckets: Vec<u64>,
+    /// Exact sum of all recorded values.
+    pub sum: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Fold another snapshot into this one (associative, commutative).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Value at or below which `q` percent of recordings fall, reported as
+    /// the inclusive upper bound of the covering bucket (≤ 6.25 % above the
+    /// true value), clamped to the exact max.  `q` is in `[0, 100]`; an
+    /// empty histogram reports 0.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q / 100.0 * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_bound(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`percentile`](HistogramSnapshot::percentile)).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_exact_below_16() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_cover_u64() {
+        let mut prev = bucket_bound(0);
+        for idx in 1..BUCKETS {
+            let b = bucket_bound(idx);
+            assert!(b > prev, "bound not increasing at {idx}");
+            prev = b;
+        }
+        assert_eq!(prev, u64::MAX);
+        for v in [0, 15, 16, 17, 1000, 1 << 20, u64::MAX / 3, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(bucket_bound(idx) >= v, "bound below value for {v}");
+            assert!(idx == 0 || bucket_bound(idx - 1) < v, "value {v} fits earlier bucket");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..10_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let v = state >> (state % 40);
+            let bound = bucket_bound(bucket_index(v));
+            assert!(bound >= v);
+            assert!((bound - v) as f64 <= v as f64 / 16.0 + 1.0, "error too large for {v}");
+        }
+    }
+
+    #[test]
+    fn percentiles_on_known_input() {
+        let h = AtomicHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!(s.max, 100);
+        // True p50 = 50, true p99 = 99; bounds are within one sub-bucket.
+        let p50 = s.p50();
+        assert!((50..=53).contains(&p50), "p50 bound {p50}");
+        let p99 = s.p99();
+        assert!((99..=100).contains(&p99), "p99 bound {p99}");
+        assert_eq!(s.percentile(100.0), 100);
+        assert_eq!(s.percentile(0.0), 1); // smallest recorded value's bucket
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let s = AtomicHistogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let parts: Vec<HistogramSnapshot> = [(1u64..=40), (41..=77), (78..=500)]
+            .into_iter()
+            .map(|range| {
+                let h = AtomicHistogram::new();
+                for v in range {
+                    h.record(v * 13);
+                }
+                h.snapshot()
+            })
+            .collect();
+        // ((a + b) + c)
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        // (a + (b + c))
+        let mut right = parts[1].clone();
+        right.merge(&parts[2]);
+        let mut right_total = parts[0].clone();
+        right_total.merge(&right);
+        assert_eq!(left, right_total);
+        // (c + a + b) — commutes too.
+        let mut shuffled = parts[2].clone();
+        shuffled.merge(&parts[0]);
+        shuffled.merge(&parts[1]);
+        assert_eq!(left, shuffled);
+        assert_eq!(left.count(), 500);
+    }
+
+    #[test]
+    fn default_snapshot_merges_as_identity() {
+        let h = AtomicHistogram::new();
+        h.record(7);
+        h.record(1 << 30);
+        let s = h.snapshot();
+        let mut d = HistogramSnapshot::default();
+        d.merge(&s);
+        assert_eq!(d, s);
+        let mut s2 = s.clone();
+        s2.merge(&HistogramSnapshot::default());
+        assert_eq!(s2, s);
+    }
+}

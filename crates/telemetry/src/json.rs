@@ -1,0 +1,117 @@
+//! Hand-rolled single-line JSON rendering — the one serialization format
+//! the workspace uses for machine-readable output (`BENCH_*.json` lines,
+//! engine metric snapshots, trace events).  No registry access means no
+//! `serde_json`; the subset here (flat objects of ints, floats, strings) is
+//! all the trajectory tooling needs.
+
+/// One value of a machine-readable cell.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// Unsigned integer, rendered verbatim.
+    Int(u64),
+    /// Float, rendered with six decimal places (`null` when non-finite).
+    Float(f64),
+    /// String, rendered with JSON escaping.
+    Str(String),
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Int(v as u64)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::Int(v as u64)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Float(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+/// Render one record as a single JSON object line — the format the
+/// perf-trajectory files (`BENCH_*.json`) accumulate and the trace sink
+/// emits.  Keys must be plain identifiers; string values are escaped.
+pub fn json_line(fields: &[(&str, JsonValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('"');
+        out.push_str(key);
+        out.push_str("\": ");
+        match value {
+            JsonValue::Int(v) => out.push_str(&v.to_string()),
+            JsonValue::Float(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v:.6}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_renders_all_value_kinds() {
+        let line = json_line(&[
+            ("bench", "streaming".into()),
+            ("sessions", 4usize.into()),
+            ("rate", 123.456789_f64.into()),
+            ("note", "has \"quotes\"".into()),
+        ]);
+        assert_eq!(
+            line,
+            r#"{"bench": "streaming", "sessions": 4, "rate": 123.456789, "note": "has \"quotes\""}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        assert_eq!(json_line(&[("v", f64::NAN.into())]), r#"{"v": null}"#);
+        assert_eq!(json_line(&[("v", f64::INFINITY.into())]), r#"{"v": null}"#);
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(json_line(&[("s", "a\tb\nc".into())]), "{\"s\": \"a\\u0009b\\nc\"}");
+    }
+}

@@ -1,0 +1,107 @@
+//! JSON-lines trace-event sink: a cloneable writer handle the engine emits
+//! one event per tick into.  The sink is strictly observational — emission
+//! failures are swallowed so a broken pipe can never perturb engine
+//! behaviour (determinism-neutrality is a hard requirement of the
+//! telemetry plane).
+
+use crate::json::{json_line, JsonValue};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A shared handle to a JSON-lines event writer.
+///
+/// Cloning is cheap (one `Arc` bump); clones append to the same underlying
+/// writer under a mutex, so events from concurrent emitters interleave at
+/// line granularity and never tear.
+#[derive(Clone)]
+pub struct TraceSink {
+    writer: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink").finish_non_exhaustive()
+    }
+}
+
+impl TraceSink {
+    /// Wrap any writer (a file, `stderr`, a [`MemorySink`], ...).
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        TraceSink { writer: Arc::new(Mutex::new(Box::new(writer))) }
+    }
+
+    /// A sink that writes trace events to standard error.
+    pub fn stderr() -> Self {
+        TraceSink::new(std::io::stderr())
+    }
+
+    /// Emit one event as a [`json_line`] plus newline.  I/O errors (and a
+    /// poisoned lock) are ignored: tracing must never fail the traced code.
+    pub fn emit(&self, fields: &[(&str, JsonValue)]) {
+        let line = json_line(fields);
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.write_all(line.as_bytes());
+            let _ = w.write_all(b"\n");
+        }
+    }
+}
+
+/// An in-memory byte buffer usable as a [`TraceSink`] target; tests and the
+/// bench harness read the captured lines back with
+/// [`contents`](MemorySink::contents) / [`lines`](MemorySink::lines).
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink(Arc<Mutex<Vec<u8>>>);
+
+impl MemorySink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Everything written so far, as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().expect("memory sink lock")).into_owned()
+    }
+
+    /// The captured trace, split into lines.
+    pub fn lines(&self) -> Vec<String> {
+        self.contents().lines().map(str::to_owned).collect()
+    }
+}
+
+impl Write for MemorySink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("memory sink lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_one_json_line_per_event() {
+        let buffer = MemorySink::new();
+        let sink = TraceSink::new(buffer.clone());
+        sink.emit(&[("event", "tick".into()), ("ops", 3u64.into())]);
+        sink.emit(&[("event", "tick".into()), ("ops", 1u64.into())]);
+        let lines = buffer.lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], r#"{"event": "tick", "ops": 3}"#);
+        assert_eq!(lines[1], r#"{"event": "tick", "ops": 1}"#);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let buffer = MemorySink::new();
+        let sink = TraceSink::new(buffer.clone());
+        let clone = sink.clone();
+        clone.emit(&[("n", 1u64.into())]);
+        sink.emit(&[("n", 2u64.into())]);
+        assert_eq!(buffer.lines().len(), 2);
+    }
+}

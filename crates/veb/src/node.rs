@@ -91,6 +91,21 @@ impl Node {
         }
     }
 
+    /// Rough heap footprint of this subtree in bytes: every boxed internal
+    /// node plus its cluster-slot vector, recursively.  `O(nodes)` — meant
+    /// for occasional memory-accounting snapshots, not hot paths.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 0, // inline in the parent's enum slot
+            Node::Internal(n) => {
+                std::mem::size_of::<Internal>()
+                    + n.clusters.capacity() * std::mem::size_of::<Option<Node>>()
+                    + n.summary.as_ref().map_or(0, Node::approx_bytes)
+                    + n.clusters.iter().flatten().map(Node::approx_bytes).sum::<usize>()
+            }
+        }
+    }
+
     /// Smallest key in this subtree.
     pub(crate) fn min(&self) -> u64 {
         match self {

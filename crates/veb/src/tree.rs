@@ -52,6 +52,13 @@ impl VebTree {
         self.root.is_none()
     }
 
+    /// Rough heap footprint of the tree in bytes (the recursive node
+    /// structure; `O(nodes)`, intended for occasional memory-accounting
+    /// snapshots by the engine's telemetry plane).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.root.as_ref().map_or(0, Node::approx_bytes)
+    }
+
     /// Insert `key`; returns `true` if it was not already present.
     ///
     /// # Panics

@@ -62,6 +62,7 @@ pub mod prelude {
         SessionId, SessionKind, StreamingLis, Tick, TickBatch, TickOutcome, WeightedIngestReport,
         WeightedStreamingLis,
     };
+    pub use plis_engine::{HistogramSnapshot, MemorySink, Metrics, MetricsSnapshot, TraceSink};
     // The legacy tick surface, kept importable for external callers of
     // the deprecated wrappers (in-repo code uses the command plane).
     #[allow(deprecated)]
