@@ -26,16 +26,22 @@
 //! config default, i.e. the pool width; recorded as the `shards` field),
 //! `PLIS_BENCH_WEIGHTED_N` (elements per weighted session, default
 //! `PLIS_BENCH_N / 5`; `0` skips the weighted sweep),
-//! `PLIS_BENCH_MAX_WEIGHT` (uniform weight bound, default 1,000), and
+//! `PLIS_BENCH_MAX_WEIGHT` (uniform weight bound, default 1,000),
 //! `PLIS_BENCH_QUERY_MIX` (comma-separated read fractions for the query
-//! sweep, default `0.25`; `0` alone skips it).
+//! sweep, default `0.25`; `0` alone skips it), and
+//! `PLIS_BENCH_PATH_POLICY` (comma-separated ingest path policies for the
+//! unweighted and weighted sweeps — `cost` or `fixed:N`, default `cost`;
+//! recorded as the `path_policy` field).  The calibration knobs the cost
+//! policy itself reads (`PLIS_COST_*`) pass straight through to the
+//! engine.
 
 use plis_bench::{
     bench_repeats, effective_threads, env_f64_list, env_usize_list, json_line, time_min,
     with_bench_threads, JsonValue,
 };
 use plis_engine::{
-    Backend, DominantMaxKind, Engine, EngineConfig, MetricsSnapshot, Op, SessionKind, Tick,
+    Backend, DominantMaxKind, Engine, EngineConfig, MetricsSnapshot, Op, PathPolicy, SessionKind,
+    Tick,
 };
 use plis_workloads::streaming::{
     mixed_session_fleet, round_robin_ticks, session_fleet, weighted_session_fleet, ReadWriteOp,
@@ -69,6 +75,24 @@ fn max_weight() -> u64 {
     std::env::var("PLIS_BENCH_MAX_WEIGHT").ok().and_then(|s| s.parse().ok()).unwrap_or(1_000)
 }
 
+/// Ingest path policies to sweep (`PLIS_BENCH_PATH_POLICY`, comma list of
+/// `cost` / `fixed:N`, default just `cost`).  Unparsable entries abort:
+/// a silently dropped policy would make a sweep look complete when it
+/// is not.
+fn path_policies() -> Vec<PathPolicy> {
+    match std::env::var("PLIS_BENCH_PATH_POLICY") {
+        Err(_) => vec![PathPolicy::Cost],
+        Ok(raw) => raw
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| {
+                PathPolicy::parse(s)
+                    .unwrap_or_else(|| panic!("bad PLIS_BENCH_PATH_POLICY entry {s:?}"))
+            })
+            .collect(),
+    }
+}
+
 /// One explicit-lifecycle tick creating every fleet session up front —
 /// the timed loops replay it first, so the traffic ticks stay strict.
 fn creation_tick<B>(fleet: &[(String, B)], kind: SessionKind) -> Tick {
@@ -96,6 +120,7 @@ fn telemetry_fields(snap: &MetricsSnapshot) -> Vec<(&'static str, JsonValue)> {
         ("seq_ticks", snap.seq_ingests.into()),
         ("par_merge_ticks", snap.par_merge_ingests.into()),
         ("veb_delta_elems", snap.veb_delta_elems.into()),
+        ("inline_ticks", snap.inline_ticks.into()),
         ("session_bytes", snap.session_bytes.into()),
     ]
 }
@@ -123,6 +148,7 @@ fn unweighted_sweep(
     session_counts: &[usize],
     batch_sizes: &[usize],
     shard_counts: &[usize],
+    policies: &[PathPolicy],
     threads: usize,
 ) {
     for &sessions in session_counts {
@@ -137,47 +163,58 @@ fn unweighted_sweep(
                 fleet.iter().map(|(_, bs)| bs.iter().map(Vec::len).sum::<usize>()).sum();
 
             for &shard_spec in shard_counts {
-                for backend in [Backend::Veb, Backend::SortedVec] {
-                    let backend_name = match backend {
-                        Backend::Veb => "veb",
-                        Backend::SortedVec => "sorted-vec",
-                        Backend::Auto => "auto",
-                    };
-                    let mut config = EngineConfig { universe, backend, ..EngineConfig::default() };
-                    if shard_spec > 0 {
-                        config.shards = shard_spec;
+                for &policy in policies {
+                    for backend in [Backend::Veb, Backend::SortedVec] {
+                        let backend_name = match backend {
+                            Backend::Veb => "veb",
+                            Backend::SortedVec => "sorted-vec",
+                            Backend::Auto => "auto",
+                        };
+                        let mut config = EngineConfig {
+                            universe,
+                            backend,
+                            path_policy: policy,
+                            ..EngineConfig::default()
+                        };
+                        if shard_spec > 0 {
+                            config.shards = shard_spec;
+                        }
+                        let shards = config.shards;
+                        let (secs, (final_lis_sum, snap)) = with_bench_threads(|| {
+                            time_min(|| {
+                                let engine = replay(&config, &setup, &ticks);
+                                let lis_sum = engine
+                                    .session_ids()
+                                    .iter()
+                                    .filter_map(|id| engine.lis_length(id.as_str()))
+                                    .map(|k| k as u64)
+                                    .sum::<u64>();
+                                (lis_sum, engine.metrics_snapshot())
+                            })
+                        });
+                        reconcile(&snap, ticks.len(), total_elems);
+                        let mut fields = vec![
+                            ("bench", "streaming".into()),
+                            ("schema", SCHEMA.into()),
+                            ("sessions", sessions.into()),
+                            ("mean_batch", mean_batch.into()),
+                            ("n_per_session", n.into()),
+                            ("backend", backend_name.into()),
+                            ("path_policy", policy.name().into()),
+                            ("shards", shards.into()),
+                            ("threads", threads.into()),
+                            ("ticks", ticks.len().into()),
+                            ("total_elems", total_elems.into()),
+                            ("secs", secs.into()),
+                            ("elems_per_sec", (total_elems as f64 / secs.max(1e-12)).into()),
+                            (
+                                "mean_final_lis",
+                                (final_lis_sum as f64 / sessions.max(1) as f64).into(),
+                            ),
+                        ];
+                        fields.extend(telemetry_fields(&snap));
+                        println!("{}", json_line(&fields));
                     }
-                    let shards = config.shards;
-                    let (secs, (final_lis_sum, snap)) = with_bench_threads(|| {
-                        time_min(|| {
-                            let engine = replay(&config, &setup, &ticks);
-                            let lis_sum = engine
-                                .session_ids()
-                                .iter()
-                                .filter_map(|id| engine.lis_length(id.as_str()))
-                                .map(|k| k as u64)
-                                .sum::<u64>();
-                            (lis_sum, engine.metrics_snapshot())
-                        })
-                    });
-                    reconcile(&snap, ticks.len(), total_elems);
-                    let mut fields = vec![
-                        ("bench", "streaming".into()),
-                        ("schema", SCHEMA.into()),
-                        ("sessions", sessions.into()),
-                        ("mean_batch", mean_batch.into()),
-                        ("n_per_session", n.into()),
-                        ("backend", backend_name.into()),
-                        ("shards", shards.into()),
-                        ("threads", threads.into()),
-                        ("ticks", ticks.len().into()),
-                        ("total_elems", total_elems.into()),
-                        ("secs", secs.into()),
-                        ("elems_per_sec", (total_elems as f64 / secs.max(1e-12)).into()),
-                        ("mean_final_lis", (final_lis_sum as f64 / sessions.max(1) as f64).into()),
-                    ];
-                    fields.extend(telemetry_fields(&snap));
-                    println!("{}", json_line(&fields));
                 }
             }
         }
@@ -185,12 +222,14 @@ fn unweighted_sweep(
 }
 
 /// The weighted sweep: same fleet shape, weighted session kind, both
-/// dominant-max stores.
+/// dominant-max stores plus the `Auto` selector that picks one per
+/// parallel ingest from the merged run size.
 fn weighted_sweep(
     n: usize,
     session_counts: &[usize],
     batch_sizes: &[usize],
     shard_counts: &[usize],
+    policies: &[PathPolicy],
     threads: usize,
 ) {
     let max_w = max_weight();
@@ -206,50 +245,58 @@ fn weighted_sweep(
                 fleet.iter().map(|(_, bs)| bs.iter().map(Vec::len).sum::<usize>()).sum();
 
             for &shard_spec in shard_counts {
-                for dommax in [DominantMaxKind::RangeTree, DominantMaxKind::RangeVeb] {
-                    let mut config = EngineConfig {
-                        universe,
-                        dommax,
-                        default_kind: SessionKind::Weighted,
-                        ..EngineConfig::default()
-                    };
-                    if shard_spec > 0 {
-                        config.shards = shard_spec;
+                for &policy in policies {
+                    for dommax in [
+                        DominantMaxKind::RangeTree,
+                        DominantMaxKind::RangeVeb,
+                        DominantMaxKind::Auto,
+                    ] {
+                        let mut config = EngineConfig {
+                            universe,
+                            dommax,
+                            default_kind: SessionKind::Weighted,
+                            path_policy: policy,
+                            ..EngineConfig::default()
+                        };
+                        if shard_spec > 0 {
+                            config.shards = shard_spec;
+                        }
+                        let shards = config.shards;
+                        let (secs, (final_score_sum, snap)) = with_bench_threads(|| {
+                            time_min(|| {
+                                let engine = replay(&config, &setup, &ticks);
+                                let score_sum = engine
+                                    .session_ids()
+                                    .iter()
+                                    .filter_map(|id| engine.best_score(id.as_str()))
+                                    .sum::<u64>();
+                                (score_sum, engine.metrics_snapshot())
+                            })
+                        });
+                        reconcile(&snap, ticks.len(), total_elems);
+                        let mut fields = vec![
+                            ("bench", "streaming-weighted".into()),
+                            ("schema", SCHEMA.into()),
+                            ("sessions", sessions.into()),
+                            ("mean_batch", mean_batch.into()),
+                            ("n_per_session", n.into()),
+                            ("backend", dommax.name().into()),
+                            ("path_policy", policy.name().into()),
+                            ("max_weight", max_w.into()),
+                            ("shards", shards.into()),
+                            ("threads", threads.into()),
+                            ("ticks", ticks.len().into()),
+                            ("total_elems", total_elems.into()),
+                            ("secs", secs.into()),
+                            ("elems_per_sec", (total_elems as f64 / secs.max(1e-12)).into()),
+                            (
+                                "mean_final_score",
+                                (final_score_sum as f64 / sessions.max(1) as f64).into(),
+                            ),
+                        ];
+                        fields.extend(telemetry_fields(&snap));
+                        println!("{}", json_line(&fields));
                     }
-                    let shards = config.shards;
-                    let (secs, (final_score_sum, snap)) = with_bench_threads(|| {
-                        time_min(|| {
-                            let engine = replay(&config, &setup, &ticks);
-                            let score_sum = engine
-                                .session_ids()
-                                .iter()
-                                .filter_map(|id| engine.best_score(id.as_str()))
-                                .sum::<u64>();
-                            (score_sum, engine.metrics_snapshot())
-                        })
-                    });
-                    reconcile(&snap, ticks.len(), total_elems);
-                    let mut fields = vec![
-                        ("bench", "streaming-weighted".into()),
-                        ("schema", SCHEMA.into()),
-                        ("sessions", sessions.into()),
-                        ("mean_batch", mean_batch.into()),
-                        ("n_per_session", n.into()),
-                        ("backend", dommax.name().into()),
-                        ("max_weight", max_w.into()),
-                        ("shards", shards.into()),
-                        ("threads", threads.into()),
-                        ("ticks", ticks.len().into()),
-                        ("total_elems", total_elems.into()),
-                        ("secs", secs.into()),
-                        ("elems_per_sec", (total_elems as f64 / secs.max(1e-12)).into()),
-                        (
-                            "mean_final_score",
-                            (final_score_sum as f64 / sessions.max(1) as f64).into(),
-                        ),
-                    ];
-                    fields.extend(telemetry_fields(&snap));
-                    println!("{}", json_line(&fields));
                 }
             }
         }
@@ -324,6 +371,7 @@ fn query_sweep(
                         ("sessions", sessions.into()),
                         ("mean_batch", mean_batch.into()),
                         ("n_per_session", n.into()),
+                        ("path_policy", PathPolicy::default().name().into()),
                         ("query_mix", mix.into()),
                         ("queries_per_read", QUERIES_PER_READ.into()),
                         ("shards", shards.into()),
@@ -357,17 +405,19 @@ fn main() {
         .collect();
     // `0` = keep the engine's default shard count (the pool width).
     let shard_counts = env_usize_list("PLIS_BENCH_SHARDS", &[0]);
+    let policies = path_policies();
     let threads = effective_threads();
+    let policy_names: Vec<String> = policies.iter().map(|p| p.name()).collect();
     eprintln!(
         "streaming sweep: n_per_session = {n}, weighted n = {wn}, sessions = {session_counts:?}, \
          mean batch = {batch_sizes:?}, query mix = {query_mixes:?}, shards = {shard_counts:?}, \
-         repeats = {}, threads = {threads}",
+         policies = {policy_names:?}, repeats = {}, threads = {threads}",
         bench_repeats()
     );
 
-    unweighted_sweep(n, &session_counts, &batch_sizes, &shard_counts, threads);
+    unweighted_sweep(n, &session_counts, &batch_sizes, &shard_counts, &policies, threads);
     if wn > 0 {
-        weighted_sweep(wn, &session_counts, &batch_sizes, &shard_counts, threads);
+        weighted_sweep(wn, &session_counts, &batch_sizes, &shard_counts, &policies, threads);
     }
     if !query_mixes.is_empty() {
         query_sweep(n, &session_counts, &batch_sizes, &query_mixes, &shard_counts, threads);

@@ -34,6 +34,7 @@
 //! [`OpError::KindMismatch`] — a malformed tick degrades per op, it never
 //! panics.
 
+use crate::cost::PathPolicy;
 use crate::metrics::{Metrics, MetricsSnapshot, TickDigest};
 use crate::op::{Op, OpError, OpOutput, OpResult, ReadOutcome, ReadTick, Tick, TickOutcome};
 use crate::query::{QueryBatch, QueryReport};
@@ -154,6 +155,14 @@ enum BatchRef<'a> {
 }
 
 impl BatchRef<'_> {
+    /// Number of elements in the batch.
+    fn len(self) -> usize {
+        match self {
+            BatchRef::Plain(b) => b.len(),
+            BatchRef::Weighted(b) => b.len(),
+        }
+    }
+
     /// The kind a session implicitly created by this batch should get:
     /// weighted data forces a weighted session; plain data defers to the
     /// engine default.
@@ -211,8 +220,11 @@ pub struct EngineConfig {
     /// Number of shards sessions are spread over.  Defaults to the
     /// hardware parallelism.
     pub shards: usize,
-    /// Batch size at which a session switches to the parallel merge path.
-    pub par_threshold: usize,
+    /// How every session decides between the sequential and the parallel
+    /// merge ingest path.  Defaults to [`PathPolicy::Cost`]; use
+    /// [`PathPolicy::Fixed`] to reproduce the historical fixed-threshold
+    /// behaviour.
+    pub path_policy: PathPolicy,
 }
 
 impl Default for EngineConfig {
@@ -226,7 +238,7 @@ impl Default for EngineConfig {
             // the latter re-reads cgroup state on every call (~10µs), which
             // is exactly the cost the vendored rayon caches away.
             shards: rayon::current_num_threads(),
-            par_threshold: crate::session::DEFAULT_PAR_THRESHOLD,
+            path_policy: PathPolicy::default(),
         }
     }
 }
@@ -236,12 +248,11 @@ impl EngineConfig {
     fn new_session(&self, kind: SessionKind) -> SessionState {
         match kind {
             SessionKind::Unweighted => SessionState::Unweighted(
-                StreamingLis::new(self.universe, self.backend)
-                    .with_par_threshold(self.par_threshold),
+                StreamingLis::new(self.universe, self.backend).with_path_policy(self.path_policy),
             ),
             SessionKind::Weighted => SessionState::Weighted(
                 WeightedStreamingLis::new(self.universe, self.dommax)
-                    .with_par_threshold(self.par_threshold),
+                    .with_path_policy(self.path_policy),
             ),
         }
     }
@@ -365,6 +376,50 @@ type WorkItem<'a> = (usize, &'a SessionId, OpRef<'a>);
 /// One query batch of a read-only tick: original tick position, target
 /// session, queries.
 type QueryItem<'a> = (usize, &'a SessionId, &'a QueryBatch);
+
+/// Ticks whose total estimated work stays under this many element-units
+/// run inline on the calling thread.  Each piece of the per-shard
+/// parallel spine costs a fork (tens of microseconds on this pool —
+/// every join spawns a scoped OS thread), which swamps light ticks: the
+/// query sweep lost 2x going from 1 to 4 shards before this gate
+/// existed.  Heavy ticks still take the spine, restricted to the shards
+/// that actually have work.  The gate reads only tick content — never
+/// pool width — so the inline/spine decision is identical at one thread
+/// and at the full pool.
+const INLINE_TICK_WEIGHT: usize = 256;
+
+/// Estimated work of one tick slot, in ingest-element units: appends
+/// charge their batch length, reads charge [`query_weight`], lifecycle
+/// ops charge 1.
+fn op_weight(op: &OpRef<'_>) -> usize {
+    match op {
+        OpRef::Append(batch) => batch.len(),
+        OpRef::Query(batch) => query_weight(batch),
+        OpRef::Create(_) | OpRef::Remove => 1,
+    }
+}
+
+/// Estimated work of one query batch: 1 per point read, a flat heavy
+/// charge per certificate (a full reconstruction walks the whole
+/// maintained state, not one entry).
+fn query_weight(batch: &QueryBatch) -> usize {
+    batch
+        .queries()
+        .iter()
+        .map(|q| match q {
+            crate::query::Query::Certificate => 64,
+            _ => 1,
+        })
+        .sum()
+}
+
+/// Whether a partitioned tick is light enough to run inline: at most one
+/// shard has work (a single piece gains nothing from the spine), or the
+/// total estimated weight is under [`INLINE_TICK_WEIGHT`].
+fn tick_is_light<T>(work: &[Vec<T>], weight: impl Fn(&T) -> usize) -> bool {
+    let busy = work.iter().filter(|w| !w.is_empty()).count();
+    busy <= 1 || work.iter().flatten().map(weight).sum::<usize>() < INLINE_TICK_WEIGHT
+}
 
 impl Shard {
     /// Apply this shard's slice of a tick, in tick order.  Every op
@@ -677,22 +732,28 @@ impl Engine {
         let config = &self.config;
         let metrics = &self.metrics;
         let create_missing = tick.creates_missing();
-        let per_shard: Vec<ShardOutput<OpResult>> = self
+        let inline = tick_is_light(&work, |(_, _, op)| op_weight(op));
+        let busy: Vec<(&mut Shard, &mut Vec<WorkItem<'_>>)> = self
             .shards
-            .par_iter_mut()
-            .zip(work.par_iter_mut())
-            .with_max_len(1)
-            .map(|(shard, work)| {
-                (
-                    shard.process(std::mem::take(work), config, create_missing, metrics),
-                    std::thread::current().id(),
-                )
-            })
+            .iter_mut()
+            .zip(work.iter_mut())
+            .filter(|(_, work)| !work.is_empty())
             .collect();
+        let run = |(shard, work): (&mut Shard, &mut Vec<WorkItem<'_>>)| {
+            (
+                shard.process(std::mem::take(work), config, create_missing, metrics),
+                std::thread::current().id(),
+            )
+        };
+        let per_shard: Vec<ShardOutput<OpResult>> = if inline {
+            busy.into_iter().map(run).collect()
+        } else {
+            busy.into_par_iter().with_max_len(1).map(run).collect()
+        };
         let (outcomes, worker_threads) = reassemble(per_shard, tick.len());
         let mut outcome = TickOutcome::collect(outcomes, worker_threads);
         outcome.elapsed_ns = Metrics::elapsed_ns(timer);
-        let digest = self.metrics.record_tick(&outcome);
+        let digest = self.metrics.record_tick(&outcome, inline);
         self.trace_tick(&outcome, digest);
         outcome
     }
@@ -707,17 +768,21 @@ impl Engine {
         let timer = self.metrics.start_timer();
         let work = self.partition_by_shard(tick.slots().iter().map(|(id, batch)| (id, batch)));
         let metrics = &self.metrics;
-        let per_shard: Vec<ShardOutput<Result<QueryReport, OpError>>> = self
-            .shards
-            .par_iter()
-            .zip(work.par_iter())
-            .with_max_len(1)
-            .map(|(shard, work)| (shard.read(work, metrics), std::thread::current().id()))
-            .collect();
+        let inline = tick_is_light(&work, |(_, _, batch)| query_weight(batch));
+        let busy: Vec<(&Shard, &Vec<QueryItem<'_>>)> =
+            self.shards.iter().zip(work.iter()).filter(|(_, work)| !work.is_empty()).collect();
+        let run = |(shard, work): (&Shard, &Vec<QueryItem<'_>>)| {
+            (shard.read(work, metrics), std::thread::current().id())
+        };
+        let per_shard: Vec<ShardOutput<Result<QueryReport, OpError>>> = if inline {
+            busy.into_iter().map(run).collect()
+        } else {
+            busy.into_par_iter().with_max_len(1).map(run).collect()
+        };
         let (outcomes, worker_threads) = reassemble(per_shard, tick.len());
         let mut outcome = ReadOutcome::collect(outcomes, worker_threads);
         outcome.elapsed_ns = Metrics::elapsed_ns(timer);
-        self.metrics.record_read(&outcome);
+        self.metrics.record_read(&outcome, inline);
         self.trace_read(&outcome);
         outcome
     }
@@ -847,7 +912,7 @@ mod tests {
         let mut engine = Engine::new(EngineConfig {
             universe,
             shards: 3,
-            par_threshold: 64,
+            path_policy: PathPolicy::Fixed(64),
             ..EngineConfig::default()
         });
         let mut reference: HashMap<&str, StreamingLis> = session_names

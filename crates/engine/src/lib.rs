@@ -96,6 +96,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod engine;
 pub mod legacy;
 pub mod metrics;
@@ -104,6 +105,7 @@ pub mod query;
 pub mod session;
 pub mod wsession;
 
+pub use cost::{CostModel, PathPolicy};
 pub use engine::{
     BatchReport, Engine, EngineConfig, SessionId, SessionKind, SessionState, TickBatch,
 };

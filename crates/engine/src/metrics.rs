@@ -45,6 +45,12 @@ pub struct TickDigest {
     /// Elements moved through the vEB tail-set batch delta
     /// (`batch_insert` + `batch_delete` sizes) in this tick.
     pub veb_delta_elems: u64,
+    /// Weighted parallel ingests whose dominant-max store resolved to the
+    /// range tree (counts `Auto` picks and forced kinds alike).
+    pub dommax_tree_picks: u64,
+    /// Weighted parallel ingests whose dominant-max store resolved to the
+    /// range vEB.
+    pub dommax_veb_picks: u64,
 }
 
 #[cfg(feature = "telemetry")]
@@ -81,6 +87,11 @@ mod real {
                         // element of the `frontier ++ batch` run, so the
                         // query count *is* the merge size.
                         d.par_merge_elems += r.dommax_queries;
+                        match r.dommax_used {
+                            Some(plis_lis::DominantMaxKind::RangeVeb) => d.dommax_veb_picks += 1,
+                            Some(_) => d.dommax_tree_picks += 1,
+                            None => {}
+                        }
                     }
                 },
             }
@@ -110,6 +121,10 @@ mod real {
         veb_delta_elems: Counter,
         dommax_queries: Counter,
         dommax_writeback_elems: Counter,
+        dommax_tree_picks: Counter,
+        dommax_veb_picks: Counter,
+        inline_ticks: Counter,
+        inline_read_ticks: Counter,
         tick_ns: AtomicHistogram,
         read_ns: AtomicHistogram,
         op_ns: AtomicHistogram,
@@ -162,11 +177,16 @@ mod real {
         /// Fold one executed write tick into the registry (counters from
         /// the outcome's per-op reports, latency from `elapsed_ns`) and
         /// return the tick's own path digest for the trace sink.
-        pub(crate) fn record_tick(&self, outcome: &TickOutcome) -> TickDigest {
+        /// `inline` says whether the executor processed the tick on the
+        /// calling thread instead of the per-shard parallel spine.
+        pub(crate) fn record_tick(&self, outcome: &TickOutcome, inline: bool) -> TickDigest {
             if !self.is_enabled() {
                 return TickDigest::default();
             }
             self.ticks.inc();
+            if inline {
+                self.inline_ticks.inc();
+            }
             if outcome.elapsed_ns != 0 {
                 self.tick_ns.record(outcome.elapsed_ns);
             }
@@ -193,15 +213,21 @@ mod real {
             self.par_merge_ingests.add(digest.par_merge_ingests);
             self.par_merge_elems.add(digest.par_merge_elems);
             self.veb_delta_elems.add(digest.veb_delta_elems);
+            self.dommax_tree_picks.add(digest.dommax_tree_picks);
+            self.dommax_veb_picks.add(digest.dommax_veb_picks);
             digest
         }
 
-        /// Fold one executed read tick into the registry.
-        pub(crate) fn record_read(&self, outcome: &ReadOutcome) {
+        /// Fold one executed read tick into the registry.  `inline` as in
+        /// [`Metrics::record_tick`].
+        pub(crate) fn record_read(&self, outcome: &ReadOutcome, inline: bool) {
             if !self.is_enabled() {
                 return;
             }
             self.read_ticks.inc();
+            if inline {
+                self.inline_read_ticks.inc();
+            }
             if outcome.elapsed_ns != 0 {
                 self.read_ns.record(outcome.elapsed_ns);
             }
@@ -234,6 +260,10 @@ mod real {
                 veb_delta_elems: self.veb_delta_elems.get(),
                 dommax_queries: self.dommax_queries.get(),
                 dommax_writeback_elems: self.dommax_writeback_elems.get(),
+                dommax_tree_picks: self.dommax_tree_picks.get(),
+                dommax_veb_picks: self.dommax_veb_picks.get(),
+                inline_ticks: self.inline_ticks.get(),
+                inline_read_ticks: self.inline_read_ticks.get(),
                 tick_latency: self.tick_ns.snapshot(),
                 read_latency: self.read_ns.snapshot(),
                 op_latency: self.op_ns.snapshot(),
@@ -283,11 +313,11 @@ mod noop {
         #[inline]
         pub(crate) fn record_op_since(&self, _started: Option<Instant>) {}
 
-        pub(crate) fn record_tick(&self, _outcome: &TickOutcome) -> TickDigest {
+        pub(crate) fn record_tick(&self, _outcome: &TickOutcome, _inline: bool) -> TickDigest {
             TickDigest::default()
         }
 
-        pub(crate) fn record_read(&self, _outcome: &ReadOutcome) {}
+        pub(crate) fn record_read(&self, _outcome: &ReadOutcome, _inline: bool) {}
 
         pub(crate) fn counters_snapshot(&self) -> MetricsSnapshot {
             MetricsSnapshot::default()
@@ -339,6 +369,15 @@ pub struct MetricsSnapshot {
     pub dommax_queries: u64,
     /// Elements written back to dominant-max stores by those ingests.
     pub dommax_writeback_elems: u64,
+    /// Weighted parallel ingests that resolved to the range-tree store.
+    pub dommax_tree_picks: u64,
+    /// Weighted parallel ingests that resolved to the range-vEB store.
+    pub dommax_veb_picks: u64,
+    /// Write ticks light enough to run inline on the calling thread,
+    /// skipping the per-shard parallel spine.
+    pub inline_ticks: u64,
+    /// Read ticks that ran inline.
+    pub inline_read_ticks: u64,
     /// Write-tick wall-time histogram (nanoseconds).
     pub tick_latency: HistogramSnapshot,
     /// Read-tick wall-time histogram (nanoseconds).
@@ -378,6 +417,10 @@ impl MetricsSnapshot {
         self.veb_delta_elems += other.veb_delta_elems;
         self.dommax_queries += other.dommax_queries;
         self.dommax_writeback_elems += other.dommax_writeback_elems;
+        self.dommax_tree_picks += other.dommax_tree_picks;
+        self.dommax_veb_picks += other.dommax_veb_picks;
+        self.inline_ticks += other.inline_ticks;
+        self.inline_read_ticks += other.inline_read_ticks;
         self.tick_latency.merge(&other.tick_latency);
         self.read_latency.merge(&other.read_latency);
         self.op_latency.merge(&other.op_latency);
@@ -412,6 +455,10 @@ impl MetricsSnapshot {
             ("veb_delta_elems", JsonValue::from(self.veb_delta_elems)),
             ("dommax_queries", JsonValue::from(self.dommax_queries)),
             ("dommax_writeback_elems", JsonValue::from(self.dommax_writeback_elems)),
+            ("dommax_tree_picks", JsonValue::from(self.dommax_tree_picks)),
+            ("dommax_veb_picks", JsonValue::from(self.dommax_veb_picks)),
+            ("inline_ticks", JsonValue::from(self.inline_ticks)),
+            ("inline_read_ticks", JsonValue::from(self.inline_read_ticks)),
             ("tick_p50_us", JsonValue::from(us(self.tick_latency.p50()))),
             ("tick_p90_us", JsonValue::from(us(self.tick_latency.p90()))),
             ("tick_p99_us", JsonValue::from(us(self.tick_latency.p99()))),

@@ -65,6 +65,7 @@
 //!   factors dominate.
 //! * [`Backend::Auto`] picks between them from the universe size.
 
+use crate::cost::PathPolicy;
 use plis_lis::lis_ranks_u64;
 use plis_lis::tailset::{AnyTailSet, TailSet};
 use plis_primitives::group_by_rank;
@@ -74,8 +75,11 @@ use plis_primitives::group_by_rank;
 /// binary search beats the vEB constant factors.
 pub const AUTO_VEB_UNIVERSE_THRESHOLD: u64 = 1 << 12;
 
-/// Default batch size at which [`StreamingLisOn::ingest`] switches from the
-/// sequential per-element path to the parallel merge path.
+/// The historical fixed batch-size threshold at which ingestion switched
+/// to the parallel merge path.  Sessions now default to cost-based
+/// selection ([`PathPolicy::Cost`]); this constant remains as the
+/// reference point for [`PathPolicy::Fixed`] configurations and for the
+/// bench sweeps that reproduce the old behaviour.
 pub const DEFAULT_PAR_THRESHOLD: usize = 512;
 
 /// Which value-domain structure mirrors the tail set of a session — the
@@ -176,7 +180,8 @@ pub struct StreamingLisOn<S: TailSet> {
     /// Value-domain mirror of `tails`.
     store: S,
     universe: u64,
-    par_threshold: usize,
+    /// How ingest picks between the sequential and parallel merge path.
+    policy: PathPolicy,
 }
 
 /// The engine-facing session type: [`StreamingLisOn`] over the built-in
@@ -209,15 +214,28 @@ impl<S: TailSet> StreamingLisOn<S> {
             by_rank: Vec::new(),
             store,
             universe,
-            par_threshold: DEFAULT_PAR_THRESHOLD,
+            policy: PathPolicy::default(),
         }
     }
 
-    /// Override the batch size at which ingestion switches to the parallel
-    /// merge path (mainly for tests and benchmarks).
-    pub fn with_par_threshold(mut self, threshold: usize) -> Self {
-        self.par_threshold = threshold.max(1);
+    /// Force a fixed batch-size threshold for the parallel merge path —
+    /// shorthand for [`PathPolicy::Fixed`] (mainly for tests, benchmarks,
+    /// and reproducing the historical behaviour).
+    pub fn with_par_threshold(self, threshold: usize) -> Self {
+        self.with_path_policy(PathPolicy::Fixed(threshold.max(1)))
+    }
+
+    /// Set how ingest decides between the sequential and the parallel
+    /// merge path.  Both paths are exact, so the policy affects timing
+    /// only — never ranks, tails, or LIS lengths.
+    pub fn with_path_policy(mut self, policy: PathPolicy) -> Self {
+        self.policy = policy;
         self
+    }
+
+    /// The active ingest path policy.
+    pub fn path_policy(&self) -> PathPolicy {
+        self.policy
     }
 
     /// Number of elements ingested so far.
@@ -341,10 +359,9 @@ impl<S: TailSet> StreamingLisOn<S> {
         if batch.is_empty() {
             return IngestReport::empty(self.lis_length(), IngestPath::Sequential);
         }
-        if batch.len() >= self.par_threshold {
-            self.ingest_parallel(batch)
-        } else {
-            self.ingest_sequential(batch)
+        match self.policy.choose(batch.len(), self.tails.len()) {
+            IngestPath::ParallelMerge => self.ingest_parallel(batch),
+            IngestPath::Sequential => self.ingest_sequential(batch),
         }
     }
 
@@ -567,6 +584,68 @@ mod tests {
         assert_eq!(seq.tails(), par.tails());
         seq.check_invariants();
         par.check_invariants();
+    }
+
+    /// Property: the final state is bit-identical across *any* forced
+    /// threshold — every crossover a cost model could pick routes some
+    /// batches differently, and none of it may show in ranks or tails.
+    #[test]
+    fn any_forced_threshold_yields_identical_state() {
+        let mut state = 0xA5A5_1234u64;
+        let input: Vec<u64> = (0..4_000).map(|_| xorshift(&mut state) % 20_000).collect();
+        let reference = {
+            let mut s = StreamingLis::new(20_000, Backend::Veb).with_par_threshold(usize::MAX);
+            for chunk in input.chunks(113) {
+                s.ingest(chunk);
+            }
+            s
+        };
+        for threshold in [1usize, 2, 7, 32, 64, 100, 113, 114, 512, 4_096] {
+            let mut s = StreamingLis::new(20_000, Backend::Veb).with_par_threshold(threshold);
+            for chunk in input.chunks(113) {
+                s.ingest(chunk);
+            }
+            assert_eq!(s.ranks(), reference.ranks(), "threshold {threshold}");
+            assert_eq!(s.tails(), reference.tails(), "threshold {threshold}");
+            assert_eq!(s.lis_length(), reference.lis_length(), "threshold {threshold}");
+            s.check_invariants();
+        }
+    }
+
+    /// The cost policy (whatever calibration measured on this machine)
+    /// must produce the same state as any fixed policy — calibration can
+    /// change timing only, never outcomes.
+    #[test]
+    fn cost_policy_state_matches_fixed_policies() {
+        let mut state = 0xDEAD_10CCu64;
+        let input: Vec<u64> = (0..3_500).map(|_| xorshift(&mut state) % 9_000).collect();
+        let mut cost = StreamingLis::new(9_000, Backend::Veb).with_path_policy(PathPolicy::Cost);
+        let mut fixed = StreamingLis::new(9_000, Backend::Veb).with_par_threshold(256);
+        assert_eq!(cost.path_policy(), PathPolicy::Cost);
+        for chunk in input.chunks(301) {
+            let rc = cost.ingest(chunk);
+            let rf = fixed.ingest(chunk);
+            // Reports agree on everything except possibly the path taken
+            // and the resulting tail-churn accounting.
+            assert_eq!(rc.ingested, rf.ingested);
+            assert_eq!(rc.lis_before, rf.lis_before);
+            assert_eq!(rc.lis_after, rf.lis_after);
+        }
+        assert_eq!(cost.ranks(), fixed.ranks());
+        assert_eq!(cost.tails(), fixed.tails());
+        cost.check_invariants();
+
+        // And the cost decision is deterministic: replaying the same
+        // stream takes the same path at every batch.
+        let mut replay = StreamingLis::new(9_000, Backend::Veb).with_path_policy(PathPolicy::Cost);
+        let mut paths = Vec::new();
+        for chunk in input.chunks(301) {
+            paths.push(replay.ingest(chunk).path);
+        }
+        let mut replay2 = StreamingLis::new(9_000, Backend::Veb).with_path_policy(PathPolicy::Cost);
+        for (i, chunk) in input.chunks(301).enumerate() {
+            assert_eq!(replay2.ingest(chunk).path, paths[i], "batch {i}");
+        }
     }
 
     #[test]

@@ -58,7 +58,8 @@
 //! trait surface the offline driver uses, so both structures (range tree
 //! and Range-vEB) serve streaming sessions with no per-backend code here.
 
-use crate::session::{IngestPath, DEFAULT_PAR_THRESHOLD};
+use crate::cost::PathPolicy;
+use crate::session::IngestPath;
 use plis_lis::{wlis_kind_stats, DominantMaxKind};
 use std::collections::HashMap;
 
@@ -66,9 +67,10 @@ use std::collections::HashMap;
 ///
 /// Equality is structural in the sense of [`crate::TickOutcome`]'s
 /// invariant: the telemetry tallies ([`WeightedIngestReport::dommax_queries`],
-/// [`WeightedIngestReport::dommax_writeback_elems`]) are observational
-/// and excluded from `==`, so reports stay comparable across backends
-/// and paths.
+/// [`WeightedIngestReport::dommax_writeback_elems`]) and the store-routing
+/// record ([`WeightedIngestReport::dommax_used`]) are observational and
+/// excluded from `==`, so reports stay comparable across backends and
+/// paths.
 #[derive(Debug, Clone, Copy)]
 pub struct WeightedIngestReport {
     /// Number of `(value, weight)` pairs appended by this call.
@@ -81,6 +83,11 @@ pub struct WeightedIngestReport {
     pub path: IngestPath,
     /// Pareto-frontier size after the batch.
     pub frontier_len: usize,
+    /// The concrete dominant-max store the parallel path ran with (what
+    /// [`DominantMaxKind::Auto`] resolved to for this call's merged size;
+    /// `None` on the sequential path, which uses no store).  Telemetry
+    /// only — excluded from `==`.
+    pub dommax_used: Option<DominantMaxKind>,
     /// Dominant-max point queries the parallel path issued (one per
     /// element of the `frontier ++ batch` run; 0 on the sequential
     /// path).  Telemetry only — excluded from `==`.
@@ -112,6 +119,7 @@ impl WeightedIngestReport {
             score_after: score,
             path: IngestPath::Sequential,
             frontier_len,
+            dommax_used: None,
             dommax_queries: 0,
             dommax_writeback_elems: 0,
         }
@@ -137,11 +145,15 @@ pub struct WeightedStreamingLis {
     /// Multiplicity of every dp score seen so far (`score → count`),
     /// maintained on ingest so count-at-score queries are `O(1)`.
     score_counts: HashMap<u64, usize>,
-    /// Dominant-max structure used by the parallel merge path (resolved,
-    /// never [`DominantMaxKind::Auto`]).
+    /// Dominant-max store selector for the parallel merge path, as
+    /// configured.  [`DominantMaxKind::Auto`] is kept un-resolved so each
+    /// parallel ingest can pick per merged size — the store is built
+    /// fresh inside every merge run, so the choice is free to vary call
+    /// to call.
     kind: DominantMaxKind,
     universe: u64,
-    par_threshold: usize,
+    /// How ingest picks between the sequential and parallel merge path.
+    policy: PathPolicy,
 }
 
 impl WeightedStreamingLis {
@@ -158,17 +170,30 @@ impl WeightedStreamingLis {
             scores: Vec::new(),
             frontier: Vec::new(),
             score_counts: HashMap::new(),
-            kind: kind.resolve(),
+            kind,
             universe,
-            par_threshold: DEFAULT_PAR_THRESHOLD,
+            policy: PathPolicy::default(),
         }
     }
 
-    /// Override the batch size at which ingestion switches to the parallel
-    /// merge path (mainly for tests and benchmarks).
-    pub fn with_par_threshold(mut self, threshold: usize) -> Self {
-        self.par_threshold = threshold.max(1);
+    /// Force a fixed batch-size threshold for the parallel merge path —
+    /// shorthand for [`PathPolicy::Fixed`] (mainly for tests, benchmarks,
+    /// and reproducing the historical behaviour).
+    pub fn with_par_threshold(self, threshold: usize) -> Self {
+        self.with_path_policy(PathPolicy::Fixed(threshold.max(1)))
+    }
+
+    /// Set how ingest decides between the sequential and the parallel
+    /// merge path.  Both paths are exact, so the policy affects timing
+    /// only — never scores or the frontier.
+    pub fn with_path_policy(mut self, policy: PathPolicy) -> Self {
+        self.policy = policy;
         self
+    }
+
+    /// The active ingest path policy.
+    pub fn path_policy(&self) -> PathPolicy {
+        self.policy
     }
 
     /// Number of elements ingested so far.
@@ -186,12 +211,15 @@ impl WeightedStreamingLis {
         self.universe
     }
 
-    /// Name of the dominant-max store serving the parallel path.
+    /// Name of the dominant-max store selector serving the parallel path
+    /// (`"auto"` for [`DominantMaxKind::Auto`], which picks a concrete
+    /// store per ingest — see [`WeightedIngestReport::dommax_used`]).
     pub fn backend_name(&self) -> &'static str {
         self.kind.name()
     }
 
-    /// Which dominant-max store the session resolved to.
+    /// The configured dominant-max store selector (possibly
+    /// [`DominantMaxKind::Auto`]).
     pub fn dommax_kind(&self) -> DominantMaxKind {
         self.kind
     }
@@ -294,10 +322,9 @@ impl WeightedStreamingLis {
         if batch.is_empty() {
             return WeightedIngestReport::empty(self.best_score(), self.frontier.len());
         }
-        if batch.len() >= self.par_threshold {
-            self.ingest_parallel(batch)
-        } else {
-            self.ingest_sequential(batch)
+        match self.policy.choose_weighted(batch.len(), self.frontier.len()) {
+            IngestPath::ParallelMerge => self.ingest_parallel(batch),
+            IngestPath::Sequential => self.ingest_sequential(batch),
         }
     }
 
@@ -325,6 +352,7 @@ impl WeightedStreamingLis {
             score_after: self.best_score(),
             path: IngestPath::Sequential,
             frontier_len: self.frontier.len(),
+            dommax_used: None,
             dommax_queries: 0,
             dommax_writeback_elems: 0,
         }
@@ -381,7 +409,10 @@ impl WeightedStreamingLis {
             merged_values.push(v);
             merged_weights.push(w);
         }
-        let (dp, dommax_stats) = wlis_kind_stats(self.kind, &merged_values, &merged_weights);
+        // Resolve `Auto` per call: the store is built fresh over the
+        // merged run, so the routing can follow the merged size.
+        let used = self.kind.resolve_for(merged_values.len());
+        let (dp, dommax_stats) = wlis_kind_stats(used, &merged_values, &merged_weights);
         debug_assert!(
             dp[..k].iter().zip(&self.frontier).all(|(&d, &(_, s))| d == s),
             "the encoded frontier must reproduce its own scores"
@@ -406,6 +437,7 @@ impl WeightedStreamingLis {
             score_after: self.best_score(),
             path: IngestPath::ParallelMerge,
             frontier_len: self.frontier.len(),
+            dommax_used: Some(used),
             dommax_queries: dommax_stats.queries,
             dommax_writeback_elems: dommax_stats.writeback_elems,
         }
@@ -575,6 +607,84 @@ mod tests {
         assert_eq!(seq.frontier(), par.frontier());
         seq.check_invariants();
         par.check_invariants();
+    }
+
+    /// Property: the final state is bit-identical across *any* forced
+    /// threshold on the weighted path too.
+    #[test]
+    fn any_forced_threshold_yields_identical_state() {
+        let pairs = random_pairs(1_500, 900, 35, 0x0DDBA11);
+        let reference = {
+            let mut s = WeightedStreamingLis::new(900, DominantMaxKind::Auto)
+                .with_par_threshold(usize::MAX);
+            for chunk in pairs.chunks(91) {
+                s.ingest(chunk);
+            }
+            s
+        };
+        for threshold in [1usize, 3, 16, 64, 90, 91, 92, 512] {
+            let mut s =
+                WeightedStreamingLis::new(900, DominantMaxKind::Auto).with_par_threshold(threshold);
+            for chunk in pairs.chunks(91) {
+                s.ingest(chunk);
+            }
+            assert_eq!(s.scores(), reference.scores(), "threshold {threshold}");
+            assert_eq!(s.frontier(), reference.frontier(), "threshold {threshold}");
+            s.check_invariants();
+        }
+    }
+
+    /// The cost policy produces the same state as any fixed policy —
+    /// calibration changes timing only, never scores.
+    #[test]
+    fn cost_policy_state_matches_fixed_policies() {
+        let pairs = random_pairs(1_000, 700, 20, 0xBEEFCAFE);
+        let mut cost = WeightedStreamingLis::new(700, DominantMaxKind::Auto)
+            .with_path_policy(PathPolicy::Cost);
+        let mut fixed =
+            WeightedStreamingLis::new(700, DominantMaxKind::Auto).with_par_threshold(128);
+        assert_eq!(cost.path_policy(), PathPolicy::Cost);
+        for chunk in pairs.chunks(77) {
+            let rc = cost.ingest(chunk);
+            let rf = fixed.ingest(chunk);
+            assert_eq!(rc.ingested, rf.ingested);
+            assert_eq!(rc.score_before, rf.score_before);
+            assert_eq!(rc.score_after, rf.score_after);
+            assert_eq!(rc.frontier_len, rf.frontier_len);
+        }
+        assert_eq!(cost.scores(), fixed.scores());
+        assert_eq!(cost.frontier(), fixed.frontier());
+        cost.check_invariants();
+    }
+
+    /// Auto sessions record which concrete store each parallel ingest ran
+    /// with; sequential ingests record none.  The record is observational:
+    /// reports differing only in it still compare equal.
+    #[test]
+    fn auto_records_the_store_each_parallel_ingest_used() {
+        let pairs = random_pairs(400, 300, 15, 0x5EED);
+        let mut auto =
+            WeightedStreamingLis::new(300, DominantMaxKind::Auto).with_par_threshold(100);
+        let mut veb =
+            WeightedStreamingLis::new(300, DominantMaxKind::RangeVeb).with_par_threshold(100);
+        for chunk in pairs.chunks(200) {
+            let ra = auto.ingest(chunk);
+            let rv = veb.ingest(chunk);
+            assert_eq!(ra.path, IngestPath::ParallelMerge);
+            // Below the points threshold Auto must route around the
+            // Range-vEB write-back and pick the range tree.
+            assert_eq!(ra.dommax_used, Some(DominantMaxKind::RangeTree));
+            assert_eq!(rv.dommax_used, Some(DominantMaxKind::RangeVeb));
+            // dommax_used is excluded from structural equality.
+            assert_eq!(ra, rv);
+        }
+        let seq_report = auto.ingest(&[(5, 1)]);
+        veb.ingest(&[(5, 1)]);
+        assert_eq!(seq_report.path, IngestPath::Sequential);
+        assert_eq!(seq_report.dommax_used, None);
+        assert_eq!(auto.backend_name(), "auto");
+        assert_eq!(auto.dommax_kind(), DominantMaxKind::Auto);
+        assert_eq!(auto.scores(), veb.scores());
     }
 
     #[test]

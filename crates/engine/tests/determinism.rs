@@ -6,7 +6,7 @@
 //! shards on more than one worker thread — i.e. the tick path goes through
 //! the join-splitting `par_iter` surface, not a sequential fallback.
 
-use plis_engine::{Backend, Engine, EngineConfig, SessionId, Tick, TickOutcome};
+use plis_engine::{Backend, Engine, EngineConfig, PathPolicy, SessionId, Tick, TickOutcome};
 use plis_workloads::streaming::{round_robin_ticks, session_fleet};
 
 /// Pool size for the parallel leg: `PLIS_BENCH_THREADS`, else the hardware
@@ -84,7 +84,7 @@ fn multi_session_ticks_are_deterministic_across_thread_counts() {
         backend: Backend::Auto,
         shards: 8,
         // Low threshold so the parallel merge ingest path runs too.
-        par_threshold: 48,
+        path_policy: PathPolicy::Fixed(48),
         ..EngineConfig::default()
     };
     let seq = run(1, &ticks, &config);
@@ -101,7 +101,7 @@ fn full_pool_tick_processing_engages_multiple_workers() {
         universe,
         backend: Backend::Auto,
         shards: 8,
-        par_threshold: 64,
+        path_policy: PathPolicy::Fixed(64),
         ..EngineConfig::default()
     };
     let seq = run(1, &ticks, &config);
@@ -128,7 +128,7 @@ fn both_backends_are_deterministic() {
             universe,
             backend,
             shards: 5,
-            par_threshold: 32,
+            path_policy: PathPolicy::Fixed(32),
             ..EngineConfig::default()
         };
         let seq = run(1, &ticks, &config);

@@ -7,8 +7,8 @@
 //! full pool.
 
 use plis_engine::{
-    Engine, EngineConfig, Op, OpError, OpOutput, Query, ReadOutcome, ReadTick, SessionKind, Tick,
-    TickOutcome,
+    Engine, EngineConfig, Op, OpError, OpOutput, PathPolicy, Query, ReadOutcome, ReadTick,
+    SessionKind, Tick, TickOutcome,
 };
 use plis_workloads::streaming::{round_robin_ticks, session_fleet};
 
@@ -28,7 +28,12 @@ fn on_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
 }
 
 fn config(universe: u64) -> EngineConfig {
-    EngineConfig { universe, shards: 4, par_threshold: 32, ..EngineConfig::default() }
+    EngineConfig {
+        universe,
+        shards: 4,
+        path_policy: PathPolicy::Fixed(32),
+        ..EngineConfig::default()
+    }
 }
 
 /// A schedule that hits every error variant while healthy traffic flows

@@ -6,13 +6,18 @@
 //! never disturb their neighbours.
 
 use plis_engine::{
-    Backend, DominantMaxKind, Engine, EngineConfig, Op, SessionKind, StreamingLis, Tick,
-    WeightedStreamingLis,
+    Backend, DominantMaxKind, Engine, EngineConfig, Op, PathPolicy, SessionKind, StreamingLis,
+    Tick, WeightedStreamingLis,
 };
 use plis_workloads::streaming::{stream, weighted_stream, StreamPattern};
 
 fn config(universe: u64) -> EngineConfig {
-    EngineConfig { universe, shards: 3, par_threshold: 32, ..EngineConfig::default() }
+    EngineConfig {
+        universe,
+        shards: 3,
+        path_policy: PathPolicy::Fixed(32),
+        ..EngineConfig::default()
+    }
 }
 
 #[test]

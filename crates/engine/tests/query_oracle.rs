@@ -11,8 +11,8 @@
 //! with their claimed length/score.
 
 use plis_engine::{
-    Backend, DominantMaxKind, Engine, EngineConfig, Op, OpOutput, Query, QueryAnswer, ReadTick,
-    SessionId, SessionKind, Tick, TickOutcome,
+    Backend, DominantMaxKind, Engine, EngineConfig, Op, OpOutput, PathPolicy, Query, QueryAnswer,
+    ReadTick, SessionId, SessionKind, Tick, TickOutcome,
 };
 use plis_lis::{lis_indices_from_ranks, lis_ranks_u64, wlis_indices_from_scores, wlis_kind};
 use plis_workloads::streaming::{
@@ -124,7 +124,7 @@ fn run_plain_checked(
             universe,
             backend,
             shards: 4,
-            par_threshold: 48,
+            path_policy: PathPolicy::Fixed(48),
             ..EngineConfig::default()
         });
         let mut prefixes: HashMap<String, Vec<u64>> = HashMap::new();
@@ -176,7 +176,7 @@ fn run_weighted_checked(
             dommax,
             default_kind: SessionKind::Weighted,
             shards: 4,
-            par_threshold: 48,
+            path_policy: PathPolicy::Fixed(48),
             ..EngineConfig::default()
         });
         let mut prefixes: HashMap<String, Vec<(u64, u64)>> = HashMap::new();

@@ -4,7 +4,7 @@
 //! concatenated prefix — for multiple workload patterns, random batch
 //! sizes, and both backends.
 
-use plis_engine::{Backend, Engine, EngineConfig, SessionId, StreamingLis, Tick};
+use plis_engine::{Backend, Engine, EngineConfig, PathPolicy, SessionId, StreamingLis, Tick};
 use plis_lis::lis_ranks_u64;
 use plis_workloads::{line_pattern, random_permutation, range_pattern};
 use rand::rngs::StdRng;
@@ -113,7 +113,7 @@ fn engine_fleet_matches_oracle_per_session() {
         universe,
         backend: Backend::Auto,
         shards: 4,
-        par_threshold: 64,
+        path_policy: PathPolicy::Fixed(64),
         ..EngineConfig::default()
     });
     // Heterogeneous fleet: each session streams a different pattern.

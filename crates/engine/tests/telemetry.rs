@@ -18,8 +18,8 @@
 #![cfg(feature = "telemetry")]
 
 use plis_engine::{
-    Backend, Engine, EngineConfig, MemorySink, Query, ReadTick, SessionId, SessionKind, Tick,
-    TickOutcome, TraceSink,
+    Backend, Engine, EngineConfig, MemorySink, PathPolicy, Query, ReadTick, SessionId, SessionKind,
+    Tick, TickOutcome, TraceSink,
 };
 use plis_telemetry::AtomicHistogram;
 use plis_workloads::streaming::{round_robin_ticks, session_fleet};
@@ -49,7 +49,12 @@ fn command_ticks(fleet: &[(String, Vec<Vec<u64>>)]) -> Vec<Tick> {
 fn counters_reconcile_with_outcomes() {
     let (fleet, universe) = session_fleet(5, 2_000, 80, 0xA11CE);
     let ticks = command_ticks(&fleet);
-    let config = EngineConfig { universe, shards: 4, par_threshold: 64, ..EngineConfig::default() };
+    let config = EngineConfig {
+        universe,
+        shards: 4,
+        path_policy: PathPolicy::Fixed(64),
+        ..EngineConfig::default()
+    };
     let mut engine = Engine::new(config);
     assert!(engine.metrics().is_enabled(), "telemetry must default on");
 
@@ -148,7 +153,7 @@ fn outcomes_are_bit_identical_with_telemetry_on_or_off() {
         universe,
         backend: Backend::Auto,
         shards: 6,
-        par_threshold: 48,
+        path_policy: PathPolicy::Fixed(48),
         ..EngineConfig::default()
     };
     let baseline = run_outcomes(1, &ticks, &config, false);

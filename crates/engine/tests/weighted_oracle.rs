@@ -7,8 +7,8 @@
 //! bit-identical to each other and to the other store.
 
 use plis_engine::{
-    BatchReport, DominantMaxKind, Engine, EngineConfig, OpOutput, SessionId, SessionKind, Tick,
-    TickOutcome,
+    BatchReport, DominantMaxKind, Engine, EngineConfig, OpOutput, PathPolicy, SessionId,
+    SessionKind, Tick, TickOutcome,
 };
 use plis_lis::wlis_kind;
 use plis_workloads::streaming::{round_robin_ticks, weighted_session_fleet};
@@ -56,7 +56,7 @@ fn run_checked(
             shards: 4,
             // Low threshold so the parallel merge (frontier ++ batch) path
             // carries most of the traffic.
-            par_threshold: 48,
+            path_policy: PathPolicy::Fixed(48),
             ..EngineConfig::default()
         });
         let mut prefixes: HashMap<String, Vec<(u64, u64)>> = HashMap::new();
@@ -141,7 +141,7 @@ fn mixed_ticks_serve_both_kinds_against_their_oracles() {
     let mut engine = Engine::new(EngineConfig {
         universe,
         shards: 3,
-        par_threshold: 32,
+        path_policy: PathPolicy::Fixed(32),
         ..EngineConfig::default()
     });
 

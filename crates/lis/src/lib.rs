@@ -59,5 +59,5 @@ pub use reconstruct::{
 pub use tailset::{AnyTailSet, SortedVecTailSet, TailSet, VebTailSet};
 pub use wlis::{
     wlis_kind, wlis_kind_stats, wlis_rangetree, wlis_rangeveb, wlis_with, wlis_with_stats,
-    DominantMaxKind,
+    DominantMaxKind, AUTO_RANGEVEB_POINTS_THRESHOLD,
 };

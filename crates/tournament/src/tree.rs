@@ -3,6 +3,15 @@
 
 use plis_primitives::par::{maybe_join, GRAIN};
 
+/// Fork gate for the per-round frontier traversal, deliberately coarser
+/// than the build-time [`GRAIN`].  `PrefixMin` runs once per rank round —
+/// `k` times over the same tree — and on this pool every fork spawns a
+/// scoped OS thread (tens of microseconds), so a tree just above `GRAIN`
+/// leaves would otherwise pay one spawn per round for subtrees whose
+/// sequential walk costs a few microseconds.  The one-shot `build` keeps
+/// the finer grain: it forks `O(n / GRAIN)` times total, not per round.
+const ROUND_GRAIN: usize = 4 * GRAIN;
+
 /// Statistics reported by one frontier extraction, used by the work-bound
 /// validation experiment (Theorem 3.2) and by the LIS driver to know when to
 /// stop.
@@ -294,7 +303,7 @@ where
     let fork_size = if left_pruned || right_pruned { 0 } else { m };
     let (stats_l, stats_r) = maybe_join(
         fork_size,
-        GRAIN,
+        ROUND_GRAIN,
         || go(left, rank_l, base, inf, round, lmin, &mut out_l),
         || go(right, rank_r, base + half, inf, round, rmin, &mut out_r),
     );
