@@ -47,13 +47,23 @@ use plis_workloads::streaming::{
     mixed_session_fleet, round_robin_ticks, session_fleet, weighted_session_fleet, ReadWriteOp,
 };
 
+/// The whole bench binary runs under the counting allocator so the
+/// allocation-discipline columns (`alloc_count`, `allocs_per_elem`) are
+/// live figures, not zeros.  The counter is two relaxed atomic adds per
+/// allocation — noise next to the allocator call it wraps.
+#[global_allocator]
+static ALLOC: plis_testalloc::CountingAlloc = plis_testalloc::CountingAlloc;
+
 /// Version of the JSON line layout emitted by this bin (the `schema`
 /// field on every line).  Bump when fields change meaning; adding fields
 /// keeps the version.  Schema 2 = schema 1 plus the telemetry columns
 /// (`tick_p50_us`, `tick_p99_us`, `seq_ticks`, `par_merge_ticks`,
 /// `veb_delta_elems`, `session_bytes`) and a `threads` field on every
-/// sweep kind.
-const SCHEMA: u64 = 2;
+/// sweep kind.  Schema 3 = schema 2 plus the allocation-discipline and
+/// tail-routing columns (`tailset_veb_picks`, `tailset_sorted_picks`,
+/// `alloc_count`, `allocs_per_elem`, `arena_bytes`) and the `auto`
+/// backend in the unweighted sweep.
+const SCHEMA: u64 = 3;
 
 fn n_per_session() -> usize {
     std::env::var("PLIS_BENCH_N").ok().and_then(|s| s.parse().ok()).unwrap_or(100_000)
@@ -111,7 +121,7 @@ fn replay(config: &EngineConfig, setup: &Tick, ticks: &[Tick]) -> Engine {
     engine
 }
 
-/// The telemetry columns shared by every sweep's JSON line (schema 2).
+/// The telemetry columns shared by every sweep's JSON line (schema 3).
 /// All-zero when the engine was built with `--no-default-features`.
 fn telemetry_fields(snap: &MetricsSnapshot) -> Vec<(&'static str, JsonValue)> {
     vec![
@@ -122,6 +132,11 @@ fn telemetry_fields(snap: &MetricsSnapshot) -> Vec<(&'static str, JsonValue)> {
         ("veb_delta_elems", snap.veb_delta_elems.into()),
         ("inline_ticks", snap.inline_ticks.into()),
         ("session_bytes", snap.session_bytes.into()),
+        ("tailset_veb_picks", snap.tailset_veb_picks.into()),
+        ("tailset_sorted_picks", snap.tailset_sorted_picks.into()),
+        ("alloc_count", snap.alloc_count.into()),
+        ("allocs_per_elem", snap.allocs_per_elem.into()),
+        ("arena_bytes", snap.arena_bytes.into()),
     ]
 }
 
@@ -164,7 +179,7 @@ fn unweighted_sweep(
 
             for &shard_spec in shard_counts {
                 for &policy in policies {
-                    for backend in [Backend::Veb, Backend::SortedVec] {
+                    for backend in [Backend::Veb, Backend::SortedVec, Backend::Auto] {
                         let backend_name = match backend {
                             Backend::Veb => "veb",
                             Backend::SortedVec => "sorted-vec",

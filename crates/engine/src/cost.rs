@@ -44,6 +44,7 @@
 //! variants for weighted sessions) pin individual constants.
 
 use crate::session::IngestPath;
+use plis_lis::TailRoute;
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -76,6 +77,29 @@ fn log2p2(n: usize) -> f64 {
     ((n + 2) as f64).log2()
 }
 
+/// Fraction of a parallel ingest's predicted merge cost that maintaining
+/// the vEB tail-set mirror may add before `Backend::Auto` drops the mirror
+/// and falls back to binary-searching the tails array.  The mirror only
+/// speeds up value-domain *probes*; ingest itself never needs it, so it is
+/// kept exactly when it is cheap insurance relative to the work the batch
+/// already does.
+const MIRROR_SLACK: f64 = 0.10;
+
+/// Amortised nanoseconds per vEB delta element per `log2` of the universe
+/// bit width (`PLIS_COST_VEB_DELTA_NS` pins it; read once).  Not measured
+/// by calibration: unlike the path constants it only scales a single term
+/// against the already-calibrated merge cost.
+fn veb_delta_ns() -> f64 {
+    static NS: OnceLock<f64> = OnceLock::new();
+    *NS.get_or_init(|| {
+        std::env::var("PLIS_COST_VEB_DELTA_NS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|v: &f64| v.is_finite() && *v > 0.0)
+            .unwrap_or(64.0)
+    })
+}
+
 impl CostModel {
     /// Predicted nanoseconds for the sequential path on a `batch`-element
     /// batch against a `summary`-entry tails array / frontier.
@@ -96,6 +120,29 @@ impl CostModel {
             IngestPath::ParallelMerge
         } else {
             IngestPath::Sequential
+        }
+    }
+
+    /// Tail-set route for a parallel ingest of `batch` elements against
+    /// `tails` current tails over `[0, universe)` — the decision behind
+    /// `Backend::Auto`, mirroring how `DominantMaxKind::Auto` resolves per
+    /// call from the merged size.
+    ///
+    /// The tail-set delta of one ingest is bounded by the smaller merge
+    /// side, and each delta element costs `O(log log U)` vEB work with a
+    /// large constant; the mirror is kept exactly when that predicted work
+    /// stays within `MIRROR_SLACK` of the merge work the batch performs
+    /// anyway.  Like [`CostModel::choose`], the decision is a pure function
+    /// of `(universe, tails, batch)` — never the pool width — so outcomes
+    /// stay bit-identical across thread counts.
+    pub fn tail_route(&self, universe: u64, tails: usize, batch: usize) -> TailRoute {
+        let delta = (tails.min(batch) + 1) as f64;
+        let bits = 64 - universe.saturating_sub(1).leading_zeros() as usize;
+        let mirror_ns = delta * veb_delta_ns() * log2p2(bits);
+        if mirror_ns <= MIRROR_SLACK * self.par_cost_ns(batch, tails) {
+            TailRoute::Veb
+        } else {
+            TailRoute::SortedVec
         }
     }
 
@@ -401,6 +448,22 @@ mod tests {
         // And the boundary is consistent with choose() everywhere nearby.
         for probe in (cross.saturating_sub(32))..cross {
             assert_eq!(m.choose(probe, 1_000), IngestPath::Sequential);
+        }
+    }
+
+    #[test]
+    fn tail_route_tracks_delta_versus_merge_work() {
+        let m = DEFAULT_UNWEIGHTED;
+        let universe = 1u64 << 32;
+        // Small batch against comparable tails: the delta is as large as
+        // the batch itself, the mirror costs more than its slack — drop it.
+        assert_eq!(m.tail_route(universe, 300, 256), TailRoute::SortedVec);
+        // Large batch against few tails: the delta is bounded by the tails
+        // and the merge dwarfs it — keep the mirror.
+        assert_eq!(m.tail_route(universe, 100, 4_096), TailRoute::Veb);
+        // The decision is a pure function: stable across calls.
+        for _ in 0..3 {
+            assert_eq!(m.tail_route(universe, 300, 256), TailRoute::SortedVec);
         }
     }
 

@@ -303,6 +303,17 @@ impl SessionState {
         }
     }
 
+    /// Bytes held by the session's reusable ingest scratch (arena buffers
+    /// plus the flat rank index) — the memory a zero-allocation steady
+    /// state retains.  A subset of [`SessionState::approx_bytes`];
+    /// reported separately by [`Engine::metrics_snapshot`].
+    pub fn arena_bytes(&self) -> usize {
+        match self {
+            SessionState::Unweighted(s) => s.arena_bytes(),
+            SessionState::Weighted(s) => s.arena_bytes(),
+        }
+    }
+
     fn check_invariants(&self) {
         match self {
             SessionState::Unweighted(s) => s.check_invariants(),
@@ -350,6 +361,13 @@ impl BatchReport {
 #[derive(Debug, Default)]
 struct Shard {
     sessions: HashMap<Arc<str>, SessionState>,
+    /// Reusable routing buffer: the tick-slot indices addressed to this
+    /// shard, refilled by [`Engine::route_tick`] every write tick.  Held
+    /// on the shard so steady-state ticks build no per-tick partition
+    /// vectors — the buffers reach their high-water capacity once and
+    /// stay there.  Slot indices are `u32`; [`Engine::execute`] asserts
+    /// the tick bound.
+    route: Vec<u32>,
 }
 
 /// What one shard hands back from a tick: position-labeled results plus
@@ -368,10 +386,6 @@ fn reassemble<R>(per_shard: Vec<ShardOutput<R>>, expected: usize) -> (Vec<(Sessi
     debug_assert_eq!(labeled.len(), expected);
     (labeled.into_iter().map(|(_, id, r)| (id, r)).collect(), worker_threads)
 }
-
-/// One slot of a tick, borrowed from the caller: original tick position,
-/// target session, payload.
-type WorkItem<'a> = (usize, &'a SessionId, OpRef<'a>);
 
 /// One query batch of a read-only tick: original tick position, target
 /// session, queries.
@@ -422,22 +436,30 @@ fn tick_is_light<T>(work: &[Vec<T>], weight: impl Fn(&T) -> usize) -> bool {
 }
 
 impl Shard {
-    /// Apply this shard's slice of a tick, in tick order.  Every op
-    /// resolves to a typed [`OpResult`]; a rejected op never touches the
-    /// session and never disturbs its neighbours.  `create_missing`
-    /// controls whether appends create their target on first contact
-    /// ([`Tick::auto_create`]); queries and removes never do.
+    /// Apply this shard's slice of a tick, in tick order.  `route` holds
+    /// the tick-slot indices addressed to this shard (taken off the
+    /// shard's own reusable buffer by the caller, so `&mut self` stays
+    /// free for the sessions) and `slots` is the whole borrowed tick.
+    /// Every op resolves to a typed [`OpResult`]; a rejected op never
+    /// touches the session and never disturbs its neighbours.
+    /// `create_missing` controls whether appends create their target on
+    /// first contact ([`Tick::auto_create`]); queries and removes never
+    /// do.
     fn process(
         &mut self,
-        work: Vec<WorkItem<'_>>,
+        route: &[u32],
+        slots: &[(SessionId, Op)],
         config: &EngineConfig,
         create_missing: bool,
         metrics: &Metrics,
     ) -> Vec<(usize, SessionId, OpResult)> {
-        work.into_iter()
-            .map(|(index, id, op)| {
+        route
+            .iter()
+            .map(|&index| {
+                let (id, op) = &slots[index as usize];
+                let index = index as usize;
                 let timer = metrics.start_timer();
-                let result = match op {
+                let result = match op.as_op_ref() {
                     OpRef::Append(batch) => self.append(id, batch, config, create_missing),
                     OpRef::Query(batch) => self
                         .answer(id, batch)
@@ -547,6 +569,11 @@ pub struct Engine {
     /// The telemetry registry (a no-op ZST without the `telemetry`
     /// feature).  Purely observational — see [`crate::metrics`].
     metrics: Metrics,
+    /// Allocation-meter baseline captured at construction, so snapshots
+    /// report allocations attributable to this engine's lifetime.  Stays
+    /// all-zero (and costs nothing) unless the binary installs the
+    /// counting global allocator (`plis-testalloc`).
+    alloc_base: plis_telemetry::AllocTally,
     /// Optional JSON-lines trace sink: one event per executed tick.
     #[cfg(feature = "telemetry")]
     trace: Option<plis_telemetry::TraceSink>,
@@ -561,6 +588,7 @@ impl Engine {
             config,
             shards,
             metrics: Metrics::new(),
+            alloc_base: plis_telemetry::alloc_tally(),
             #[cfg(feature = "telemetry")]
             trace: None,
         }
@@ -595,6 +623,15 @@ impl Engine {
             snap.sessions = self.session_count() as u64;
             snap.shard_bytes = self.shards.iter().map(|s| s.approx_bytes() as u64).collect();
             snap.session_bytes = snap.shard_bytes.iter().sum();
+            let allocs = plis_telemetry::alloc_tally().since(self.alloc_base);
+            snap.alloc_count = allocs.allocs;
+            snap.allocs_per_elem = allocs.allocs.checked_div(snap.elems_ingested).unwrap_or(0);
+            snap.arena_bytes = self
+                .shards
+                .iter()
+                .flat_map(|s| s.sessions.values())
+                .map(|s| s.arena_bytes() as u64)
+                .sum();
         }
         snap
     }
@@ -726,24 +763,25 @@ impl Engine {
     /// them any number of times without deep-copying batches.
     pub fn execute(&mut self, tick: &Tick) -> TickOutcome {
         let timer = self.metrics.start_timer();
-        let mut work =
-            self.partition_by_shard(tick.slots().iter().map(|(id, op)| (id, op.as_op_ref())));
+        self.route_tick(tick);
 
+        let slots = tick.slots();
         let config = &self.config;
         let metrics = &self.metrics;
         let create_missing = tick.creates_missing();
-        let inline = tick_is_light(&work, |(_, _, op)| op_weight(op));
-        let busy: Vec<(&mut Shard, &mut Vec<WorkItem<'_>>)> = self
-            .shards
-            .iter_mut()
-            .zip(work.iter_mut())
-            .filter(|(_, work)| !work.is_empty())
-            .collect();
-        let run = |(shard, work): (&mut Shard, &mut Vec<WorkItem<'_>>)| {
-            (
-                shard.process(std::mem::take(work), config, create_missing, metrics),
-                std::thread::current().id(),
-            )
+        let busy_shards = self.shards.iter().filter(|s| !s.route.is_empty()).count();
+        let inline = busy_shards <= 1
+            || slots.iter().map(|(_, op)| op_weight(&op.as_op_ref())).sum::<usize>()
+                < INLINE_TICK_WEIGHT;
+        let busy: Vec<&mut Shard> =
+            self.shards.iter_mut().filter(|s| !s.route.is_empty()).collect();
+        let run = |shard: &mut Shard| {
+            // Take the route buffer off the shard so `&mut self` is free
+            // for the sessions, then hand it back for the next tick.
+            let route = std::mem::take(&mut shard.route);
+            let results = shard.process(&route, slots, config, create_missing, metrics);
+            shard.route = route;
+            (results, std::thread::current().id())
         };
         let per_shard: Vec<ShardOutput<OpResult>> = if inline {
             busy.into_iter().map(run).collect()
@@ -836,9 +874,27 @@ impl Engine {
     #[cfg(not(feature = "telemetry"))]
     fn trace_read(&self, _outcome: &ReadOutcome) {}
 
-    /// The first stage of every tick path: partition tick slots by shard,
+    /// The first stage of the write path: refill every shard's reusable
+    /// routing buffer with the tick-slot indices addressed to it.  No
+    /// per-tick vectors — the buffers live on the shards and keep their
+    /// capacity across ticks ([`Shard::route`]).
+    fn route_tick(&mut self, tick: &Tick) {
+        assert!(tick.len() <= u32::MAX as usize, "tick exceeds u32 slot addressing");
+        for shard in &mut self.shards {
+            shard.route.clear();
+        }
+        for (index, (id, _)) in tick.slots().iter().enumerate() {
+            let shard = self.shard_index(id.as_str());
+            self.shards[shard].route.push(index as u32);
+        }
+    }
+
+    /// The first stage of the read path: partition tick slots by shard,
     /// remembering original positions so results can be reassembled in
-    /// tick order.
+    /// tick order.  Reads take `&self` (many read ticks may run
+    /// concurrently), so they cannot share the write path's mutable
+    /// routing buffers; query batches are rarer and heavier than appends,
+    /// so the per-tick partition build stays acceptable here.
     fn partition_by_shard<'a, P>(
         &self,
         slots: impl Iterator<Item = (&'a SessionId, P)>,
@@ -865,13 +921,7 @@ impl Engine {
 mod tests {
     use super::*;
     use crate::query::{Query, QueryAnswer};
-
-    fn xorshift(state: &mut u64) -> u64 {
-        *state ^= *state << 13;
-        *state ^= *state >> 7;
-        *state ^= *state << 17;
-        *state
-    }
+    use crate::testutil::xorshift;
 
     /// The landed ingest reports of an outcome, in tick order.
     fn ingests(outcome: &TickOutcome) -> Vec<(SessionId, BatchReport)> {

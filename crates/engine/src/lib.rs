@@ -102,7 +102,10 @@ pub mod legacy;
 pub mod metrics;
 pub mod op;
 pub mod query;
+mod rankindex;
 pub mod session;
+#[cfg(test)]
+mod testutil;
 pub mod wsession;
 
 pub use cost::{CostModel, PathPolicy};

@@ -51,6 +51,12 @@ pub struct TickDigest {
     /// Weighted parallel ingests whose dominant-max store resolved to the
     /// range vEB.
     pub dommax_veb_picks: u64,
+    /// Unweighted parallel ingests whose tail-set delta went to the vEB
+    /// mirror (counts `Backend::Auto` picks and the forced backend alike).
+    pub tailset_veb_picks: u64,
+    /// Unweighted parallel ingests whose tail-set delta resolved to the
+    /// stateless sorted-vec probe.
+    pub tailset_sorted_picks: u64,
 }
 
 #[cfg(feature = "telemetry")]
@@ -77,6 +83,11 @@ mod real {
                         // The merge run is `tails ++ batch`.
                         d.par_merge_elems += u64::from(r.lis_before) + r.ingested as u64;
                         d.veb_delta_elems += (r.tail_inserts + r.tail_removals) as u64;
+                        match r.tail_store {
+                            Some(plis_lis::TailRoute::Veb) => d.tailset_veb_picks += 1,
+                            Some(plis_lis::TailRoute::SortedVec) => d.tailset_sorted_picks += 1,
+                            None => {}
+                        }
                     }
                 },
                 crate::BatchReport::Weighted(r) => match r.path {
@@ -123,6 +134,8 @@ mod real {
         dommax_writeback_elems: Counter,
         dommax_tree_picks: Counter,
         dommax_veb_picks: Counter,
+        tailset_veb_picks: Counter,
+        tailset_sorted_picks: Counter,
         inline_ticks: Counter,
         inline_read_ticks: Counter,
         tick_ns: AtomicHistogram,
@@ -215,6 +228,8 @@ mod real {
             self.veb_delta_elems.add(digest.veb_delta_elems);
             self.dommax_tree_picks.add(digest.dommax_tree_picks);
             self.dommax_veb_picks.add(digest.dommax_veb_picks);
+            self.tailset_veb_picks.add(digest.tailset_veb_picks);
+            self.tailset_sorted_picks.add(digest.tailset_sorted_picks);
             digest
         }
 
@@ -262,6 +277,8 @@ mod real {
                 dommax_writeback_elems: self.dommax_writeback_elems.get(),
                 dommax_tree_picks: self.dommax_tree_picks.get(),
                 dommax_veb_picks: self.dommax_veb_picks.get(),
+                tailset_veb_picks: self.tailset_veb_picks.get(),
+                tailset_sorted_picks: self.tailset_sorted_picks.get(),
                 inline_ticks: self.inline_ticks.get(),
                 inline_read_ticks: self.inline_read_ticks.get(),
                 tick_latency: self.tick_ns.snapshot(),
@@ -270,6 +287,9 @@ mod real {
                 sessions: 0,
                 session_bytes: 0,
                 shard_bytes: Vec::new(),
+                alloc_count: 0,
+                allocs_per_elem: 0,
+                arena_bytes: 0,
             }
         }
     }
@@ -373,6 +393,12 @@ pub struct MetricsSnapshot {
     pub dommax_tree_picks: u64,
     /// Weighted parallel ingests that resolved to the range-vEB store.
     pub dommax_veb_picks: u64,
+    /// Unweighted parallel ingests whose tail-set delta went to the vEB
+    /// mirror.
+    pub tailset_veb_picks: u64,
+    /// Unweighted parallel ingests whose tail-set delta resolved to the
+    /// sorted-vec probe.
+    pub tailset_sorted_picks: u64,
     /// Write ticks light enough to run inline on the calling thread,
     /// skipping the per-shard parallel spine.
     pub inline_ticks: u64,
@@ -390,6 +416,22 @@ pub struct MetricsSnapshot {
     pub session_bytes: u64,
     /// The same footprint broken down per shard (index = shard).
     pub shard_bytes: Vec<u64>,
+    /// Heap allocations observed since the engine was constructed, read
+    /// from [`plis_telemetry::allocmeter`] at snapshot time.  Zero unless
+    /// the binary installs a counting global allocator
+    /// (`plis-testalloc`) — production builds never pay for this.
+    pub alloc_count: u64,
+    /// `alloc_count / elems_ingested`, floored — the steady-state
+    /// allocation discipline figure.  With per-session scratch arenas
+    /// warm, ingest performs no per-element heap traffic and this is 0;
+    /// the allocation-discipline tests and the streaming bench assert on
+    /// it.  (Engine envelope allocations are `O(1)` per tick and vanish
+    /// under the floor at any realistic batch size.)
+    pub allocs_per_elem: u64,
+    /// High-water bytes held by the per-session scratch arenas and flat
+    /// rank indices across all live sessions (capacity, not length —
+    /// this is the memory the zero-allocation steady state retains).
+    pub arena_bytes: u64,
 }
 
 /// Nanoseconds to fractional microseconds for the JSON surface.
@@ -419,6 +461,8 @@ impl MetricsSnapshot {
         self.dommax_writeback_elems += other.dommax_writeback_elems;
         self.dommax_tree_picks += other.dommax_tree_picks;
         self.dommax_veb_picks += other.dommax_veb_picks;
+        self.tailset_veb_picks += other.tailset_veb_picks;
+        self.tailset_sorted_picks += other.tailset_sorted_picks;
         self.inline_ticks += other.inline_ticks;
         self.inline_read_ticks += other.inline_read_ticks;
         self.tick_latency.merge(&other.tick_latency);
@@ -432,6 +476,11 @@ impl MetricsSnapshot {
         for (mine, theirs) in self.shard_bytes.iter_mut().zip(&other.shard_bytes) {
             *mine += theirs;
         }
+        self.alloc_count += other.alloc_count;
+        self.arena_bytes += other.arena_bytes;
+        // A ratio, not a counter: recompute over the merged totals rather
+        // than adding the per-snapshot floors.
+        self.allocs_per_elem = self.alloc_count.checked_div(self.elems_ingested).unwrap_or(0);
     }
 
     /// One JSON object (no trailing newline) with every counter and the
@@ -457,6 +506,8 @@ impl MetricsSnapshot {
             ("dommax_writeback_elems", JsonValue::from(self.dommax_writeback_elems)),
             ("dommax_tree_picks", JsonValue::from(self.dommax_tree_picks)),
             ("dommax_veb_picks", JsonValue::from(self.dommax_veb_picks)),
+            ("tailset_veb_picks", JsonValue::from(self.tailset_veb_picks)),
+            ("tailset_sorted_picks", JsonValue::from(self.tailset_sorted_picks)),
             ("inline_ticks", JsonValue::from(self.inline_ticks)),
             ("inline_read_ticks", JsonValue::from(self.inline_read_ticks)),
             ("tick_p50_us", JsonValue::from(us(self.tick_latency.p50()))),
@@ -467,6 +518,9 @@ impl MetricsSnapshot {
             ("op_p99_us", JsonValue::from(us(self.op_latency.p99()))),
             ("sessions", JsonValue::from(self.sessions)),
             ("session_bytes", JsonValue::from(self.session_bytes)),
+            ("alloc_count", JsonValue::from(self.alloc_count)),
+            ("allocs_per_elem", JsonValue::from(self.allocs_per_elem)),
+            ("arena_bytes", JsonValue::from(self.arena_bytes)),
         ])
     }
 }

@@ -1,0 +1,290 @@
+//! A flat, allocation-friendly replacement for `Vec<Vec<usize>>` per-rank
+//! frontiers.
+//!
+//! The streaming sessions maintain, for every rank `r`, the list of element
+//! indices with dp value `r + 1`, in arrival (= increasing-index) order.
+//! The obvious representation — one `Vec<usize>` per rank — costs a heap
+//! allocation per rank plus repeated grows per list, and scatters the
+//! frontier data across the heap, which shows up directly in the per-tick
+//! allocation counts and the fleet-scaling sweeps.
+//!
+//! [`RankIndex`] stores every frontier in **one** `Vec<u32>` pool of chained
+//! blocks.  A block is laid out inline as `[next, cap, entry_0 .. entry_{cap-1}]`
+//! (`next == NONE` only matters for the tail block; interior blocks are
+//! always full).  Each rank keeps a tiny fixed-size record — head block,
+//! tail block, element count, entries used in the tail block — in a second
+//! flat `Vec`.  Appending is `O(1)`; when a tail block fills, the next block
+//! is carved off the end of the pool with a capacity that grows
+//! geometrically (4 → 16 → 64, then capped), so per-rank slack is bounded
+//! even for adversarial rank distributions while long frontiers approach
+//! one contiguous run.
+//!
+//! Element indices are `u32`: a session would need to ingest more than
+//! 4 billion elements before overflowing, and the sessions assert that
+//! bound on ingest.
+
+/// Sentinel for "no block".
+const NONE: u32 = u32::MAX;
+/// Capacity of the first block of every rank.
+const FIRST_CAP: u32 = 4;
+/// Blocks grow by this factor until [`MAX_CAP`].
+const GROWTH: u32 = 4;
+/// Largest block capacity; bounds worst-case slack per rank.
+const MAX_CAP: u32 = 64;
+
+/// Per-rank bookkeeping: the block chain endpoints and fill state.
+#[derive(Debug, Clone, Copy)]
+struct RankMeta {
+    /// First block of the chain, or [`NONE`] while the rank is empty.
+    head: u32,
+    /// Last block of the chain (where appends go).
+    tail: u32,
+    /// Total entries in this rank, across all blocks.
+    count: u32,
+    /// Entries used in the tail block; interior blocks are always full.
+    tail_used: u32,
+}
+
+impl RankMeta {
+    const EMPTY: RankMeta = RankMeta { head: NONE, tail: NONE, count: 0, tail_used: 0 };
+}
+
+/// Per-rank index lists (the streaming *frontiers*) packed into one flat
+/// pool of chained blocks.  See the module docs for the layout.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RankIndex {
+    /// Block storage: `[next, cap, entries...]` records, back to back.
+    pool: Vec<u32>,
+    /// One record per rank seen so far.
+    metas: Vec<RankMeta>,
+}
+
+impl RankIndex {
+    /// A fresh, empty index.
+    pub(crate) fn new() -> Self {
+        RankIndex::default()
+    }
+
+    /// Number of distinct ranks seen so far (== the max rank pushed).
+    pub(crate) fn ranks(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Entries recorded for `rank` (0-based).
+    pub(crate) fn count(&self, rank: usize) -> usize {
+        self.metas.get(rank).map_or(0, |m| m.count as usize)
+    }
+
+    /// First (smallest) entry of `rank`, if any.
+    pub(crate) fn first(&self, rank: usize) -> Option<u32> {
+        let meta = self.metas.get(rank)?;
+        if meta.head == NONE {
+            return None;
+        }
+        Some(self.pool[meta.head as usize + 2])
+    }
+
+    /// Append `idx` to `rank`.  Entries within a rank must arrive in
+    /// increasing order (the sessions push in arrival order, which is).
+    pub(crate) fn push(&mut self, rank: usize, idx: u32) {
+        if rank >= self.metas.len() {
+            self.metas.resize(rank + 1, RankMeta::EMPTY);
+        }
+        let meta = self.metas[rank];
+        if meta.head == NONE {
+            let b = self.alloc_block(FIRST_CAP);
+            let m = &mut self.metas[rank];
+            m.head = b;
+            m.tail = b;
+            m.tail_used = 0;
+        } else {
+            let cap = self.pool[meta.tail as usize + 1];
+            if meta.tail_used == cap {
+                let b = self.alloc_block((cap * GROWTH).min(MAX_CAP));
+                self.pool[meta.tail as usize] = b;
+                let m = &mut self.metas[rank];
+                m.tail = b;
+                m.tail_used = 0;
+            }
+        }
+        let m = &mut self.metas[rank];
+        debug_assert!(
+            m.tail_used == 0 || {
+                let last = self.pool[m.tail as usize + 2 + m.tail_used as usize - 1];
+                last < idx
+            },
+            "entries within a rank must be pushed in increasing order"
+        );
+        self.pool[m.tail as usize + 2 + m.tail_used as usize] = idx;
+        m.tail_used += 1;
+        m.count += 1;
+    }
+
+    /// Carve a fresh block of capacity `cap` off the end of the pool and
+    /// return its offset.
+    fn alloc_block(&mut self, cap: u32) -> u32 {
+        let at = self.pool.len();
+        assert!(at + 2 + cap as usize <= NONE as usize, "rank-index pool exceeds u32 addressing");
+        self.pool.push(NONE);
+        self.pool.push(cap);
+        self.pool.resize(at + 2 + cap as usize, 0);
+        at as u32
+    }
+
+    /// Iterate the entries of `rank` in increasing order.
+    pub(crate) fn iter_rank(&self, rank: usize) -> RankEntries<'_> {
+        let meta = self.metas.get(rank).copied().unwrap_or(RankMeta::EMPTY);
+        RankEntries { index: self, block: meta.head, pos: 0, meta }
+    }
+
+    /// Largest entry of `rank` strictly below `limit`, if any — the
+    /// Appendix-A "best decision" probe (binary search per block, and the
+    /// chain walk stops at the first block that starts at or past `limit`).
+    pub(crate) fn last_below(&self, rank: usize, limit: u32) -> Option<u32> {
+        let meta = self.metas.get(rank).copied()?;
+        let mut best = None;
+        let mut block = meta.head;
+        while block != NONE {
+            let b = block as usize;
+            let used = if block == meta.tail { meta.tail_used } else { self.pool[b + 1] } as usize;
+            if used == 0 {
+                break;
+            }
+            let entries = &self.pool[b + 2..b + 2 + used];
+            if entries[0] >= limit {
+                break;
+            }
+            let pos = entries.partition_point(|&e| e < limit);
+            best = Some(entries[pos - 1]);
+            if pos < used || block == meta.tail {
+                break;
+            }
+            block = self.pool[b];
+        }
+        best
+    }
+
+    /// Pre-size for `additional_elems` more entries over up to
+    /// `additional_ranks` new ranks, so steady-state appends never touch
+    /// the allocator.  The element bound is conservative: it covers the
+    /// worst case where every element opens a new rank (one block header
+    /// plus a minimum block per element).
+    pub(crate) fn reserve(&mut self, additional_elems: usize, additional_ranks: usize) {
+        self.pool.reserve(additional_elems.saturating_mul(2 + FIRST_CAP as usize));
+        self.metas.reserve(additional_ranks);
+    }
+
+    /// Heap bytes held (capacity, not length — this is what telemetry
+    /// wants to see amortised away).
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.pool.capacity() * std::mem::size_of::<u32>()
+            + self.metas.capacity() * std::mem::size_of::<RankMeta>()
+    }
+}
+
+/// Iterator over one rank's entries; see [`RankIndex::iter_rank`].
+pub(crate) struct RankEntries<'a> {
+    index: &'a RankIndex,
+    block: u32,
+    pos: u32,
+    meta: RankMeta,
+}
+
+impl Iterator for RankEntries<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.block == NONE {
+                return None;
+            }
+            let b = self.block as usize;
+            let used = if self.block == self.meta.tail {
+                self.meta.tail_used
+            } else {
+                self.index.pool[b + 1]
+            };
+            if self.pos < used {
+                let v = self.index.pool[b + 2 + self.pos as usize];
+                self.pos += 1;
+                return Some(v);
+            }
+            if self.block == self.meta.tail {
+                self.block = NONE;
+                return None;
+            }
+            self.block = self.index.pool[b];
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_count_and_iterate() {
+        let mut ix = RankIndex::new();
+        assert_eq!(ix.ranks(), 0);
+        assert_eq!(ix.count(0), 0);
+        assert!(ix.iter_rank(0).next().is_none());
+
+        // Interleave pushes across ranks so blocks of different ranks
+        // alternate inside the pool.
+        for i in 0..200u32 {
+            ix.push((i % 3) as usize, i);
+        }
+        assert_eq!(ix.ranks(), 3);
+        for r in 0..3usize {
+            let got: Vec<u32> = ix.iter_rank(r).collect();
+            let want: Vec<u32> = (0..200).filter(|i| (i % 3) as usize == r).collect();
+            assert_eq!(got, want, "rank {r}");
+            assert_eq!(ix.count(r), want.len());
+            assert_eq!(ix.first(r), Some(want[0]));
+        }
+    }
+
+    #[test]
+    fn last_below_matches_a_linear_scan() {
+        let mut ix = RankIndex::new();
+        let entries: Vec<u32> = (0..500).map(|i| i * 3 + 1).collect();
+        for &e in &entries {
+            ix.push(2, e);
+        }
+        for limit in [0u32, 1, 2, 4, 100, 750, 1_498, 1_499, 5_000] {
+            let want = entries.iter().copied().rfind(|&e| e < limit);
+            assert_eq!(ix.last_below(2, limit), want, "limit {limit}");
+        }
+        assert_eq!(ix.last_below(0, 1_000), None, "empty rank");
+        assert_eq!(ix.last_below(9, 1_000), None, "unseen rank");
+    }
+
+    #[test]
+    fn reserve_makes_steady_state_pushes_allocation_free() {
+        // Behavioural proxy for "no reallocation": capacity is untouched
+        // by pushes that fit the reservation.
+        let mut ix = RankIndex::new();
+        ix.reserve(1_000, 16);
+        let pool_cap = ix.pool.capacity();
+        let metas_cap = ix.metas.capacity();
+        for i in 0..1_000u32 {
+            ix.push((i % 16) as usize, i);
+        }
+        assert_eq!(ix.pool.capacity(), pool_cap);
+        assert_eq!(ix.metas.capacity(), metas_cap);
+    }
+
+    #[test]
+    fn single_element_ranks_chain_minimum_blocks() {
+        let mut ix = RankIndex::new();
+        for r in 0..100usize {
+            ix.push(r, r as u32);
+        }
+        // One FIRST_CAP block per rank: header + cap slots each.
+        assert_eq!(ix.pool.len(), 100 * (2 + FIRST_CAP as usize));
+        for r in 0..100usize {
+            assert_eq!(ix.iter_rank(r).collect::<Vec<_>>(), vec![r as u32]);
+        }
+    }
+}

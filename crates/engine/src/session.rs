@@ -28,17 +28,30 @@
 //! — over the concatenation `tails ++ batch` yields, at the batch positions,
 //! exactly the dp values of the batch elements in the full stream.  The new
 //! tails array is then `new_tails[r] = min(old_tails[r], min {b : b in batch,
-//! dp(b) = r + 1})`, computed by grouping the batch by rank with the
-//! counting-sort primitive ([`group_by_rank`]).
+//! dp(b) = r + 1})`, computed by a direct per-rank min fold over the batch
+//! ranks.
+//!
+//! # Memory discipline
+//!
+//! Steady-state ingestion is **allocation-free**: every buffer the hot
+//! paths need lives either on the session itself (`values`, `ranks`,
+//! `tails`, the flat rank index replacing per-rank `Vec`s) or in a
+//! per-session scratch arena of reusable staging buffers, all of which
+//! grow to a high-water mark and are then only ever cleared, never freed.
+//! [`StreamingLisOn::reserve`] pre-sizes everything for a known workload;
+//! the `alloc_discipline` integration test pins the zero-allocation claim
+//! with a counting global allocator.  See `DESIGN.md` ("Memory & allocation
+//! discipline").
 //!
 //! # Queries
 //!
 //! Ranks are final on ingest, so the session can serve a live *query
 //! plane* next to ingestion.  Alongside `values`/`ranks`/`tails` it
-//! maintains the per-rank **frontiers** (`by_rank[r - 1]` = indices of the
-//! rank-`r` elements, in arrival order — which is increasing-index order,
-//! because ranks never change): `O(batch)` upkeep per ingest, and every
-//! read is output-sensitive — [`StreamingLisOn::count_at_rank`] is `O(1)`,
+//! maintains the per-rank **frontiers** — the indices of the rank-`r`
+//! elements, in arrival order (which is increasing-index order, because
+//! ranks never change) — packed into one flat block pool:
+//! `O(batch)` upkeep per ingest, and every read is output-sensitive —
+//! [`StreamingLisOn::count_at_rank`] is `O(1)`,
 //! [`StreamingLisOn::top_k`] is `O(k)`, and
 //! [`StreamingLisOn::reconstruct_lis`] walks the frontiers directly
 //! (`O(k log n)`, Appendix A) instead of re-grouping the rank array per
@@ -63,16 +76,26 @@
 //!   [`plis_lis::SortedVecTailSet`]: no mirror, probes binary-search
 //!   `tails` — the right choice for small universes where the vEB constant
 //!   factors dominate.
-//! * [`Backend::Auto`] picks between them from the universe size.
+//! * [`Backend::Auto`] — tiny universes get the sorted-vec probe outright;
+//!   larger ones get [`plis_lis::AutoTailSet`], which keeps or drops its
+//!   vEB mirror **per parallel ingest** under the engine's cost model
+//!   ([`crate::CostModel::tail_route`]): the mirror only accelerates
+//!   value-domain probes, so it is maintained exactly while its predicted
+//!   delta cost is small next to the merge work the batch already pays.
+//!   The pick is recorded on [`IngestReport::tail_store`] and counted by
+//!   telemetry.  Probes answer identically on both routes, so outcomes
+//!   stay bit-identical with the fixed backends.
 
-use crate::cost::PathPolicy;
+use crate::cost::{calibration, PathPolicy};
+use crate::rankindex::RankIndex;
 use plis_lis::lis_ranks_u64;
-use plis_lis::tailset::{AnyTailSet, TailSet};
-use plis_primitives::group_by_rank;
+use plis_lis::tailset::{AnyTailSet, TailRoute, TailSet};
+use plis_primitives::sorted_diff_into;
 
 /// Universe size at or below which [`Backend::Auto`] resolves to
-/// [`Backend::SortedVec`]: tiny universes mean short tail arrays, and a
-/// binary search beats the vEB constant factors.
+/// [`Backend::SortedVec`] outright: tiny universes mean short tail arrays,
+/// and a binary search beats the vEB constant factors at any batch size,
+/// so there is nothing left for the per-ingest cost model to route.
 pub const AUTO_VEB_UNIVERSE_THRESHOLD: u64 = 1 << 12;
 
 /// The historical fixed batch-size threshold at which ingestion switched
@@ -86,8 +109,9 @@ pub const DEFAULT_PAR_THRESHOLD: usize = 512;
 /// enum-dispatch factory over the open [`TailSet`] trait.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
-    /// Decide from the universe size (vEB above
-    /// [`AUTO_VEB_UNIVERSE_THRESHOLD`], sorted vector at or below it).
+    /// Decide from the universe size and then per ingest: sorted vector at
+    /// or below [`AUTO_VEB_UNIVERSE_THRESHOLD`], the cost-routed
+    /// [`plis_lis::AutoTailSet`] above it.
     Auto,
     /// Tails mirrored in a vEB tree, maintained with the paper's batch
     /// insert / delete.
@@ -97,26 +121,19 @@ pub enum Backend {
 }
 
 impl Backend {
-    fn resolve(self, universe: u64) -> Backend {
-        match self {
-            Backend::Auto => {
-                if universe > AUTO_VEB_UNIVERSE_THRESHOLD {
-                    Backend::Veb
-                } else {
-                    Backend::SortedVec
-                }
-            }
-            other => other,
-        }
-    }
-
     /// Construct the tail-set store this backend selects for `universe` —
     /// the factory step; everything after it is generic over [`TailSet`].
     pub fn store(self, universe: u64) -> AnyTailSet {
-        match self.resolve(universe) {
+        match self {
+            Backend::Auto => {
+                if universe > AUTO_VEB_UNIVERSE_THRESHOLD {
+                    AnyTailSet::auto(universe)
+                } else {
+                    AnyTailSet::sorted_vec()
+                }
+            }
             Backend::Veb => AnyTailSet::veb(universe),
             Backend::SortedVec => AnyTailSet::sorted_vec(),
-            Backend::Auto => unreachable!("resolve() never returns Auto"),
         }
     }
 }
@@ -131,7 +148,13 @@ pub enum IngestPath {
 }
 
 /// What one [`StreamingLisOn::ingest`] call did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Equality ignores [`IngestReport::tail_store`]: the tail-set route is an
+/// execution detail (fixed backends always report their own kind, and
+/// [`Backend::Auto`] may legitimately route differently from a forced
+/// backend), so comparing reports across backends — as the cross-backend
+/// determinism tests do — must not see it.
+#[derive(Debug, Clone, Copy)]
 pub struct IngestReport {
     /// Number of elements appended by this call.
     pub ingested: usize,
@@ -145,7 +168,24 @@ pub struct IngestReport {
     pub tail_inserts: usize,
     /// Values removed from the tail set (tails displaced by better ones).
     pub tail_removals: usize,
+    /// Which store served the tail-set delta of a parallel-merge ingest
+    /// (`None` on the sequential path, which applies point updates).
+    /// Excluded from equality; counted by the engine's telemetry plane.
+    pub tail_store: Option<TailRoute>,
 }
+
+impl PartialEq for IngestReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.ingested == other.ingested
+            && self.lis_before == other.lis_before
+            && self.lis_after == other.lis_after
+            && self.path == other.path
+            && self.tail_inserts == other.tail_inserts
+            && self.tail_removals == other.tail_removals
+    }
+}
+
+impl Eq for IngestReport {}
 
 impl IngestReport {
     fn empty(k: u32, path: IngestPath) -> Self {
@@ -156,7 +196,48 @@ impl IngestReport {
             path,
             tail_inserts: 0,
             tail_removals: 0,
+            tail_store: None,
         }
+    }
+}
+
+/// Reusable staging buffers for the parallel merge path, owned per
+/// session.  Every field is cleared (keeping capacity) at the start of the
+/// ingest that uses it, so after a warm-up phase the hot path never
+/// touches the allocator: buffers grow to the workload's high-water mark
+/// and stay there.
+#[derive(Debug, Clone, Default)]
+struct ScratchArena {
+    /// `tails ++ batch`, the Algorithm-1 input.
+    merged: Vec<u64>,
+    /// The rebuilt tails array, swapped with the session's on completion.
+    new_tails: Vec<u64>,
+    /// Per-rank minimum of the batch values (`u64::MAX` where the batch
+    /// has no element of that rank).
+    rank_min: Vec<u64>,
+    /// Tails removed by this ingest (`sorted_diff_into` output).
+    removed: Vec<u64>,
+    /// Tails added by this ingest (`sorted_diff_into` output).
+    added: Vec<u64>,
+}
+
+impl ScratchArena {
+    fn reserve(&mut self, additional: usize) {
+        self.merged.reserve(additional);
+        self.new_tails.reserve(additional);
+        self.rank_min.reserve(additional);
+        self.removed.reserve(additional);
+        self.added.reserve(additional);
+    }
+
+    /// Heap bytes currently held across all staging buffers (capacity).
+    fn approx_bytes(&self) -> usize {
+        (self.merged.capacity()
+            + self.new_tails.capacity()
+            + self.rank_min.capacity()
+            + self.removed.capacity()
+            + self.added.capacity())
+            * std::mem::size_of::<u64>()
     }
 }
 
@@ -173,10 +254,12 @@ pub struct StreamingLisOn<S: TailSet> {
     /// The patience tails: `tails[r]` = smallest value ending an increasing
     /// subsequence of length `r + 1`.  Strictly increasing.
     tails: Vec<u64>,
-    /// Per-rank frontiers: `by_rank[r - 1]` = indices of the rank-`r`
-    /// elements in increasing order.  Ranks are final, so lists only grow
-    /// at the end; this is exactly the grouping Appendix A walks.
-    by_rank: Vec<Vec<usize>>,
+    /// Per-rank frontiers (rank `r + 1` ↦ indices in increasing order),
+    /// packed into one flat block pool.  Ranks are final, so frontiers only
+    /// grow at the end; this is exactly the grouping Appendix A walks.
+    by_rank: RankIndex,
+    /// Reusable staging buffers for the parallel merge path.
+    scratch: ScratchArena,
     /// Value-domain mirror of `tails`.
     store: S,
     universe: u64,
@@ -211,7 +294,8 @@ impl<S: TailSet> StreamingLisOn<S> {
             values: Vec::new(),
             ranks: Vec::new(),
             tails: Vec::new(),
-            by_rank: Vec::new(),
+            by_rank: RankIndex::new(),
+            scratch: ScratchArena::default(),
             store,
             universe,
             policy: PathPolicy::default(),
@@ -236,6 +320,18 @@ impl<S: TailSet> StreamingLisOn<S> {
     /// The active ingest path policy.
     pub fn path_policy(&self) -> PathPolicy {
         self.policy
+    }
+
+    /// Pre-size every internal buffer for `additional` more elements, so a
+    /// workload of known size never grows them mid-ingest.  Purely a
+    /// capacity hint: state and outcomes are unaffected.
+    pub fn reserve(&mut self, additional: usize) {
+        self.values.reserve(additional);
+        self.ranks.reserve(additional);
+        self.tails.reserve(additional);
+        self.by_rank.reserve(additional, additional);
+        self.scratch.reserve(additional);
+        self.store.reserve(additional);
     }
 
     /// Number of elements ingested so far.
@@ -310,16 +406,19 @@ impl<S: TailSet> StreamingLisOn<S> {
     /// Rank 0 and ranks above the current LIS length count zero elements.
     pub fn count_at_rank(&self, rank: u32) -> usize {
         match rank.checked_sub(1) {
-            Some(r) => self.by_rank.get(r as usize).map_or(0, Vec::len),
+            Some(r) => self.by_rank.count(r as usize),
             None => 0,
         }
     }
 
-    /// The per-rank frontiers themselves: `frontiers()[r - 1]` lists the
-    /// indices of every rank-`r` element, in increasing order — the
-    /// streaming form of the grouping Appendix A reconstructs from.
-    pub fn frontiers(&self) -> &[Vec<usize>] {
-        &self.by_rank
+    /// The indices of every rank-`rank` element, in increasing order —
+    /// one frontier of the streaming grouping Appendix A reconstructs
+    /// from.  Output-sensitive; allocates only the returned vector.
+    pub fn frontier(&self, rank: u32) -> Vec<usize> {
+        match rank.checked_sub(1) {
+            Some(r) => self.by_rank.iter_rank(r as usize).map(|i| i as usize).collect(),
+            None => Vec::new(),
+        }
     }
 
     /// The `k` best elements by dp value: `(index, rank)` pairs ordered by
@@ -328,12 +427,12 @@ impl<S: TailSet> StreamingLisOn<S> {
     /// Returns fewer than `k` pairs when the stream is shorter than `k`.
     pub fn top_k(&self, k: usize) -> Vec<(usize, u64)> {
         let mut out = Vec::with_capacity(k.min(self.values.len()));
-        for (r, frontier) in self.by_rank.iter().enumerate().rev() {
-            for &idx in frontier {
+        for r in (0..self.by_rank.ranks()).rev() {
+            for idx in self.by_rank.iter_rank(r) {
                 if out.len() == k {
                     return out;
                 }
-                out.push((idx, r as u64 + 1));
+                out.push((idx as usize, r as u64 + 1));
             }
         }
         out
@@ -345,17 +444,47 @@ impl<S: TailSet> StreamingLisOn<S> {
     /// grouping pass).  Deterministic, and bit-identical to the offline
     /// [`plis_lis::lis_indices_from_ranks`] on the same prefix.
     pub fn reconstruct_lis(&self) -> Vec<usize> {
-        plis_lis::lis_indices_from_frontiers(&self.values, &self.by_rank)
+        let k = self.by_rank.ranks();
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(k);
+        // Start from the first (leftmost) object of the top frontier and
+        // walk down one rank at a time, taking the last valid predecessor
+        // (Lemmas A.1/A.2: the last rank-(r-1) index before the current
+        // one carries the smallest such value).
+        let mut current = self.by_rank.first(k - 1).expect("top rank must be populated");
+        out.push(current as usize);
+        for r in (1..k).rev() {
+            let chosen = self
+                .by_rank
+                .last_below(r - 1, current)
+                .unwrap_or_else(|| panic!("a rank-{r} predecessor must exist before {current}"));
+            debug_assert!(
+                self.values[chosen as usize] < self.values[current as usize],
+                "best decision must be smaller"
+            );
+            out.push(chosen as usize);
+            current = chosen;
+        }
+        out.reverse();
+        out
     }
 
     /// Append `batch` to the stream and update all LIS state.
     ///
     /// # Panics
-    /// Panics if any value is outside the session universe.
+    /// Panics if any value is outside the session universe, or if the
+    /// stream would exceed `u32::MAX` elements (the rank index addresses
+    /// elements with 32 bits).
     pub fn ingest(&mut self, batch: &[u64]) -> IngestReport {
         for &v in batch {
             assert!(v < self.universe, "value {v} outside session universe {}", self.universe);
         }
+        assert!(
+            self.values.len() + batch.len() <= u32::MAX as usize,
+            "stream exceeds u32 element addressing"
+        );
         if batch.is_empty() {
             return IngestReport::empty(self.lis_length(), IngestPath::Sequential);
         }
@@ -374,10 +503,7 @@ impl<S: TailSet> StreamingLisOn<S> {
         for (offset, &x) in batch.iter().enumerate() {
             let pos = self.tails.partition_point(|&t| t < x);
             self.ranks.push(pos as u32 + 1);
-            if pos == self.by_rank.len() {
-                self.by_rank.push(Vec::new());
-            }
-            self.by_rank[pos].push(base + offset);
+            self.by_rank.push(pos, (base + offset) as u32);
             if pos == self.tails.len() {
                 self.tails.push(x);
                 self.store.insert(x);
@@ -398,19 +524,36 @@ impl<S: TailSet> StreamingLisOn<S> {
             path: IngestPath::Sequential,
             tail_inserts: inserts,
             tail_removals: removals,
+            tail_store: None,
         }
     }
 
     /// The parallel merge path: Algorithm 1 over `tails ++ batch`, then a
-    /// grouped rebuild of the tails and a batch delta on the mirror.
+    /// per-rank min rebuild of the tails and a batch delta on the
+    /// cost-routed mirror.  All staging goes through the session's
+    /// [`ScratchArena`] — steady state performs no heap allocation here
+    /// beyond what [`lis_ranks_u64`] needs internally.
     fn ingest_parallel(&mut self, batch: &[u64]) -> IngestReport {
         let lis_before = self.lis_length();
         let k = self.tails.len();
 
-        let mut merged = Vec::with_capacity(k + batch.len());
-        merged.extend_from_slice(&self.tails);
-        merged.extend_from_slice(batch);
-        let (merged_ranks, new_k) = lis_ranks_u64(&merged);
+        // Route the tail-set delta before touching the store: Auto keeps
+        // or drops its vEB mirror per the cost model; fixed backends
+        // never look at the hint, and must not trigger its computation —
+        // cost calibration drives fixed-backend sessions from inside the
+        // model's own one-time initialisation, where asking for the model
+        // again would deadlock.
+        let hint = self
+            .store
+            .wants_route_hint()
+            .then(|| calibration::unweighted().tail_route(self.universe, k, batch.len()));
+        let route = self.store.route_parallel(hint, &self.tails);
+
+        self.scratch.merged.clear();
+        self.scratch.merged.reserve(k + batch.len());
+        self.scratch.merged.extend_from_slice(&self.tails);
+        self.scratch.merged.extend_from_slice(batch);
+        let (merged_ranks, new_k) = lis_ranks_u64(&self.scratch.merged);
         debug_assert!(
             merged_ranks[..k].iter().enumerate().all(|(j, &r)| r == j as u32 + 1),
             "strictly increasing tails must have dp == position + 1"
@@ -418,61 +561,73 @@ impl<S: TailSet> StreamingLisOn<S> {
 
         let batch_ranks = &merged_ranks[k..];
         let base = self.values.len();
-        self.by_rank.resize_with(new_k as usize, Vec::new);
         for (offset, &r) in batch_ranks.iter().enumerate() {
-            self.by_rank[(r - 1) as usize].push(base + offset);
+            self.by_rank.push((r - 1) as usize, (base + offset) as u32);
         }
         self.ranks.extend_from_slice(batch_ranks);
         self.values.extend_from_slice(batch);
 
-        // Group the batch by rank (counting sort) and take the per-rank min.
-        let rank_keys: Vec<usize> = batch_ranks.iter().map(|&r| (r - 1) as usize).collect();
-        let groups = group_by_rank(&rank_keys, new_k as usize);
-        let old_tails = std::mem::take(&mut self.tails);
-        let new_tails: Vec<u64> = (0..new_k as usize)
-            .map(|r| {
-                let from_old = old_tails.get(r).copied().unwrap_or(u64::MAX);
-                let from_batch = groups[r].iter().map(|&i| batch[i]).min().unwrap_or(u64::MAX);
-                from_old.min(from_batch)
-            })
-            .collect();
+        // Per-rank minimum of the batch: a direct min fold — no
+        // counting-sort staging, no per-rank lists.
+        let scratch = &mut self.scratch;
+        scratch.rank_min.clear();
+        scratch.rank_min.resize(new_k as usize, u64::MAX);
+        for (offset, &r) in batch_ranks.iter().enumerate() {
+            let slot = &mut scratch.rank_min[(r - 1) as usize];
+            *slot = (*slot).min(batch[offset]);
+        }
+        scratch.new_tails.clear();
+        {
+            let tails = &self.tails;
+            let rank_min = &scratch.rank_min;
+            scratch.new_tails.extend((0..new_k as usize).map(|r| {
+                let from_old = tails.get(r).copied().unwrap_or(u64::MAX);
+                from_old.min(rank_min[r])
+            }));
+        }
         debug_assert!(
-            new_tails.windows(2).all(|w| w[0] < w[1]),
+            scratch.new_tails.windows(2).all(|w| w[0] < w[1]),
             "tails must stay strictly increasing"
         );
 
         // Apply the tail-set delta through the paper's batch operations.
-        let (removed, added) = sorted_diff(&old_tails, &new_tails);
-        self.store.batch_delete(&removed);
-        self.store.batch_insert(&added);
-        self.tails = new_tails;
+        // After the swap `scratch.new_tails` holds the *old* tails (and its
+        // buffer is reused next ingest).
+        std::mem::swap(&mut self.tails, &mut scratch.new_tails);
+        sorted_diff_into(&scratch.new_tails, &self.tails, &mut scratch.removed, &mut scratch.added);
+        self.store.batch_delete(&scratch.removed);
+        self.store.batch_insert(&scratch.added);
 
         IngestReport {
             ingested: batch.len(),
             lis_before,
             lis_after: self.lis_length(),
             path: IngestPath::ParallelMerge,
-            tail_inserts: added.len(),
-            tail_removals: removed.len(),
+            tail_inserts: self.scratch.added.len(),
+            tail_removals: self.scratch.removed.len(),
+            tail_store: Some(route),
         }
     }
 
     /// Rough heap footprint of the session in bytes: the value/rank/tail
-    /// arrays, the per-rank frontiers, and the tail-set mirror
-    /// ([`TailSet::approx_bytes`]).  `O(k)` plus the mirror walk —
+    /// arrays, the flat rank index, the scratch arena, and the tail-set
+    /// mirror ([`TailSet::approx_bytes`]).  `O(1)` plus the mirror walk —
     /// intended for occasional telemetry snapshots, not the hot path.
     pub fn approx_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.values.capacity() * std::mem::size_of::<u64>()
             + self.ranks.capacity() * std::mem::size_of::<u32>()
             + self.tails.capacity() * std::mem::size_of::<u64>()
-            + self.by_rank.capacity() * std::mem::size_of::<Vec<usize>>()
-            + self
-                .by_rank
-                .iter()
-                .map(|f| f.capacity() * std::mem::size_of::<usize>())
-                .sum::<usize>()
+            + self.by_rank.approx_bytes()
+            + self.scratch.approx_bytes()
             + self.store.approx_bytes()
+    }
+
+    /// Heap bytes held by the reusable staging buffers (the scratch arena
+    /// plus the flat rank-index pool) — the telemetry plane's
+    /// "arena high-water" accounting.
+    pub fn arena_bytes(&self) -> usize {
+        self.scratch.approx_bytes() + self.by_rank.approx_bytes()
     }
 
     /// Cross-check every invariant; used by the test suites.
@@ -481,13 +636,15 @@ impl<S: TailSet> StreamingLisOn<S> {
         assert!(self.tails.windows(2).all(|w| w[0] < w[1]), "tails not strictly increasing");
         let k = self.ranks.iter().copied().max().unwrap_or(0);
         assert_eq!(k, self.lis_length(), "max rank must equal the tail count");
-        assert_eq!(self.by_rank.len(), self.tails.len(), "one frontier per rank");
-        let grouped: usize = self.by_rank.iter().map(Vec::len).sum();
+        assert_eq!(self.by_rank.ranks(), self.tails.len(), "one frontier per rank");
+        let grouped: usize = (0..self.by_rank.ranks()).map(|r| self.by_rank.count(r)).sum();
         assert_eq!(grouped, self.ranks.len(), "frontiers must cover every element");
-        for (r, frontier) in self.by_rank.iter().enumerate() {
+        for r in 0..self.by_rank.ranks() {
+            let frontier: Vec<u32> = self.by_rank.iter_rank(r).collect();
+            assert_eq!(frontier.len(), self.by_rank.count(r), "frontier {r} count drift");
             assert!(frontier.windows(2).all(|w| w[0] < w[1]), "frontier {r} not increasing");
             assert!(
-                frontier.iter().all(|&i| self.ranks[i] as usize == r + 1),
+                frontier.iter().all(|&i| self.ranks[i as usize] as usize == r + 1),
                 "frontier {r} holds a wrong-rank element"
             );
         }
@@ -495,44 +652,11 @@ impl<S: TailSet> StreamingLisOn<S> {
     }
 }
 
-/// Symmetric difference of two strictly increasing slices:
-/// `(only_in_a, only_in_b)`, both sorted.
-fn sorted_diff(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
-    let mut only_a = Vec::new();
-    let mut only_b = Vec::new();
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => {
-                only_a.push(a[i]);
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                only_b.push(b[j]);
-                j += 1;
-            }
-            std::cmp::Ordering::Equal => {
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    only_a.extend_from_slice(&a[i..]);
-    only_b.extend_from_slice(&b[j..]);
-    (only_a, only_b)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::xorshift;
     use plis_lis::tailset::VebTailSet;
-
-    fn xorshift(state: &mut u64) -> u64 {
-        *state ^= *state << 13;
-        *state ^= *state >> 7;
-        *state ^= *state << 17;
-        *state
-    }
 
     #[test]
     fn paper_example_one_batch() {
@@ -579,6 +703,8 @@ mod tests {
             assert_eq!(rs.path, IngestPath::Sequential);
             assert_eq!(rp.path, IngestPath::ParallelMerge);
             assert_eq!(rs.lis_after, rp.lis_after);
+            assert_eq!(rs.tail_store, None);
+            assert_eq!(rp.tail_store, Some(TailRoute::Veb), "fixed veb reports itself");
         }
         assert_eq!(seq.ranks(), par.ranks());
         assert_eq!(seq.tails(), par.tails());
@@ -671,12 +797,62 @@ mod tests {
         vec.check_invariants();
     }
 
+    /// The cost-routed auto store must be invisible in outcomes: state and
+    /// probe answers match both fixed backends on the same stream, whatever
+    /// mix of routes the model picked along the way.
+    #[test]
+    fn auto_store_matches_fixed_backends_bit_for_bit() {
+        let mut state = 0xFEED_F00Du64;
+        let universe = 1u64 << 20;
+        let input: Vec<u64> = (0..3_000).map(|_| xorshift(&mut state) % universe).collect();
+        // Mixed batch sizes push the router both ways.
+        let sizes = [40usize, 700, 64, 1_200, 96, 900];
+        let mut auto = StreamingLis::new(universe, Backend::Auto).with_par_threshold(256);
+        let mut veb = StreamingLis::new(universe, Backend::Veb).with_par_threshold(256);
+        let mut vec = StreamingLis::new(universe, Backend::SortedVec).with_par_threshold(256);
+        let mut rest = input.as_slice();
+        let mut i = 0usize;
+        while !rest.is_empty() {
+            let take = sizes[i % sizes.len()].min(rest.len());
+            let (chunk, tail) = rest.split_at(take);
+            let ra = auto.ingest(chunk);
+            let rv = veb.ingest(chunk);
+            let rs = vec.ingest(chunk);
+            // Reports compare equal across backends (equality ignores the
+            // tail_store route by design).
+            assert_eq!(ra, rv);
+            assert_eq!(ra, rs);
+            rest = tail;
+            i += 1;
+        }
+        assert_eq!(auto.ranks(), veb.ranks());
+        assert_eq!(auto.tails(), veb.tails());
+        for probe in [0u64, 13, 4_096, universe - 1, universe, u64::MAX] {
+            assert_eq!(auto.tail_pred(probe), veb.tail_pred(probe), "pred {probe}");
+            assert_eq!(auto.tail_succ(probe), veb.tail_succ(probe), "succ {probe}");
+        }
+        auto.check_invariants();
+    }
+
     #[test]
     fn auto_backend_resolves_by_universe() {
         let small = StreamingLis::new(256, Backend::Auto);
         assert_eq!(small.backend_name(), "sorted-vec");
         let large = StreamingLis::new(1 << 20, Backend::Auto);
-        assert_eq!(large.backend_name(), "veb");
+        assert_eq!(large.backend_name(), "auto");
+    }
+
+    #[test]
+    fn parallel_ingests_record_their_tail_route() {
+        // Force the parallel path; the cost model decides the route from
+        // (universe, tails, batch) — whatever it picks must be recorded.
+        let mut s = StreamingLis::new(1 << 20, Backend::Auto).with_par_threshold(1);
+        let batch: Vec<u64> = (0..512u64).map(|i| (i * 37) % (1 << 20)).collect();
+        let r = s.ingest(&batch);
+        assert_eq!(r.path, IngestPath::ParallelMerge);
+        let route = r.tail_store.expect("parallel ingest must record a route");
+        assert!(matches!(route, TailRoute::Veb | TailRoute::SortedVec));
+        s.check_invariants();
     }
 
     #[test]
@@ -718,6 +894,26 @@ mod tests {
         assert_eq!(lis.len() as u32, s.lis_length());
         assert!(lis.windows(2).all(|w| w[0] < w[1]));
         assert!(lis.windows(2).all(|w| input[w[0]] < input[w[1]]));
+        // The flat-index walk matches the shared offline reconstruction on
+        // the same prefix (bit-identical, not merely both-valid).
+        assert_eq!(lis, plis_lis::lis_indices_from_ranks(s.values(), s.ranks(), s.lis_length()));
+    }
+
+    #[test]
+    fn reserve_changes_capacity_not_outcomes() {
+        let mut state = 0xCAFE_D00Du64;
+        let input: Vec<u64> = (0..2_000).map(|_| xorshift(&mut state) % 5_000).collect();
+        let mut plain = StreamingLis::new(5_000, Backend::Veb).with_par_threshold(150);
+        let mut sized = StreamingLis::new(5_000, Backend::Veb).with_par_threshold(150);
+        sized.reserve(input.len());
+        for chunk in input.chunks(123) {
+            assert_eq!(plain.ingest(chunk), sized.ingest(chunk));
+        }
+        assert_eq!(plain.ranks(), sized.ranks());
+        assert_eq!(plain.tails(), sized.tails());
+        assert_eq!(plain.reconstruct_lis(), sized.reconstruct_lis());
+        sized.check_invariants();
+        assert!(sized.arena_bytes() > 0, "arena accounting must see the staging buffers");
     }
 
     #[test]
@@ -740,6 +936,12 @@ mod tests {
             let want = s.ranks().iter().filter(|&&r| r == rank).count();
             assert_eq!(s.count_at_rank(rank), want, "rank {rank}");
         }
+        // frontier() lists exactly the rank-r indices, in order.
+        for rank in 1..=s.lis_length() {
+            let want: Vec<usize> = (0..s.len()).filter(|&i| s.ranks()[i] == rank).collect();
+            assert_eq!(s.frontier(rank), want, "frontier {rank}");
+        }
+        assert!(s.frontier(0).is_empty());
         // top_k: descending rank, ties by ascending index, prefix-closed.
         let full = s.top_k(s.len() + 10);
         assert_eq!(full.len(), s.len());
@@ -759,15 +961,7 @@ mod tests {
         assert_eq!(s.count_at_rank(1), 0);
         assert!(s.top_k(5).is_empty());
         assert!(s.reconstruct_lis().is_empty());
-        assert!(s.frontiers().is_empty());
+        assert!(s.frontier(1).is_empty());
         s.check_invariants();
-    }
-
-    #[test]
-    fn sorted_diff_basics() {
-        assert_eq!(sorted_diff(&[1, 3, 5, 7], &[3, 4, 7, 9]), (vec![1, 5], vec![4, 9]));
-        assert_eq!(sorted_diff(&[], &[1]), (vec![], vec![1]));
-        assert_eq!(sorted_diff(&[2], &[]), (vec![2], vec![]));
-        assert_eq!(sorted_diff(&[1, 2], &[1, 2]), (vec![], vec![]));
     }
 }

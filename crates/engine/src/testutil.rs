@@ -1,0 +1,19 @@
+//! Shared helpers for the in-crate test suites (compiled under
+//! `cfg(test)` only): one deterministic PRNG instead of a copy per
+//! module.
+
+/// The classic xorshift64 step: deterministic, seedable, good enough to
+/// spread test inputs across a universe.
+pub(crate) fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// `n` random `(value, weight)` pairs with values in `[0, universe)` and
+/// weights in `[1, max_w]`.
+pub(crate) fn random_pairs(n: usize, universe: u64, max_w: u64, seed: u64) -> Vec<(u64, u64)> {
+    let mut state = seed;
+    (0..n).map(|_| (xorshift(&mut state) % universe, 1 + xorshift(&mut state) % max_w)).collect()
+}

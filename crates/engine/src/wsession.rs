@@ -63,6 +63,42 @@ use crate::session::IngestPath;
 use plis_lis::{wlis_kind_stats, DominantMaxKind};
 use std::collections::HashMap;
 
+/// Reusable staging buffers for the weighted parallel merge path (and the
+/// plain-batch adapter), owned per session: cleared, never freed, so
+/// steady-state ingestion stays off the allocator.  The weighted analogue
+/// of the unweighted session's scratch arena.
+#[derive(Debug, Clone, Default)]
+struct WScratchArena {
+    /// Values of `frontier ++ batch`, the Algorithm-2 input.
+    merged_values: Vec<u64>,
+    /// Weights of `frontier ++ batch` (frontier entries carry their score
+    /// *increment*).
+    merged_weights: Vec<u64>,
+    /// Frontier-rebuild staging: old frontier plus batch points, compacted
+    /// to the Pareto staircase in place, then swapped with the frontier
+    /// (the two buffers ping-pong across ingests).
+    candidates: Vec<(u64, u64)>,
+    /// Unit-weight pair staging for [`WeightedStreamingLis::ingest_plain`].
+    plain_pairs: Vec<(u64, u64)>,
+}
+
+impl WScratchArena {
+    fn reserve(&mut self, additional: usize) {
+        self.merged_values.reserve(additional);
+        self.merged_weights.reserve(additional);
+        self.candidates.reserve(additional);
+        self.plain_pairs.reserve(additional);
+    }
+
+    /// Heap bytes currently held across all staging buffers (capacity).
+    fn approx_bytes(&self) -> usize {
+        (self.merged_values.capacity() + self.merged_weights.capacity())
+            * std::mem::size_of::<u64>()
+            + (self.candidates.capacity() + self.plain_pairs.capacity())
+                * std::mem::size_of::<(u64, u64)>()
+    }
+}
+
 /// What one [`WeightedStreamingLis::ingest`] call did.
 ///
 /// Equality is structural in the sense of [`crate::TickOutcome`]'s
@@ -151,6 +187,8 @@ pub struct WeightedStreamingLis {
     /// fresh inside every merge run, so the choice is free to vary call
     /// to call.
     kind: DominantMaxKind,
+    /// Reusable staging buffers for the parallel merge path.
+    scratch: WScratchArena,
     universe: u64,
     /// How ingest picks between the sequential and parallel merge path.
     policy: PathPolicy,
@@ -171,6 +209,7 @@ impl WeightedStreamingLis {
             frontier: Vec::new(),
             score_counts: HashMap::new(),
             kind,
+            scratch: WScratchArena::default(),
             universe,
             policy: PathPolicy::default(),
         }
@@ -194,6 +233,20 @@ impl WeightedStreamingLis {
     /// The active ingest path policy.
     pub fn path_policy(&self) -> PathPolicy {
         self.policy
+    }
+
+    /// Pre-size every internal buffer for `additional` more elements, so a
+    /// workload of known size never grows them mid-ingest.  Purely a
+    /// capacity hint: state and outcomes are unaffected.  (Each element
+    /// introduces at most one previously unseen score, so the
+    /// score-multiplicity map is covered too.)
+    pub fn reserve(&mut self, additional: usize) {
+        self.values.reserve(additional);
+        self.weights.reserve(additional);
+        self.scores.reserve(additional);
+        self.frontier.reserve(additional);
+        self.score_counts.reserve(additional);
+        self.scratch.reserve(additional);
     }
 
     /// Number of elements ingested so far.
@@ -331,8 +384,14 @@ impl WeightedStreamingLis {
     /// Append unweighted values as unit-weight pairs (every element weighs
     /// 1), so plain traffic can feed a weighted session.
     pub fn ingest_plain(&mut self, batch: &[u64]) -> WeightedIngestReport {
-        let weighted: Vec<(u64, u64)> = batch.iter().map(|&v| (v, 1)).collect();
-        self.ingest(&weighted)
+        // Stage through the arena's pair buffer (taken out for the
+        // duration of the ingest call, which borrows `self` mutably).
+        let mut pairs = std::mem::take(&mut self.scratch.plain_pairs);
+        pairs.clear();
+        pairs.extend(batch.iter().map(|&v| (v, 1)));
+        let report = self.ingest(&pairs);
+        self.scratch.plain_pairs = pairs;
+        report
     }
 
     /// The sequential path: per-element frontier probe + in-place repair.
@@ -389,7 +448,10 @@ impl WeightedStreamingLis {
     }
 
     /// The parallel merge path: the one generic Algorithm-2 driver over
-    /// `frontier ++ batch`, then a Pareto rebuild of the frontier.
+    /// `frontier ++ batch`, then a Pareto rebuild of the frontier.  All
+    /// staging goes through the session's [`WScratchArena`] — steady state
+    /// performs no heap allocation here beyond what the dominant-max
+    /// driver needs internally.
     fn ingest_parallel(&mut self, batch: &[(u64, u64)]) -> WeightedIngestReport {
         let score_before = self.best_score();
         let k = self.frontier.len();
@@ -397,22 +459,26 @@ impl WeightedStreamingLis {
         // Encode the frontier as a weighted prefix: increasing values, each
         // weighted by its score increment, so the driver reproduces every
         // entry's own score (see the module docs for why this is exact).
-        let mut merged_values = Vec::with_capacity(k + batch.len());
-        let mut merged_weights = Vec::with_capacity(k + batch.len());
+        let scratch = &mut self.scratch;
+        scratch.merged_values.clear();
+        scratch.merged_weights.clear();
+        scratch.merged_values.reserve(k + batch.len());
+        scratch.merged_weights.reserve(k + batch.len());
         let mut prev_score = 0u64;
         for &(v, s) in &self.frontier {
-            merged_values.push(v);
-            merged_weights.push(s - prev_score);
+            scratch.merged_values.push(v);
+            scratch.merged_weights.push(s - prev_score);
             prev_score = s;
         }
         for &(v, w) in batch {
-            merged_values.push(v);
-            merged_weights.push(w);
+            scratch.merged_values.push(v);
+            scratch.merged_weights.push(w);
         }
         // Resolve `Auto` per call: the store is built fresh over the
         // merged run, so the routing can follow the merged size.
-        let used = self.kind.resolve_for(merged_values.len());
-        let (dp, dommax_stats) = wlis_kind_stats(used, &merged_values, &merged_weights);
+        let used = self.kind.resolve_for(scratch.merged_values.len());
+        let (dp, dommax_stats) =
+            wlis_kind_stats(used, &scratch.merged_values, &scratch.merged_weights);
         debug_assert!(
             dp[..k].iter().zip(&self.frontier).all(|(&d, &(_, s))| d == s),
             "the encoded frontier must reproduce its own scores"
@@ -426,10 +492,14 @@ impl WeightedStreamingLis {
         self.values.extend(batch.iter().map(|&(v, _)| v));
         self.weights.extend(batch.iter().map(|&(_, w)| w));
 
-        // New frontier: Pareto staircase of the old entries and the batch.
-        let mut candidates = std::mem::take(&mut self.frontier);
-        candidates.extend(batch.iter().zip(batch_scores).map(|(&(v, _), &s)| (v, s)));
-        self.frontier = pareto_staircase(candidates);
+        // New frontier: Pareto staircase of the old entries and the batch,
+        // compacted in place and swapped with the live frontier (the two
+        // buffers ping-pong, both staying at high-water capacity).
+        scratch.candidates.clear();
+        scratch.candidates.extend_from_slice(&self.frontier);
+        scratch.candidates.extend(batch.iter().zip(batch_scores).map(|(&(v, _), &s)| (v, s)));
+        pareto_staircase_inplace(&mut scratch.candidates);
+        std::mem::swap(&mut self.frontier, &mut scratch.candidates);
 
         WeightedIngestReport {
             ingested: batch.len(),
@@ -444,9 +514,9 @@ impl WeightedStreamingLis {
     }
 
     /// Rough heap footprint of the session in bytes: the value, weight
-    /// and score arrays, the Pareto frontier, and an estimate of the
-    /// score-multiplicity map.  Intended for occasional telemetry
-    /// snapshots, not the hot path.
+    /// and score arrays, the Pareto frontier, the scratch arena, and an
+    /// estimate of the score-multiplicity map.  Intended for occasional
+    /// telemetry snapshots, not the hot path.
     pub fn approx_bytes(&self) -> usize {
         // HashMap: one (key, value) slot plus a control byte per bucket.
         let map_bytes = self.score_counts.capacity() * (std::mem::size_of::<(u64, usize)>() + 1);
@@ -455,7 +525,14 @@ impl WeightedStreamingLis {
             + self.weights.capacity() * std::mem::size_of::<u64>()
             + self.scores.capacity() * std::mem::size_of::<u64>()
             + self.frontier.capacity() * std::mem::size_of::<(u64, u64)>()
+            + self.scratch.approx_bytes()
             + map_bytes
+    }
+
+    /// Heap bytes held by the reusable staging buffers — the telemetry
+    /// plane's "arena high-water" accounting (weighted side).
+    pub fn arena_bytes(&self) -> usize {
+        self.scratch.approx_bytes()
     }
 
     /// Cross-check every invariant; used by the test suites.
@@ -488,43 +565,40 @@ impl WeightedStreamingLis {
 /// exceeds every entry at a smaller value.  Zero scores are dropped (the
 /// `max(0, ·)` in the recurrence makes them vacuous).
 fn pareto_staircase(mut pairs: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    pareto_staircase_inplace(&mut pairs);
+    pairs
+}
+
+/// In-place form of [`pareto_staircase`]: sorts `pairs` and compacts the
+/// staircase into its prefix (no allocation; the hot path reuses one
+/// staging buffer across ingests).
+fn pareto_staircase_inplace(pairs: &mut Vec<(u64, u64)>) {
     pairs.sort_unstable();
-    let mut out: Vec<(u64, u64)> = Vec::new();
-    for (v, s) in pairs {
+    let mut kept = 0usize;
+    for i in 0..pairs.len() {
+        let (v, s) = pairs[i];
         if s == 0 {
             continue;
         }
-        match out.last_mut() {
-            Some((lv, ls)) if *lv == v => {
-                if s > *ls {
-                    *ls = s;
-                }
+        if kept > 0 && pairs[kept - 1].0 == v {
+            if s > pairs[kept - 1].1 {
+                pairs[kept - 1].1 = s;
             }
-            Some((_, ls)) if s <= *ls => {}
-            _ => out.push((v, s)),
+        } else if kept > 0 && s <= pairs[kept - 1].1 {
+            // Dominated by a smaller value with an equal-or-better score.
+        } else {
+            pairs[kept] = (v, s);
+            kept += 1;
         }
     }
-    out
+    pairs.truncate(kept);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::random_pairs;
     use plis_lis::wlis_rangetree;
-
-    fn xorshift(state: &mut u64) -> u64 {
-        *state ^= *state << 13;
-        *state ^= *state >> 7;
-        *state ^= *state << 17;
-        *state
-    }
-
-    fn random_pairs(n: usize, universe: u64, max_w: u64, seed: u64) -> Vec<(u64, u64)> {
-        let mut state = seed;
-        (0..n)
-            .map(|_| (xorshift(&mut state) % universe, 1 + xorshift(&mut state) % max_w))
-            .collect()
-    }
 
     /// Stream `pairs` through a session in chunks, checking scores against
     /// the offline oracle after every batch.

@@ -56,7 +56,7 @@ pub use ranks::{lis_length, lis_ranks, lis_ranks_u64, lis_ranks_u64_with_stats, 
 pub use reconstruct::{
     lis_indices, lis_indices_from_frontiers, lis_indices_from_ranks, wlis_indices_from_scores,
 };
-pub use tailset::{AnyTailSet, SortedVecTailSet, TailSet, VebTailSet};
+pub use tailset::{AnyTailSet, AutoTailSet, SortedVecTailSet, TailRoute, TailSet, VebTailSet};
 pub use wlis::{
     wlis_kind, wlis_kind_stats, wlis_rangetree, wlis_rangeveb, wlis_with, wlis_with_stats,
     DominantMaxKind, AUTO_RANGEVEB_POINTS_THRESHOLD,

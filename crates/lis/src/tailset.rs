@@ -24,6 +24,28 @@
 
 use plis_veb::VebTree;
 
+/// Which concrete structure serves a tail-set delta: the value recorded on
+/// ingest reports and counted by the engine's telemetry plane.  Fixed
+/// backends always report their own kind; [`AutoTailSet`] switches between
+/// the two per parallel ingest under the engine's cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailRoute {
+    /// A vEB mirror applies the delta and serves probes in `O(log log U)`.
+    Veb,
+    /// No mirror: the delta is a no-op and probes binary-search `tails`.
+    SortedVec,
+}
+
+impl TailRoute {
+    /// Stable lowercase name (report / bench column vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            TailRoute::Veb => "veb",
+            TailRoute::SortedVec => "sorted-vec",
+        }
+    }
+}
+
 /// Value-domain mirror of a strictly increasing tail array.
 ///
 /// Mutations (`insert`/`delete`/`batch_insert`/`batch_delete`) keep the
@@ -61,6 +83,28 @@ pub trait TailSet: std::fmt::Debug + Clone {
     fn approx_bytes(&self) -> usize {
         0
     }
+    /// Route selection hook, called once per *parallel* ingest before the
+    /// delta is applied.  `route` is the cost model's pick and `tails` is
+    /// the canonical array the mirror must represent if it switches
+    /// structure.  Fixed backends ignore the hint; [`AutoTailSet`] builds
+    /// or drops its vEB mirror here.  Returns the route actually in effect
+    /// for the coming delta (what the ingest report records).
+    fn route_parallel(&mut self, route: Option<TailRoute>, tails: &[u64]) -> TailRoute;
+    /// Whether this store actually consults the cost model's route hint.
+    /// Fixed backends return `false`, which lets sessions skip computing
+    /// the hint entirely — load-bearing during cost calibration, which
+    /// drives fixed-backend sessions from *inside* the model's one-time
+    /// initialisation (asking for the model there would deadlock).
+    fn wants_route_hint(&self) -> bool {
+        false
+    }
+    /// Pre-size for up to `additional` net-new keys so steady-state point
+    /// operations stay off the allocator (the vEB mirror stocks its node
+    /// pool; stateless stores have nothing to do).  Called from the
+    /// sessions' `reserve`.
+    fn reserve(&mut self, additional: usize) {
+        let _ = additional;
+    }
 }
 
 /// [`TailSet`] backed by a parallel van Emde Boas tree over the session
@@ -84,6 +128,9 @@ impl VebTailSet {
 impl TailSet for VebTailSet {
     fn name(&self) -> &'static str {
         "veb"
+    }
+    fn reserve(&mut self, additional: usize) {
+        self.0.reserve_nodes(additional);
     }
     fn insert(&mut self, key: u64) {
         self.0.insert(key);
@@ -121,6 +168,9 @@ impl TailSet for VebTailSet {
     fn approx_bytes(&self) -> usize {
         self.0.approx_bytes()
     }
+    fn route_parallel(&mut self, _route: Option<TailRoute>, _tails: &[u64]) -> TailRoute {
+        TailRoute::Veb
+    }
 }
 
 /// Stateless [`TailSet`]: no mirror structure at all; every probe
@@ -151,6 +201,127 @@ impl TailSet for SortedVecTailSet {
         tails.to_vec()
     }
     fn check_invariants(&self, _tails: &[u64]) {}
+    fn route_parallel(&mut self, _route: Option<TailRoute>, _tails: &[u64]) -> TailRoute {
+        TailRoute::SortedVec
+    }
+}
+
+/// Cost-routed [`TailSet`]: keeps a vEB mirror only while the caller's cost
+/// model says the per-ingest delta work pays for itself, and otherwise
+/// keeps no state at all (probes binary-search the canonical `tails`, like
+/// [`SortedVecTailSet`]).
+///
+/// The store starts mirror-less.  Every parallel ingest the session passes
+/// the cost model's pick to [`TailSet::route_parallel`]: switching *to* the
+/// vEB route rebuilds the mirror from the current tails with the paper's
+/// `O(k log log U)` bulk construction; switching away drops it.  Sequential
+/// (point) ingests never build the mirror — they keep a live mirror in sync
+/// with `O(log log U)` point updates and are free when no mirror exists.
+/// Probe answers are exact on both routes, so sessions behave identically
+/// to a fixed backend; only the constant factors move.
+#[derive(Debug, Clone)]
+pub struct AutoTailSet {
+    universe: u64,
+    mirror: Option<VebTree>,
+}
+
+impl AutoTailSet {
+    /// A mirror-less cost-routed store over `[0, universe)`.
+    pub fn new(universe: u64) -> Self {
+        AutoTailSet { universe, mirror: None }
+    }
+
+    /// The route currently in effect (which structure answers probes now).
+    pub fn active(&self) -> TailRoute {
+        if self.mirror.is_some() {
+            TailRoute::Veb
+        } else {
+            TailRoute::SortedVec
+        }
+    }
+}
+
+impl TailSet for AutoTailSet {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+    fn insert(&mut self, key: u64) {
+        if let Some(m) = &mut self.mirror {
+            m.insert(key);
+        }
+    }
+    fn delete(&mut self, key: u64) {
+        if let Some(m) = &mut self.mirror {
+            m.delete(key);
+        }
+    }
+    fn batch_insert(&mut self, keys: &[u64]) {
+        if let Some(m) = &mut self.mirror {
+            m.batch_insert(keys);
+        }
+    }
+    fn batch_delete(&mut self, keys: &[u64]) {
+        if let Some(m) = &mut self.mirror {
+            m.batch_delete(keys);
+        }
+    }
+    fn pred(&self, tails: &[u64], x: u64) -> Option<u64> {
+        match &self.mirror {
+            Some(m) => m.pred(x.min(m.universe())),
+            None => SortedVecTailSet.pred(tails, x),
+        }
+    }
+    fn succ(&self, tails: &[u64], x: u64) -> Option<u64> {
+        match &self.mirror {
+            Some(m) => {
+                if x >= m.universe() {
+                    None
+                } else if m.contains(x) {
+                    Some(x)
+                } else {
+                    m.succ(x)
+                }
+            }
+            None => SortedVecTailSet.succ(tails, x),
+        }
+    }
+    fn len(&self, tails: &[u64]) -> usize {
+        tails.len()
+    }
+    fn collect_keys(&self, tails: &[u64]) -> Vec<u64> {
+        tails.to_vec()
+    }
+    fn check_invariants(&self, tails: &[u64]) {
+        if let Some(m) = &self.mirror {
+            assert_eq!(m.iter_keys(), tails, "auto vEB mirror out of sync with tails");
+        }
+    }
+    fn approx_bytes(&self) -> usize {
+        self.mirror.as_ref().map_or(0, VebTree::approx_bytes)
+    }
+    fn wants_route_hint(&self) -> bool {
+        true
+    }
+    fn reserve(&mut self, additional: usize) {
+        if let Some(m) = &self.mirror {
+            m.reserve_nodes(additional);
+        }
+    }
+    fn route_parallel(&mut self, route: Option<TailRoute>, tails: &[u64]) -> TailRoute {
+        match route {
+            Some(TailRoute::Veb) => {
+                if self.mirror.is_none() {
+                    self.mirror = Some(VebTree::from_sorted(self.universe, tails));
+                }
+                TailRoute::Veb
+            }
+            Some(TailRoute::SortedVec) => {
+                self.mirror = None;
+                TailRoute::SortedVec
+            }
+            None => self.active(),
+        }
+    }
 }
 
 /// Enum dispatch over the built-in tail-set backends: the concrete store
@@ -163,6 +334,8 @@ pub enum AnyTailSet {
     Veb(VebTailSet),
     /// Stateless binary-search tails.
     SortedVec(SortedVecTailSet),
+    /// Cost-routed: vEB mirror only while it pays for itself.
+    Auto(AutoTailSet),
 }
 
 impl AnyTailSet {
@@ -175,6 +348,11 @@ impl AnyTailSet {
     pub fn sorted_vec() -> Self {
         AnyTailSet::SortedVec(SortedVecTailSet)
     }
+
+    /// The cost-routed store over `[0, universe)`.
+    pub fn auto(universe: u64) -> Self {
+        AnyTailSet::Auto(AutoTailSet::new(universe))
+    }
 }
 
 macro_rules! dispatch {
@@ -182,6 +360,7 @@ macro_rules! dispatch {
         match $self {
             AnyTailSet::Veb($inner) => $e,
             AnyTailSet::SortedVec($inner) => $e,
+            AnyTailSet::Auto($inner) => $e,
         }
     };
 }
@@ -219,6 +398,15 @@ impl TailSet for AnyTailSet {
     }
     fn approx_bytes(&self) -> usize {
         dispatch!(self, s => s.approx_bytes())
+    }
+    fn route_parallel(&mut self, route: Option<TailRoute>, tails: &[u64]) -> TailRoute {
+        dispatch!(self, s => s.route_parallel(route, tails))
+    }
+    fn wants_route_hint(&self) -> bool {
+        dispatch!(self, s => s.wants_route_hint())
+    }
+    fn reserve(&mut self, additional: usize) {
+        dispatch!(self, s => s.reserve(additional))
     }
 }
 
@@ -266,6 +454,54 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(AnyTailSet::veb(8).name(), "veb");
         assert_eq!(AnyTailSet::sorted_vec().name(), "sorted-vec");
+        assert_eq!(AnyTailSet::auto(8).name(), "auto");
+        assert_eq!(TailRoute::Veb.name(), "veb");
+        assert_eq!(TailRoute::SortedVec.name(), "sorted-vec");
+    }
+
+    #[test]
+    fn auto_probes_agree_on_both_routes() {
+        let tails = [2u64, 5, 7, 11, 13];
+        // Mirror-less: answers come from binary search.
+        cross_check(AutoTailSet::new(16), &tails, 16);
+        // Mirrored: build the mirror first, then replay the same probes.
+        let mut auto = AutoTailSet::new(16);
+        assert_eq!(auto.route_parallel(Some(TailRoute::Veb), &[]), TailRoute::Veb);
+        assert_eq!(auto.active(), TailRoute::Veb);
+        cross_check(auto, &tails, 16);
+    }
+
+    #[test]
+    fn auto_route_switching_rebuilds_and_drops_the_mirror() {
+        let tails = [3u64, 9, 20, 40];
+        let mut auto = AutoTailSet::new(64);
+        assert_eq!(auto.active(), TailRoute::SortedVec);
+        assert_eq!(auto.approx_bytes(), 0);
+        // Point updates on the sorted-vec route keep no state.
+        auto.insert(3);
+        assert_eq!(auto.approx_bytes(), 0);
+
+        // Switch to the vEB route: the mirror is rebuilt from `tails`.
+        assert_eq!(auto.route_parallel(Some(TailRoute::Veb), &tails), TailRoute::Veb);
+        auto.check_invariants(&tails);
+        assert!(auto.approx_bytes() > 0);
+        assert_eq!(auto.pred(&tails, 10), Some(9));
+        assert_eq!(auto.succ(&tails, 10), Some(20));
+
+        // A delta now maintains the mirror.
+        auto.batch_delete(&[9]);
+        auto.batch_insert(&[8]);
+        auto.check_invariants(&[3, 8, 20, 40]);
+
+        // Switch away: state dropped, probes still exact via binary search.
+        assert_eq!(
+            auto.route_parallel(Some(TailRoute::SortedVec), &[3, 8, 20, 40]),
+            TailRoute::SortedVec
+        );
+        assert_eq!(auto.approx_bytes(), 0);
+        assert_eq!(auto.pred(&[3, 8, 20, 40], 10), Some(8));
+        // A `None` hint (sequential ingests) keeps the current route.
+        assert_eq!(auto.route_parallel(None, &[3, 8, 20, 40]), TailRoute::SortedVec);
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Process-wide heap-allocation metering.
+//!
+//! A pair of relaxed global counters that a counting [`GlobalAlloc`]
+//! wrapper (the workspace's `plis-testalloc` crate, or any `#[global_allocator]`
+//! that calls [`record_alloc`]) feeds on every allocation.  The engine's
+//! telemetry snapshot reads the tally to report *allocations per ingested
+//! element* — the steady-state figure the allocation-discipline tests and
+//! the streaming bench assert is zero.
+//!
+//! Without a counting allocator installed the counters simply stay at
+//! zero; reading them is always safe.  Everything here must itself be
+//! allocation-free (it runs inside the allocator): two `fetch_add`s and
+//! two loads, nothing else.
+//!
+//! [`GlobalAlloc`]: std::alloc::GlobalAlloc
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time reading of the process-wide allocation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocTally {
+    /// Heap allocations observed (calls to `alloc`/`realloc` that
+    /// returned memory; frees are not counted).
+    pub allocs: u64,
+    /// Total bytes those allocations requested.
+    pub bytes: u64,
+}
+
+impl AllocTally {
+    /// Counter deltas since an earlier tally (saturating, so a tally from
+    /// another process or a fresh baseline never underflows).
+    pub fn since(self, baseline: AllocTally) -> AllocTally {
+        AllocTally {
+            allocs: self.allocs.saturating_sub(baseline.allocs),
+            bytes: self.bytes.saturating_sub(baseline.bytes),
+        }
+    }
+}
+
+/// Record one heap allocation of `bytes` bytes.  Called from inside
+/// `GlobalAlloc` implementations — must stay allocation-free (it is:
+/// two relaxed `fetch_add`s).
+#[inline]
+pub fn record_alloc(bytes: usize) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+}
+
+/// The current process-wide tally.  All-zero unless a counting allocator
+/// is installed as the global allocator.
+pub fn alloc_tally() -> AllocTally {
+    AllocTally {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_moves_with_records_and_since_saturates() {
+        let before = alloc_tally();
+        record_alloc(128);
+        record_alloc(64);
+        let after = alloc_tally();
+        let delta = after.since(before);
+        assert_eq!(delta.allocs, 2);
+        assert_eq!(delta.bytes, 192);
+        assert_eq!(before.since(after), AllocTally::default(), "saturates at zero");
+    }
+}

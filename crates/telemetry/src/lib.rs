@@ -12,6 +12,9 @@
 //!   atomic operations; snapshots merge associatively and answer
 //!   p50/p90/p99/max.
 //! * [`Counter`] — a relaxed [`AtomicU64`] event counter.
+//! * [`allocmeter`] — process-wide heap-allocation counters fed by a
+//!   counting global allocator (`plis-testalloc`), read by the engine's
+//!   allocations-per-element telemetry.
 //! * [`TraceSink`] / [`MemorySink`] — a cloneable JSON-lines event writer
 //!   behind a shared handle, for per-tick trace events.
 //! * [`json_line`] / [`JsonValue`] — the hand-rolled single-line JSON
@@ -25,10 +28,12 @@
 
 #![warn(missing_docs)]
 
+pub mod allocmeter;
 mod hist;
 mod json;
 mod trace;
 
+pub use allocmeter::{alloc_tally, record_alloc, AllocTally};
 pub use hist::{AtomicHistogram, HistogramSnapshot, BUCKETS};
 pub use json::{json_line, JsonValue};
 pub use trace::{MemorySink, TraceSink};

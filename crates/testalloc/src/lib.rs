@@ -1,0 +1,69 @@
+//! A counting global allocator for the workspace's allocation-discipline
+//! tests and benches.
+//!
+//! [`CountingAlloc`] wraps the system allocator and reports every
+//! allocation into [`plis_telemetry::allocmeter`], where the engine's
+//! telemetry snapshot (and the test asserting zero steady-state
+//! allocations per ingested element) reads it back.  Install it in a test
+//! or bench binary with:
+//!
+//! ```
+//! use plis_testalloc::CountingAlloc;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc;
+//!
+//! let before = plis_telemetry::alloc_tally();
+//! let v: Vec<u64> = Vec::with_capacity(8);
+//! let delta = plis_telemetry::alloc_tally().since(before);
+//! assert!(delta.allocs >= 1);
+//! drop(v);
+//! ```
+//!
+//! This is deliberately a separate leaf crate: the counting hook belongs
+//! to the *binary* that opts in, never to the library crates — production
+//! builds keep the plain system allocator and the zero-cost inert
+//! counters.
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// The system allocator plus one [`plis_telemetry::record_alloc`] call per
+/// successful allocation.  Frees are forwarded untouched: the meter counts
+/// allocator *traffic* (what a zero-allocation steady state must not
+/// generate), not live bytes.
+pub struct CountingAlloc;
+
+// SAFETY: every method forwards to the system allocator with the caller's
+// layout unchanged; the only addition is a relaxed-atomic side effect,
+// which itself never allocates.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            plis_telemetry::record_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            plis_telemetry::record_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            plis_telemetry::record_alloc(new_size);
+        }
+        new_ptr
+    }
+}

@@ -116,9 +116,20 @@ fn from_sorted_node(bits: u32, keys: &[u64]) -> Node {
     let min = keys[0];
     let max = *keys.last().unwrap();
     let mid: &[u64] = if keys.len() <= 2 { &[] } else { &keys[1..keys.len() - 1] };
-    let mut node = Internal { lo_bits, hi_bits, min, max, summary: None, clusters: Vec::new() };
+    let mut node = match crate::pool::take(bits) {
+        Some(mut n) => {
+            n.min = min;
+            n.max = max;
+            n
+        }
+        None => {
+            Box::new(Internal { lo_bits, hi_bits, min, max, summary: None, clusters: Vec::new() })
+        }
+    };
     if !mid.is_empty() {
-        node.clusters = (0..(1usize << hi_bits)).map(|_| None).collect();
+        if node.clusters.is_empty() {
+            node.clusters = (0..(1usize << hi_bits)).map(|_| None).collect();
+        }
         let groups = group_by_high(mid, lo_bits);
         let hs: Vec<u64> = groups.iter().map(|g| g.0).collect();
         let clusters = &mut node.clusters;
@@ -134,7 +145,7 @@ fn from_sorted_node(bits: u32, keys: &[u64]) -> Node {
         );
         node.summary = summary;
     }
-    Node::Internal(Box::new(node))
+    Node::Internal(node)
 }
 
 /// Group a sorted slice of keys by their high halves.  Returns
@@ -487,7 +498,7 @@ fn internal_batch_delete(
         let cluster = slot.as_mut().expect("batch keys must live in an existing cluster");
         let emptied = node_batch_delete(cluster, &g.lows, &mut g.p, &mut g.s);
         if emptied {
-            *slot = None;
+            crate::pool::recycle(slot.take());
             g.emptied = true;
         }
     });

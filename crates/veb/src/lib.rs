@@ -58,6 +58,7 @@
 mod batch;
 mod mono;
 mod node;
+mod pool;
 mod range;
 mod tree;
 

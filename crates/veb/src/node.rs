@@ -73,11 +73,17 @@ pub(crate) fn index(h: u64, l: u64, lo_bits: u32) -> u64 {
 }
 
 impl Node {
-    /// A new subtree holding exactly `key`.
+    /// A new subtree holding exactly `key`.  Reuses a recycled node of the
+    /// same universe width from the thread-local [`crate::pool`] when one is
+    /// available, so steady-state cluster churn stays off the allocator.
     pub(crate) fn singleton(bits: u32, key: u64) -> Node {
         debug_assert!(bits == 64 || key < (1u64 << bits));
         if bits <= LEAF_BITS {
             Node::Leaf(1u64 << key)
+        } else if let Some(mut n) = crate::pool::take(bits) {
+            n.min = key;
+            n.max = key;
+            Node::Internal(n)
         } else {
             let (hi_bits, lo_bits) = split_bits(bits);
             Node::Internal(Box::new(Internal {
@@ -256,10 +262,13 @@ impl Node {
 }
 
 impl Internal {
-    /// Ensure the cluster slot vector is allocated (all `None`).
+    /// Ensure the cluster slot vector is allocated (all `None`), preferring
+    /// a pooled spare so a reserved session's steady state stays off the
+    /// allocator even when a header-only node gains its third key.
     fn ensure_clusters(&mut self) {
         if self.clusters.is_empty() {
-            self.clusters = (0..(1usize << self.hi_bits)).map(|_| None).collect();
+            self.clusters = crate::pool::take_clusters(self.hi_bits)
+                .unwrap_or_else(|| (0..(1usize << self.hi_bits)).map(|_| None).collect());
         }
     }
 
@@ -309,7 +318,7 @@ impl Internal {
         if let Some(s) = &mut self.summary {
             let (_, empty) = s.delete(h);
             if empty {
-                self.summary = None;
+                crate::pool::recycle(self.summary.take());
             }
         }
     }
@@ -334,7 +343,7 @@ impl Internal {
                     let l = c.min();
                     let (_, emptied) = c.delete(l);
                     if emptied {
-                        self.clusters[h as usize] = None;
+                        crate::pool::recycle(self.clusters[h as usize].take());
                         self.summary_delete(h);
                     }
                     self.min = index(h, l, self.lo_bits);
@@ -356,7 +365,7 @@ impl Internal {
                     let l = c.max();
                     let (_, emptied) = c.delete(l);
                     if emptied {
-                        self.clusters[h as usize] = None;
+                        crate::pool::recycle(self.clusters[h as usize].take());
                         self.summary_delete(h);
                     }
                     self.max = index(h, l, self.lo_bits);
@@ -372,7 +381,7 @@ impl Internal {
             Some(c) => {
                 let (present, emptied) = c.delete(l);
                 if emptied {
-                    self.clusters[h] = None;
+                    crate::pool::recycle(self.clusters[h].take());
                     self.summary_delete(h as u64);
                 }
                 (present, false)

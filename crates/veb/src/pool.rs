@@ -1,0 +1,216 @@
+//! Thread-local recycling pool for emptied internal vEB nodes.
+//!
+//! The sequential point operations of [`crate::node`] create and drop boxed
+//! [`Internal`] nodes every time a cluster gains its first key or loses its
+//! last one.  Under the streaming engine's steady-state ingest pattern
+//! (insert the new tail, delete the displaced one, every element) that is a
+//! malloc/free pair per tick — the dominant cost of the vEB backend on
+//! small batches, and allocator churn that gets dramatically worse when
+//! many sessions interleave on one heap.
+//!
+//! Instead of handing emptied nodes back to the allocator, every drop site
+//! pushes them here and every creation site pops first.  The pool is
+//! thread-local so the parallel batch algorithms (which recurse into
+//! disjoint clusters from different rayon workers) can recycle without
+//! locks; a node freed on one worker simply becomes available to the next
+//! operation that worker performs.  Reuse changes no observable behaviour —
+//! a popped node is re-initialised exactly like a fresh one, except that it
+//! keeps its (all-`None`) cluster-slot vector, which is precisely the
+//! allocation worth saving.
+//!
+//! Pools are keyed by the node's universe width in bits (the split into
+//! `hi_bits`/`lo_bits` is a pure function of the width, so every node of a
+//! class is interchangeable) and capped per class so a transient deletion
+//! wave cannot pin unbounded memory: wide nodes carry a large slot vector,
+//! so their class keeps only a handful.
+
+use crate::node::Internal;
+use std::cell::RefCell;
+
+/// Retained nodes per class for narrow universes (slot vectors ≤ 2^8).
+const CAP_NARROW: usize = 256;
+/// Retained nodes per class for wide universes (slot vectors up to 2^16
+/// slots, 1 MiB each at the 32-bit root split).
+const CAP_WIDE: usize = 4;
+/// Widths above this use [`CAP_WIDE`].
+const NARROW_BITS: u32 = 16;
+
+struct Pool {
+    /// `(width_bits, nodes)` — a handful of distinct widths per process
+    /// (one per recursion level actually used), so linear scan beats a map.
+    /// The `Box` IS the recycled allocation, so `Vec<Box<_>>` is the point.
+    #[allow(clippy::vec_box)]
+    classes: Vec<(u32, Vec<Box<Internal>>)>,
+    /// `(hi_bits, vectors)` — spare all-`None` cluster-slot vectors for
+    /// [`Internal::ensure_clusters`].  A node that has only ever held its
+    /// `min`/`max` header keys carries no slot vector (the vEB lazy
+    /// optimisation); when such a node gains a third key in a reserved
+    /// steady state, the vector comes from here instead of the allocator.
+    cluster_vecs: Vec<(u32, Vec<Vec<Option<crate::node::Node>>>)>,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> =
+        const { RefCell::new(Pool { classes: Vec::new(), cluster_vecs: Vec::new() }) };
+}
+
+/// Pop a recycled node of universe width `bits`, if one is pooled on this
+/// thread.  The caller must re-initialise `min`/`max`; `summary` is `None`
+/// and every cluster slot is `None` (capacity retained) by construction.
+pub(crate) fn take(bits: u32) -> Option<Box<Internal>> {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.classes.iter_mut().find(|(b, _)| *b == bits).and_then(|(_, nodes)| nodes.pop())
+    })
+}
+
+/// Recycle an emptied internal node.  Point deletions always hand over a
+/// *clean* node (summary `None`, every cluster slot `None` — the vEB
+/// single-key invariant), but batch deletion's "nothing survives" path
+/// drops whole subtrees without unwinding them, so dirty nodes are let
+/// through to the ordinary recursive drop instead of being pooled.
+/// Dropped instead of pooled once the class cap is reached.
+pub(crate) fn put(node: Box<Internal>) {
+    if node.summary.is_some() || node.clusters.iter().any(Option::is_some) {
+        return;
+    }
+    let bits = node.hi_bits + node.lo_bits;
+    let cap = if bits <= NARROW_BITS { CAP_NARROW } else { CAP_WIDE };
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        match p.classes.iter_mut().find(|(b, _)| *b == bits) {
+            Some((_, nodes)) => {
+                if nodes.len() < cap {
+                    nodes.push(node);
+                }
+            }
+            None => p.classes.push((bits, vec![node])),
+        }
+    });
+}
+
+/// Recycle the internal node inside a just-emptied cluster slot, if any
+/// (leaves live inline in the slot and carry no heap).
+pub(crate) fn recycle(slot: Option<crate::node::Node>) {
+    if let Some(crate::node::Node::Internal(node)) = slot {
+        put(node);
+    }
+}
+
+/// Stock this thread's pool of width-`bits` nodes up to `count` (clamped
+/// by the class cap).  Fresh nodes are built with their cluster-slot
+/// vector already allocated, so a later take-and-fill touches the
+/// allocator zero times — this is what makes a *reserved* session's
+/// steady state allocation-free even while its key set keeps spreading
+/// into new clusters (cluster churn only recycles nodes that were freed
+/// first; a net-new cluster needs a node from somewhere).
+pub(crate) fn prewarm(bits: u32, count: usize) {
+    let cap = if bits <= NARROW_BITS { CAP_NARROW } else { CAP_WIDE };
+    let target = count.min(cap);
+    let (hi_bits, lo_bits) = crate::node::split_bits(bits);
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let nodes = match p.classes.iter_mut().find(|(b, _)| *b == bits) {
+            Some((_, nodes)) => nodes,
+            None => {
+                p.classes.push((bits, Vec::new()));
+                &mut p.classes.last_mut().expect("just pushed").1
+            }
+        };
+        while nodes.len() < target {
+            nodes.push(Box::new(Internal {
+                lo_bits,
+                hi_bits,
+                min: 0,
+                max: 0,
+                summary: None,
+                clusters: (0..(1usize << hi_bits)).map(|_| None).collect(),
+            }));
+        }
+    });
+}
+
+/// Retained spare cluster-slot vectors per `hi_bits` class.
+const CLUSTER_VEC_CAP: usize = 256;
+/// Spare cluster vectors are pooled only for `hi_bits` up to this.  Wider
+/// vectors belong to near-root nodes, which acquire theirs once per tree
+/// lifetime during warm-up — pooling them would pin megabytes to save an
+/// allocation that never recurs in steady state.
+const CLUSTER_VEC_MAX_HI_BITS: u32 = 8;
+
+/// Pop a spare all-`None` cluster-slot vector of `1 << hi_bits` slots, if
+/// one is pooled on this thread.
+pub(crate) fn take_clusters(hi_bits: u32) -> Option<Vec<Option<crate::node::Node>>> {
+    if hi_bits > CLUSTER_VEC_MAX_HI_BITS {
+        return None;
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.cluster_vecs.iter_mut().find(|(b, _)| *b == hi_bits).and_then(|(_, vecs)| vecs.pop())
+    })
+}
+
+/// Stock this thread's pool of `hi_bits`-class cluster vectors up to
+/// `count` (clamped by [`CLUSTER_VEC_CAP`]).  Complements [`prewarm`]:
+/// prewarmed *nodes* carry their vector already, but a node that entered
+/// the tree holding only header keys has none, and its third key arrives
+/// on the hot path long after any reserve call created it.
+pub(crate) fn prewarm_clusters(hi_bits: u32, count: usize) {
+    if hi_bits > CLUSTER_VEC_MAX_HI_BITS {
+        return;
+    }
+    let target = count.min(CLUSTER_VEC_CAP);
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let vecs = match p.cluster_vecs.iter_mut().find(|(b, _)| *b == hi_bits) {
+            Some((_, vecs)) => vecs,
+            None => {
+                p.cluster_vecs.push((hi_bits, Vec::new()));
+                &mut p.cluster_vecs.last_mut().expect("just pushed").1
+            }
+        };
+        while vecs.len() < target {
+            vecs.push((0..(1usize << hi_bits)).map(|_| None).collect());
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::VebTree;
+
+    #[test]
+    fn churned_nodes_are_reused_not_reallocated() {
+        // Alternate creating and destroying the same cluster: after the
+        // first cycle the pool serves every subsequent creation, which we
+        // can only observe indirectly — behaviour must be identical.
+        let mut v = VebTree::new(1 << 20);
+        v.insert(3);
+        v.insert(1 << 19);
+        for _ in 0..1000 {
+            // 4096 lands in a cluster of its own; inserting and deleting it
+            // churns that cluster's internal node.
+            assert!(v.insert(4096));
+            assert!(v.insert(4097));
+            assert!(v.delete(4096));
+            assert!(v.delete(4097));
+        }
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.iter_keys(), vec![3, 1 << 19]);
+    }
+
+    #[test]
+    fn pooled_reuse_survives_batch_ops() {
+        let mut v = VebTree::new(1 << 16);
+        let keys: Vec<u64> = (0..256u64).map(|i| i * 251 % (1 << 16)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        sorted.dedup();
+        for _ in 0..50 {
+            v.batch_insert(&sorted);
+            assert_eq!(v.len(), sorted.len());
+            v.batch_delete(&sorted);
+            assert!(v.is_empty());
+        }
+    }
+}
