@@ -40,8 +40,8 @@ use plis_bench::{
     with_bench_threads, JsonValue,
 };
 use plis_engine::{
-    Backend, DominantMaxKind, Engine, EngineConfig, MetricsSnapshot, Op, PathPolicy, SessionKind,
-    Tick,
+    Backend, DominantMaxKind, Engine, EngineConfig, EngineSnapshot, MetricsSnapshot, Op,
+    PathPolicy, SessionKind, Tick,
 };
 use plis_workloads::streaming::{
     mixed_session_fleet, round_robin_ticks, session_fleet, weighted_session_fleet, ReadWriteOp,
@@ -62,8 +62,11 @@ static ALLOC: plis_testalloc::CountingAlloc = plis_testalloc::CountingAlloc;
 /// sweep kind.  Schema 3 = schema 2 plus the allocation-discipline and
 /// tail-routing columns (`tailset_veb_picks`, `tailset_sorted_picks`,
 /// `alloc_count`, `allocs_per_elem`, `arena_bytes`) and the `auto`
-/// backend in the unweighted sweep.
-const SCHEMA: u64 = 3;
+/// backend in the unweighted sweep.  Schema 4 = schema 3 plus the
+/// persistence columns on the ingest sweeps (`snapshot_bytes`,
+/// `snapshot_us`, `restore_us` — engine snapshot size and encode/restore
+/// wall time for the warm end-of-sweep fleet).
+const SCHEMA: u64 = 4;
 
 fn n_per_session() -> usize {
     std::env::var("PLIS_BENCH_N").ok().and_then(|s| s.parse().ok()).unwrap_or(100_000)
@@ -137,6 +140,52 @@ fn telemetry_fields(snap: &MetricsSnapshot) -> Vec<(&'static str, JsonValue)> {
         ("alloc_count", snap.alloc_count.into()),
         ("allocs_per_elem", snap.allocs_per_elem.into()),
         ("arena_bytes", snap.arena_bytes.into()),
+    ]
+}
+
+/// The persistence columns (schema 4): snapshot the warm engine, round
+/// the bytes through the codec, restore a fresh engine, and record size
+/// and wall time of each leg.  Runs once per cell on an untimed replay —
+/// checkpointing is cold-path, so it must not perturb the throughput
+/// figure.  Also the bench-level sanity gate: the restored engine must
+/// list the same sessions, and the snapshot must stay within 2x of the
+/// live sessions' approximate heap footprint (when telemetry reports
+/// one — the snapshot stores the raw streams, not the derived indices).
+fn persistence_fields(
+    config: &EngineConfig,
+    setup: &Tick,
+    ticks: &[Tick],
+) -> Vec<(&'static str, JsonValue)> {
+    // Snapshot just before the last traffic tick, so the suffix doubles
+    // as a restore-then-replay smoke on the real sweep workload.
+    let (head, tail) = ticks.split_at(ticks.len().saturating_sub(1));
+    let mut warm = replay(config, setup, head);
+    let session_bytes = warm.metrics_snapshot().session_bytes;
+    let snapshot_timer = std::time::Instant::now();
+    let bytes = warm.snapshot().encode();
+    let snapshot_us = snapshot_timer.elapsed().as_secs_f64() * 1e6;
+    let restore_timer = std::time::Instant::now();
+    let decoded = EngineSnapshot::decode(&bytes).expect("a fresh snapshot must decode");
+    let mut restored =
+        Engine::restore(config.clone(), &decoded).expect("a fresh snapshot must restore");
+    let restore_us = restore_timer.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(restored.session_ids(), warm.session_ids(), "restore must rebuild the whole fleet");
+    for tick in tail {
+        let a = warm.execute(tick);
+        let b = restored.execute(tick);
+        assert_eq!(a, b, "restore-then-replay diverged from the never-stopped engine");
+    }
+    if session_bytes > 0 {
+        assert!(
+            bytes.len() as u64 <= 2 * session_bytes,
+            "snapshot ({} bytes) exceeds 2x the live session footprint ({session_bytes} bytes)",
+            bytes.len()
+        );
+    }
+    vec![
+        ("snapshot_bytes", bytes.len().into()),
+        ("snapshot_us", snapshot_us.into()),
+        ("restore_us", restore_us.into()),
     ]
 }
 
@@ -228,6 +277,7 @@ fn unweighted_sweep(
                             ),
                         ];
                         fields.extend(telemetry_fields(&snap));
+                        fields.extend(persistence_fields(&config, &setup, &ticks));
                         println!("{}", json_line(&fields));
                     }
                 }
@@ -310,6 +360,7 @@ fn weighted_sweep(
                             ),
                         ];
                         fields.extend(telemetry_fields(&snap));
+                        fields.extend(persistence_fields(&config, &setup, &ticks));
                         println!("{}", json_line(&fields));
                     }
                 }

@@ -39,6 +39,7 @@ use crate::metrics::{Metrics, MetricsSnapshot, TickDigest};
 use crate::op::{Op, OpError, OpOutput, OpResult, ReadOutcome, ReadTick, Tick, TickOutcome};
 use crate::query::{QueryBatch, QueryReport};
 use crate::session::{Backend, IngestReport, StreamingLis};
+use crate::snapshot::{EngineSnapshot, SessionSnapshot};
 use crate::wsession::{WeightedIngestReport, WeightedStreamingLis};
 use plis_lis::DominantMaxKind;
 use rayon::prelude::*;
@@ -189,6 +190,8 @@ enum OpRef<'a> {
     Query(&'a QueryBatch),
     Create(SessionKind),
     Remove,
+    Snapshot,
+    Restore(&'a SessionSnapshot),
 }
 
 impl Op {
@@ -200,6 +203,8 @@ impl Op {
             Op::Query(q) => OpRef::Query(q),
             Op::CreateSession { kind } => OpRef::Create(*kind),
             Op::RemoveSession => OpRef::Remove,
+            Op::Snapshot => OpRef::Snapshot,
+            Op::Restore(snapshot) => OpRef::Restore(snapshot),
         }
     }
 }
@@ -404,12 +409,16 @@ const INLINE_TICK_WEIGHT: usize = 256;
 
 /// Estimated work of one tick slot, in ingest-element units: appends
 /// charge their batch length, reads charge [`query_weight`], lifecycle
-/// ops charge 1.
+/// ops charge 1.  A snapshot walks the session's whole maintained state
+/// (a certificate-weight read); a restore re-validates and rebuilds from
+/// the captured stream, so it charges the stream length.
 fn op_weight(op: &OpRef<'_>) -> usize {
     match op {
         OpRef::Append(batch) => batch.len(),
         OpRef::Query(batch) => query_weight(batch),
         OpRef::Create(_) | OpRef::Remove => 1,
+        OpRef::Snapshot => 64,
+        OpRef::Restore(snapshot) => snapshot.len().max(1),
     }
 }
 
@@ -479,6 +488,24 @@ impl Shard {
                         .remove(id.as_str())
                         .map(|_| OpOutput::Removed)
                         .ok_or(OpError::UnknownSession),
+                    OpRef::Snapshot => self
+                        .sessions
+                        .get(id.as_str())
+                        .map(|state| {
+                            OpOutput::Snapshotted(Box::new(SessionSnapshot::capture(state)))
+                        })
+                        .ok_or(OpError::UnknownSession),
+                    OpRef::Restore(snapshot) => match self.sessions.entry(id.key()) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            Err(OpError::SessionExists { kind: e.get().kind() })
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            snapshot.restore_state(config).map(|state| {
+                                e.insert(state);
+                                OpOutput::Restored
+                            })
+                        }
+                    },
                 };
                 metrics.record_op_since(timer);
                 (index, id.clone(), result)
@@ -741,6 +768,70 @@ impl Engine {
     /// Current best dp score of a weighted session, if it exists.
     pub fn best_score(&self, id: &str) -> Option<u64> {
         self.weighted_session(id).map(WeightedStreamingLis::best_score)
+    }
+
+    /// Snapshot one session's complete algorithmic state, if it exists.
+    /// Convenience over [`Op::Snapshot`] for administrative callers
+    /// outside a tick; use the op form when the checkpoint must be
+    /// ordered against other traffic.
+    pub fn snapshot_session(&self, id: &str) -> Option<SessionSnapshot> {
+        self.session_state(id).map(SessionSnapshot::capture)
+    }
+
+    /// Restore a session from a snapshot under a fresh id.  Validates the
+    /// snapshot first and fails with a typed [`OpError`] — never a panic,
+    /// never a partially restored session — when the id is taken, the
+    /// universe disagrees, or the snapshot is internally inconsistent.
+    /// Convenience over [`Op::Restore`] for administrative callers
+    /// outside a tick.
+    pub fn restore_session(
+        &mut self,
+        id: impl Into<SessionId>,
+        snapshot: &SessionSnapshot,
+    ) -> Result<(), OpError> {
+        let id = id.into();
+        let shard = self.shard_index(id.as_str());
+        if self.shards[shard].sessions.contains_key(id.as_str()) {
+            let kind = self.shards[shard].sessions[id.as_str()].kind();
+            return Err(OpError::SessionExists { kind });
+        }
+        let state = snapshot.restore_state(&self.config)?;
+        self.shards[shard].sessions.insert(id.key(), state);
+        Ok(())
+    }
+
+    /// Snapshot the whole engine: every live session, keyed and sorted by
+    /// id (the [`Engine::session_ids`] order).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let sessions = self
+            .session_ids()
+            .into_iter()
+            .map(|id| {
+                let snapshot =
+                    SessionSnapshot::capture(self.session_state(id.as_str()).expect("listed id"));
+                (id.as_str().to_string(), snapshot)
+            })
+            .collect();
+        EngineSnapshot { universe: self.config.universe, sessions }
+    }
+
+    /// Build a fresh engine from an engine snapshot under the given
+    /// configuration.  `config.universe` must match the snapshot's;
+    /// sharding, backend and path policy are free to differ (outcomes are
+    /// deterministic across all of them).  All-or-nothing: any rejected
+    /// session means no engine.
+    pub fn restore(config: EngineConfig, snapshot: &EngineSnapshot) -> Result<Engine, OpError> {
+        if config.universe != snapshot.universe {
+            return Err(OpError::UniverseMismatch {
+                snapshot: snapshot.universe,
+                universe: config.universe,
+            });
+        }
+        let mut engine = Engine::new(config);
+        for (id, session) in &snapshot.sessions {
+            engine.restore_session(id.as_str(), session)?;
+        }
+        Ok(engine)
     }
 
     /// Execute one tick of commands — the engine's **single write/mixed

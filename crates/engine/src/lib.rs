@@ -43,6 +43,15 @@
 //!   ([`Query::CountAt`]), top-k by dp ([`Query::TopK`]), and full
 //!   LIS/WLIS certificate reconstruction ([`Query::Certificate`]),
 //!   batched per session ([`QueryBatch`]).
+//! * The **persistence plane** ([`snapshot`]) — versioned, checksummed
+//!   binary snapshots of session and engine state
+//!   ([`SessionSnapshot`] / [`EngineSnapshot`], hand-rolled codec, typed
+//!   [`SnapshotError`]s, never panics on foreign bytes), checkpoint ops
+//!   on the command plane ([`Op::Snapshot`] / [`Op::Restore`]) so
+//!   checkpoints are tick-ordered like every other command, and a tick
+//!   journal + replay driver ([`TickJournal`], [`replay_journal_from`])
+//!   whose restore-then-replay outcome is bit-identical to a
+//!   never-stopped engine.
 //! * The **telemetry plane** ([`metrics`]) — per-engine counters and
 //!   log-scale latency histograms behind the `telemetry` feature
 //!   (default on; compiled to no-ops when off), read through
@@ -104,6 +113,7 @@ pub mod op;
 pub mod query;
 mod rankindex;
 pub mod session;
+pub mod snapshot;
 #[cfg(test)]
 mod testutil;
 pub mod wsession;
@@ -118,6 +128,10 @@ pub use plis_lis::DominantMaxKind;
 pub use plis_telemetry::{HistogramSnapshot, MemorySink, TraceSink};
 pub use query::{Certificate, Query, QueryAnswer, QueryBatch, QueryReport};
 pub use session::{Backend, IngestPath, IngestReport, StreamingLis, StreamingLisOn};
+pub use snapshot::{
+    decode_tick, encode_tick, replay_journal, replay_journal_from, EngineSnapshot, ReplayReport,
+    SessionSnapshot, SnapshotError, TickJournal,
+};
 pub use wsession::{WeightedIngestReport, WeightedStreamingLis};
 
 #[allow(deprecated)]

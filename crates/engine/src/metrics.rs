@@ -123,6 +123,8 @@ mod real {
         ops_queried: Counter,
         ops_created: Counter,
         ops_removed: Counter,
+        ops_snapshotted: Counter,
+        ops_restored: Counter,
         ops_failed: Counter,
         elems_ingested: Counter,
         queries_answered: Counter,
@@ -218,6 +220,8 @@ mod real {
                     Ok(OpOutput::Answered(_)) => self.ops_queried.inc(),
                     Ok(OpOutput::Created) => self.ops_created.inc(),
                     Ok(OpOutput::Removed) => self.ops_removed.inc(),
+                    Ok(OpOutput::Snapshotted(_)) => self.ops_snapshotted.inc(),
+                    Ok(OpOutput::Restored) => self.ops_restored.inc(),
                     Err(_) => {}
                 }
             }
@@ -266,6 +270,8 @@ mod real {
                 ops_queried: self.ops_queried.get(),
                 ops_created: self.ops_created.get(),
                 ops_removed: self.ops_removed.get(),
+                ops_snapshotted: self.ops_snapshotted.get(),
+                ops_restored: self.ops_restored.get(),
                 ops_failed: self.ops_failed.get(),
                 elems_ingested: self.elems_ingested.get(),
                 queries_answered: self.queries_answered.get(),
@@ -369,6 +375,10 @@ pub struct MetricsSnapshot {
     pub ops_created: u64,
     /// Remove-session ops that succeeded.
     pub ops_removed: u64,
+    /// Snapshot ops that succeeded ([`crate::Op::Snapshot`]).
+    pub ops_snapshotted: u64,
+    /// Restore ops that succeeded ([`crate::Op::Restore`]).
+    pub ops_restored: u64,
     /// Ops that resolved to a typed error.
     pub ops_failed: u64,
     /// Elements ingested across all append ops.
@@ -450,6 +460,8 @@ impl MetricsSnapshot {
         self.ops_queried += other.ops_queried;
         self.ops_created += other.ops_created;
         self.ops_removed += other.ops_removed;
+        self.ops_snapshotted += other.ops_snapshotted;
+        self.ops_restored += other.ops_restored;
         self.ops_failed += other.ops_failed;
         self.elems_ingested += other.elems_ingested;
         self.queries_answered += other.queries_answered;
@@ -495,6 +507,8 @@ impl MetricsSnapshot {
             ("ops_queried", JsonValue::from(self.ops_queried)),
             ("ops_created", JsonValue::from(self.ops_created)),
             ("ops_removed", JsonValue::from(self.ops_removed)),
+            ("ops_snapshotted", JsonValue::from(self.ops_snapshotted)),
+            ("ops_restored", JsonValue::from(self.ops_restored)),
             ("ops_failed", JsonValue::from(self.ops_failed)),
             ("elems_ingested", JsonValue::from(self.elems_ingested)),
             ("queries_answered", JsonValue::from(self.queries_answered)),

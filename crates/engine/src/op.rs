@@ -35,6 +35,7 @@
 
 use crate::engine::{BatchReport, SessionId, SessionKind, TickBatch};
 use crate::query::{Query, QueryBatch, QueryReport};
+use crate::snapshot::{SessionSnapshot, SnapshotError};
 
 /// One command addressed to a session — the unit of every [`Tick`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,6 +61,21 @@ pub enum Op {
     /// Drop the session and all its state.  Fails with
     /// [`OpError::UnknownSession`] if the id is not live.
     RemoveSession,
+    /// Capture a point-in-time [`SessionSnapshot`] of the session; the
+    /// snapshot rides back on [`OpOutput::Snapshotted`].  Running the
+    /// capture as an op makes checkpointing **tick-ordered** like every
+    /// other command: the snapshot observes every earlier op of the same
+    /// tick addressed to this session and none after it.  Fails with
+    /// [`OpError::UnknownSession`] if the id is not live.
+    Snapshot,
+    /// Rebuild a session from a snapshot under this id (boxed: a snapshot
+    /// carries whole stream arrays and would otherwise dominate the size
+    /// of every `Op`).  Fails with [`OpError::SessionExists`] if the id is
+    /// already live, [`OpError::UniverseMismatch`] if the snapshot was
+    /// taken over a different universe, and
+    /// [`OpError::InvalidSnapshot`] if the snapshot state is internally
+    /// inconsistent; on any failure nothing is created.
+    Restore(Box<SessionSnapshot>),
 }
 
 impl Op {
@@ -215,6 +231,17 @@ impl Tick {
         self.op(id, Op::RemoveSession)
     }
 
+    /// Capture a tick-ordered snapshot of the session under `id`
+    /// (chainable).
+    pub fn snapshot(self, id: impl Into<SessionId>) -> Self {
+        self.op(id, Op::Snapshot)
+    }
+
+    /// Restore a session from `snapshot` under `id` (chainable).
+    pub fn restore(self, id: impl Into<SessionId>, snapshot: SessionSnapshot) -> Self {
+        self.op(id, Op::Restore(Box::new(snapshot)))
+    }
+
     /// Add one op for `id` without consuming the builder.
     pub fn push(&mut self, id: impl Into<SessionId>, op: impl Into<Op>) {
         self.slots.push((id.into(), op.into()));
@@ -312,6 +339,11 @@ pub enum OpOutput {
     Created,
     /// [`Op::RemoveSession`] dropped the session.
     Removed,
+    /// [`Op::Snapshot`] captured the session; the snapshot rides the
+    /// outcome (boxed for the same size reason as [`Op::Restore`]).
+    Snapshotted(Box<SessionSnapshot>),
+    /// [`Op::Restore`] rebuilt the session from its snapshot.
+    Restored,
 }
 
 impl OpOutput {
@@ -343,6 +375,14 @@ impl OpOutput {
     pub fn as_answered(&self) -> Option<&QueryReport> {
         match self {
             OpOutput::Answered(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The captured snapshot, if this op was a [`Op::Snapshot`].
+    pub fn as_snapshot(&self) -> Option<&SessionSnapshot> {
+        match self {
+            OpOutput::Snapshotted(s) => Some(s),
             _ => None,
         }
     }
@@ -379,6 +419,19 @@ pub enum OpError {
         /// Kind of the session already holding the id.
         kind: SessionKind,
     },
+    /// [`Op::Restore`] offered a snapshot taken over a different value
+    /// universe than the engine is configured with.
+    UniverseMismatch {
+        /// Universe the snapshot was captured over.
+        snapshot: u64,
+        /// Universe the engine is configured with.
+        universe: u64,
+    },
+    /// [`Op::Restore`] offered a snapshot whose state is internally
+    /// inconsistent (hand-crafted or decoded from a damaged stream); the
+    /// embedded [`SnapshotError`] says how validation failed.  Nothing was
+    /// restored.
+    InvalidSnapshot(SnapshotError),
 }
 
 impl std::fmt::Display for OpError {
@@ -393,6 +446,12 @@ impl std::fmt::Display for OpError {
             }
             OpError::SessionExists { kind } => {
                 write!(f, "session already exists (kind {kind:?})")
+            }
+            OpError::UniverseMismatch { snapshot, universe } => {
+                write!(f, "snapshot universe {snapshot} does not match engine universe {universe}")
+            }
+            OpError::InvalidSnapshot(e) => {
+                write!(f, "snapshot rejected: {e}")
             }
         }
     }
@@ -439,6 +498,10 @@ pub struct TickOutcome {
     pub sessions_created: usize,
     /// Sessions dropped by [`Op::RemoveSession`] ops.
     pub sessions_removed: usize,
+    /// Sessions captured by [`Op::Snapshot`] ops.
+    pub sessions_snapshotted: usize,
+    /// Sessions rebuilt by [`Op::Restore`] ops.
+    pub sessions_restored: usize,
     /// Number of ops rejected with an [`OpError`].
     pub failed_ops: usize,
     /// Number of distinct worker threads that processed shards in this
@@ -466,6 +529,8 @@ impl PartialEq for TickOutcome {
             && self.sessions_queried == other.sessions_queried
             && self.sessions_created == other.sessions_created
             && self.sessions_removed == other.sessions_removed
+            && self.sessions_snapshotted == other.sessions_snapshotted
+            && self.sessions_restored == other.sessions_restored
             && self.failed_ops == other.failed_ops
     }
 }
@@ -501,6 +566,11 @@ impl TickOutcome {
             sessions_queried,
             sessions_created: count(&OpOutput::Created),
             sessions_removed: count(&OpOutput::Removed),
+            sessions_snapshotted: outcomes
+                .iter()
+                .filter(|(_, r)| matches!(r, Ok(OpOutput::Snapshotted(_))))
+                .count(),
+            sessions_restored: count(&OpOutput::Restored),
             failed_ops: outcomes.iter().filter(|(_, r)| r.is_err()).count(),
             worker_threads,
             elapsed_ns: 0,

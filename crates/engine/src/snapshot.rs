@@ -1,0 +1,949 @@
+//! The engine's **persistence plane**: versioned binary snapshots of
+//! session state, plus the tick codec and replay driver that pair them
+//! with the append-only journal in `plis-telemetry`.
+//!
+//! # Why hand-rolled
+//!
+//! The build environment has no registry access, so `serde`/`bincode` are
+//! unavailable; the codec here is written by hand against a fixed byte
+//! layout.  That also keeps the format honest: every field is spelled out
+//! below, and the proptest layer round-trips it.
+//!
+//! # Format
+//!
+//! Every artifact is a *sealed container*, little-endian throughout:
+//!
+//! ```text
+//! [magic "PLISSNAP": 8][version: u8][payload kind: u8]
+//! [crc64(payload): u64][payload bytes...]
+//! ```
+//!
+//! The CRC is CRC-64/XZ ([`plis_telemetry::crc64`]) over the payload, so
+//! any single mutated byte — header or payload — fails decode with a typed
+//! [`SnapshotError`]; nothing in this module panics on foreign bytes.
+//! Payload kinds: `0` = one session, `1` = a whole engine, `2` = one tick.
+//! The version byte is bumped on any layout change; old readers reject new
+//! artifacts with [`SnapshotError::UnsupportedVersion`] instead of
+//! misparsing them.
+//!
+//! Inside a payload, integers are fixed-width little-endian and every
+//! array is length-prefixed with a `u64`.  A session payload is
+//!
+//! ```text
+//! [session kind: u8]
+//! kind 0 (unweighted): [universe: u64][values][ranks (u32)][tails]
+//! kind 1 (weighted):   [universe: u64][values][weights][scores][frontier pairs]
+//! ```
+//!
+//! # Validation: decode implies restorable
+//!
+//! [`SessionSnapshot::decode`] (and [`SessionSnapshot::validate`], which
+//! the restore paths also run on programmatically built snapshots)
+//! re-derives the summary state from the captured stream — a sequential
+//! patience pass for ranks/tails, a sequential Algorithm-2 pass for
+//! scores/frontier — and rejects any disagreement.  A snapshot that
+//! decodes is therefore *exactly* the state ingesting its stream would
+//! produce, so restore can rebuild the derived structures (rank index,
+//! tail-set mirror, score multiplicities) without re-checking anything,
+//! and no later query can trip an internal invariant.  Restore is
+//! all-or-nothing: a rejected snapshot creates no session.
+//!
+//! # Snapshot + journal ≡ never stopped
+//!
+//! The engine is deterministic tick-for-tick (the `determinism.rs` layer
+//! pins this), so the recovery contract is compositional: a snapshot
+//! captures the complete algorithmic state of its sessions (values, ranks,
+//! tails / weights, scores, frontier — everything ingest reads), and
+//! replaying the journal suffix from that state applies the exact same
+//! per-session op sequences the uninterrupted engine saw.  The
+//! `snapshot_replay.rs` differential suite asserts the resulting outcomes,
+//! answers and certificates are bit-identical.
+
+use crate::engine::{Engine, EngineConfig, SessionKind, SessionState};
+use crate::op::{Op, OpError, Tick, TickOutcome};
+use crate::query::{Query, QueryBatch};
+use crate::session::StreamingLisOn;
+use crate::wsession::WeightedStreamingLis;
+use plis_lis::DominantMaxKind;
+use plis_telemetry::{crc64, read_journal, JournalTail, JournalWriter};
+use std::io::{self, Write};
+
+/// Leading magic of every sealed artifact.
+const MAGIC: &[u8; 8] = b"PLISSNAP";
+
+/// Current format version; bumped on any layout change.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// Sealed-container header length: magic + version + payload kind + CRC.
+const HEADER_LEN: usize = 8 + 1 + 1 + 8;
+
+/// Payload kind byte: one session.
+const PAYLOAD_SESSION: u8 = 0;
+/// Payload kind byte: a whole engine.
+const PAYLOAD_ENGINE: u8 = 1;
+/// Payload kind byte: one tick.
+const PAYLOAD_TICK: u8 = 2;
+
+/// Why a byte stream failed to decode (or a snapshot failed validation).
+/// Decoding foreign bytes never panics: every failure is one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The stream ended before the announced data did.
+    Truncated,
+    /// The stream does not start with the `PLISSNAP` magic.
+    BadMagic,
+    /// The stream announces a format version this build cannot read.
+    UnsupportedVersion(u8),
+    /// A checksum failed: some byte of the stream was altered.
+    ChecksumMismatch,
+    /// The framing is intact but the content is inconsistent — the
+    /// message names the first violated property.
+    Malformed(&'static str),
+    /// The payload decoded completely but bytes remain after it.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "byte stream truncated"),
+            SnapshotError::BadMagic => write!(f, "not a plis snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported format version {v} (this build reads {FORMAT_VERSION})")
+            }
+            SnapshotError::ChecksumMismatch => write!(f, "checksum mismatch"),
+            SnapshotError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            SnapshotError::TrailingBytes => write!(f, "trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+// ---------------------------------------------------------------------------
+// Byte-level helpers.
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64s(out: &mut Vec<u8>, xs: &[u64]) {
+    put_u64(out, xs.len() as u64);
+    for &x in xs {
+        put_u64(out, x);
+    }
+}
+
+fn put_u32s(out: &mut Vec<u8>, xs: &[u32]) {
+    put_u64(out, xs.len() as u64);
+    for &x in xs {
+        put_u32(out, x);
+    }
+}
+
+fn put_pairs(out: &mut Vec<u8>, xs: &[(u64, u64)]) {
+    put_u64(out, xs.len() as u64);
+    for &(a, b) in xs {
+        put_u64(out, a);
+        put_u64(out, b);
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked reader over a payload slice.  Every accessor returns
+/// [`SnapshotError::Truncated`] instead of slicing out of range, and the
+/// array readers verify the announced length fits the remaining bytes
+/// *before* allocating, so a corrupted length can never trigger a huge
+/// allocation.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an array length and check `len * elem_size` fits the bytes
+    /// that are actually left.
+    fn len(&mut self, elem_size: usize) -> Result<usize, SnapshotError> {
+        let n = usize::try_from(self.u64()?).map_err(|_| SnapshotError::Truncated)?;
+        match n.checked_mul(elem_size) {
+            Some(bytes) if bytes <= self.bytes.len() - self.pos => Ok(n),
+            _ => Err(SnapshotError::Truncated),
+        }
+    }
+
+    fn u64s(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn u32s(&mut self) -> Result<Vec<u32>, SnapshotError> {
+        let n = self.len(4)?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    fn pairs(&mut self) -> Result<Vec<(u64, u64)>, SnapshotError> {
+        let n = self.len(16)?;
+        (0..n).map(|_| Ok((self.u64()?, self.u64()?))).collect()
+    }
+
+    fn str(&mut self) -> Result<&'a str, SnapshotError> {
+        let n = self.len(1)?;
+        std::str::from_utf8(self.take(n)?)
+            .map_err(|_| SnapshotError::Malformed("session id is not valid UTF-8"))
+    }
+
+    fn finish(&self) -> Result<(), SnapshotError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(SnapshotError::TrailingBytes)
+        }
+    }
+}
+
+/// Wrap `payload` in the sealed container (magic, version, kind, CRC).
+fn seal(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.push(FORMAT_VERSION);
+    out.push(kind);
+    put_u64(&mut out, crc64(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Check the sealed container around `bytes` and return the verified
+/// payload slice.
+fn open(bytes: &[u8], kind: u8) -> Result<&[u8], SnapshotError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapshotError::Truncated);
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    if bytes[8] != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(bytes[8]));
+    }
+    let crc = u64::from_le_bytes(bytes[10..18].try_into().unwrap());
+    let payload = &bytes[HEADER_LEN..];
+    if crc64(payload) != crc {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    if bytes[9] != kind {
+        return Err(SnapshotError::Malformed("sealed payload is of a different kind"));
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Session snapshots.
+
+/// Point-in-time state of one session — everything its ingest and query
+/// paths read.  Derived structures (the flat rank index, the tail-set
+/// mirror, the score-multiplicity map) are *not* stored: they are pure
+/// functions of the fields here and are rebuilt on restore, which keeps
+/// the format small and the validation story airtight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionSnapshot {
+    /// An unweighted (plain LIS) session.
+    Unweighted {
+        /// Value universe the session runs over.
+        universe: u64,
+        /// Every ingested value, in arrival order.
+        values: Vec<u64>,
+        /// Exact per-element ranks (dp values), final on ingest.
+        ranks: Vec<u32>,
+        /// The patience tails, extracted through the tail-set mirror's
+        /// bulk export (strictly increasing).
+        tails: Vec<u64>,
+    },
+    /// A weighted (Algorithm-2) session.
+    Weighted {
+        /// Value universe the session runs over.
+        universe: u64,
+        /// Every ingested value, in arrival order.
+        values: Vec<u64>,
+        /// Every ingested weight, in arrival order.
+        weights: Vec<u64>,
+        /// Exact per-element dp scores, final on ingest.
+        scores: Vec<u64>,
+        /// The Pareto frontier of `(value, score)` pairs (strictly
+        /// increasing in both coordinates).
+        frontier: Vec<(u64, u64)>,
+    },
+}
+
+impl SessionSnapshot {
+    /// Capture the complete algorithmic state of a live session.
+    pub fn capture(state: &SessionState) -> SessionSnapshot {
+        match state {
+            SessionState::Unweighted(s) => {
+                let mut tails = Vec::new();
+                s.export_tails_into(&mut tails);
+                SessionSnapshot::Unweighted {
+                    universe: s.universe(),
+                    values: s.values().to_vec(),
+                    ranks: s.ranks().to_vec(),
+                    tails,
+                }
+            }
+            SessionState::Weighted(s) => SessionSnapshot::Weighted {
+                universe: s.universe(),
+                values: s.values().to_vec(),
+                weights: s.weights().to_vec(),
+                scores: s.scores().to_vec(),
+                frontier: s.frontier().to_vec(),
+            },
+        }
+    }
+
+    /// Which session kind this snapshot restores to.
+    pub fn kind(&self) -> SessionKind {
+        match self {
+            SessionSnapshot::Unweighted { .. } => SessionKind::Unweighted,
+            SessionSnapshot::Weighted { .. } => SessionKind::Weighted,
+        }
+    }
+
+    /// The universe the snapshot was captured over.
+    pub fn universe(&self) -> u64 {
+        match self {
+            SessionSnapshot::Unweighted { universe, .. }
+            | SessionSnapshot::Weighted { universe, .. } => *universe,
+        }
+    }
+
+    /// Number of stream elements the snapshot holds.
+    pub fn len(&self) -> usize {
+        match self {
+            SessionSnapshot::Unweighted { values, .. }
+            | SessionSnapshot::Weighted { values, .. } => values.len(),
+        }
+    }
+
+    /// True when the captured stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialize into a sealed, checksummed byte stream.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(16 * self.len() + 64);
+        self.encode_payload(&mut payload);
+        seal(PAYLOAD_SESSION, &payload)
+    }
+
+    /// Decode a sealed byte stream produced by [`SessionSnapshot::encode`].
+    ///
+    /// Never panics: framing damage, version skew and semantic
+    /// inconsistencies all come back as typed [`SnapshotError`]s, and a
+    /// snapshot that decodes is guaranteed restorable (see the module
+    /// docs).
+    pub fn decode(bytes: &[u8]) -> Result<SessionSnapshot, SnapshotError> {
+        let mut r = Reader::new(open(bytes, PAYLOAD_SESSION)?);
+        let snapshot = SessionSnapshot::decode_payload(&mut r)?;
+        r.finish()?;
+        Ok(snapshot)
+    }
+
+    /// Write the (unsealed) session payload; used directly when nesting
+    /// inside engine snapshots and tick records.
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            SessionSnapshot::Unweighted { universe, values, ranks, tails } => {
+                out.push(0);
+                put_u64(out, *universe);
+                put_u64s(out, values);
+                put_u32s(out, ranks);
+                put_u64s(out, tails);
+            }
+            SessionSnapshot::Weighted { universe, values, weights, scores, frontier } => {
+                out.push(1);
+                put_u64(out, *universe);
+                put_u64s(out, values);
+                put_u64s(out, weights);
+                put_u64s(out, scores);
+                put_pairs(out, frontier);
+            }
+        }
+    }
+
+    /// Read one session payload (validated) from `r`.
+    fn decode_payload(r: &mut Reader<'_>) -> Result<SessionSnapshot, SnapshotError> {
+        let snapshot = match r.u8()? {
+            0 => SessionSnapshot::Unweighted {
+                universe: r.u64()?,
+                values: r.u64s()?,
+                ranks: r.u32s()?,
+                tails: r.u64s()?,
+            },
+            1 => SessionSnapshot::Weighted {
+                universe: r.u64()?,
+                values: r.u64s()?,
+                weights: r.u64s()?,
+                scores: r.u64s()?,
+                frontier: r.pairs()?,
+            },
+            _ => return Err(SnapshotError::Malformed("unknown session kind byte")),
+        };
+        snapshot.validate()?;
+        Ok(snapshot)
+    }
+
+    /// Check that the snapshot is internally consistent — i.e. that the
+    /// summary state (ranks/tails or scores/frontier) is exactly what
+    /// ingesting the captured stream produces.  [`SessionSnapshot::decode`]
+    /// runs this on every decode, and the restore paths run it again on
+    /// snapshots handed to them directly, so a hand-crafted inconsistent
+    /// snapshot is rejected instead of poisoning a session.
+    pub fn validate(&self) -> Result<(), SnapshotError> {
+        match self {
+            SessionSnapshot::Unweighted { universe, values, ranks, tails } => {
+                validate_unweighted(*universe, values, ranks, tails)
+            }
+            SessionSnapshot::Weighted { universe, values, weights, scores, frontier } => {
+                validate_weighted(*universe, values, weights, scores, frontier)
+            }
+        }
+    }
+
+    /// Build the live session state this snapshot describes, using the
+    /// engine's configured backend / dominant-max store / path policy for
+    /// the rebuilt derived structures.  Validates first; all-or-nothing.
+    pub(crate) fn restore_state(&self, config: &EngineConfig) -> Result<SessionState, OpError> {
+        if self.universe() != config.universe {
+            return Err(OpError::UniverseMismatch {
+                snapshot: self.universe(),
+                universe: config.universe,
+            });
+        }
+        self.validate().map_err(OpError::InvalidSnapshot)?;
+        Ok(match self {
+            SessionSnapshot::Unweighted { universe, values, ranks, tails } => {
+                SessionState::Unweighted(StreamingLisOn::from_restored(
+                    *universe,
+                    values.clone(),
+                    ranks.clone(),
+                    tails.clone(),
+                    config.backend.store(*universe),
+                    config.path_policy,
+                ))
+            }
+            SessionSnapshot::Weighted { universe, values, weights, scores, frontier } => {
+                SessionState::Weighted(WeightedStreamingLis::from_restored(
+                    *universe,
+                    values.clone(),
+                    weights.clone(),
+                    scores.clone(),
+                    frontier.clone(),
+                    config.dommax,
+                    config.path_policy,
+                ))
+            }
+        })
+    }
+}
+
+/// Re-run the sequential patience pass over `values` and require `ranks`
+/// and `tails` to match it exactly.
+fn validate_unweighted(
+    universe: u64,
+    values: &[u64],
+    ranks: &[u32],
+    tails: &[u64],
+) -> Result<(), SnapshotError> {
+    if universe == 0 {
+        return Err(SnapshotError::Malformed("universe must be non-empty"));
+    }
+    if values.len() != ranks.len() {
+        return Err(SnapshotError::Malformed("values and ranks differ in length"));
+    }
+    if values.len() > u32::MAX as usize {
+        return Err(SnapshotError::Malformed("stream exceeds u32 element addressing"));
+    }
+    if values.iter().any(|&v| v >= universe) {
+        return Err(SnapshotError::Malformed("value outside the universe"));
+    }
+    let mut t: Vec<u64> = Vec::with_capacity(tails.len());
+    for (&v, &r) in values.iter().zip(ranks) {
+        let pos = t.partition_point(|&x| x < v);
+        if r as usize != pos + 1 {
+            return Err(SnapshotError::Malformed("ranks inconsistent with the value stream"));
+        }
+        if pos == t.len() {
+            t.push(v);
+        } else if v < t[pos] {
+            t[pos] = v;
+        }
+    }
+    if t != tails {
+        return Err(SnapshotError::Malformed("tails inconsistent with the value stream"));
+    }
+    Ok(())
+}
+
+/// Re-run the sequential Algorithm-2 pass over the stream and require
+/// `scores` and `frontier` to match it exactly.
+fn validate_weighted(
+    universe: u64,
+    values: &[u64],
+    weights: &[u64],
+    scores: &[u64],
+    frontier: &[(u64, u64)],
+) -> Result<(), SnapshotError> {
+    if universe == 0 {
+        return Err(SnapshotError::Malformed("universe must be non-empty"));
+    }
+    if values.len() != weights.len() || values.len() != scores.len() {
+        return Err(SnapshotError::Malformed("values, weights and scores differ in length"));
+    }
+    if values.iter().any(|&v| v >= universe) {
+        return Err(SnapshotError::Malformed("value outside the universe"));
+    }
+    let mut probe =
+        WeightedStreamingLis::new(universe, DominantMaxKind::Auto).with_par_threshold(usize::MAX);
+    let pairs: Vec<(u64, u64)> = values.iter().zip(weights).map(|(&v, &w)| (v, w)).collect();
+    probe.ingest(&pairs);
+    if probe.scores() != scores {
+        return Err(SnapshotError::Malformed("scores inconsistent with the stream"));
+    }
+    if probe.frontier() != frontier {
+        return Err(SnapshotError::Malformed("frontier inconsistent with the stream"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Engine snapshots.
+
+/// Point-in-time state of a whole engine: every live session's snapshot,
+/// keyed by id and sorted by it (the same order `session_ids()` reports),
+/// plus the configured universe.
+///
+/// Sharding, path policy and backend selection are *not* stored: they are
+/// configuration, not state, and a snapshot may legitimately be restored
+/// into an engine with a different shard count or backend — outcomes are
+/// bit-identical either way (the determinism layers pin this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    /// The engine's value universe.
+    pub universe: u64,
+    /// `(id, snapshot)` per live session, sorted by id.
+    pub sessions: Vec<(String, SessionSnapshot)>,
+}
+
+impl EngineSnapshot {
+    /// Serialize into a sealed, checksummed byte stream.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, self.universe);
+        put_u64(&mut payload, self.sessions.len() as u64);
+        for (id, snapshot) in &self.sessions {
+            put_str(&mut payload, id);
+            snapshot.encode_payload(&mut payload);
+        }
+        seal(PAYLOAD_ENGINE, &payload)
+    }
+
+    /// Decode a sealed byte stream produced by [`EngineSnapshot::encode`].
+    /// Every nested session is validated; never panics.
+    pub fn decode(bytes: &[u8]) -> Result<EngineSnapshot, SnapshotError> {
+        let mut r = Reader::new(open(bytes, PAYLOAD_ENGINE)?);
+        let universe = r.u64()?;
+        // Each session costs at least an id length and a kind byte.
+        let n = r.len(9)?;
+        let mut sessions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = r.str()?.to_string();
+            if let Some((last, _)) = sessions.last() {
+                if *last >= id {
+                    return Err(SnapshotError::Malformed("session ids must be sorted and unique"));
+                }
+            }
+            let snapshot = SessionSnapshot::decode_payload(&mut r)?;
+            if snapshot.universe() != universe {
+                return Err(SnapshotError::Malformed(
+                    "session universe differs from the engine universe",
+                ));
+            }
+            sessions.push((id, snapshot));
+        }
+        r.finish()?;
+        Ok(EngineSnapshot { universe, sessions })
+    }
+
+    /// Number of sessions captured.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The tick codec.
+
+/// Serialize one tick into a sealed, checksummed byte stream — the record
+/// format of the tick journal.
+pub fn encode_tick(tick: &Tick) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.push(tick.creates_missing() as u8);
+    put_u64(&mut payload, tick.slots().len() as u64);
+    for (id, op) in tick.slots() {
+        put_str(&mut payload, id.as_str());
+        encode_op(&mut payload, op);
+    }
+    seal(PAYLOAD_TICK, &payload)
+}
+
+/// Decode a sealed byte stream produced by [`encode_tick`].  Never
+/// panics; nested [`Op::Restore`] snapshots are validated like any other.
+pub fn decode_tick(bytes: &[u8]) -> Result<Tick, SnapshotError> {
+    let mut r = Reader::new(open(bytes, PAYLOAD_TICK)?);
+    let create_missing = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(SnapshotError::Malformed("create_missing must be 0 or 1")),
+    };
+    let mut tick = if create_missing { Tick::new().auto_create() } else { Tick::new() };
+    // Each slot costs at least an id length and an op tag.
+    let n = r.len(9)?;
+    for _ in 0..n {
+        let id = r.str()?.to_string();
+        let op = decode_op(&mut r)?;
+        tick.push(id, op);
+    }
+    r.finish()?;
+    Ok(tick)
+}
+
+fn encode_kind(out: &mut Vec<u8>, kind: SessionKind) {
+    out.push(match kind {
+        SessionKind::Unweighted => 0,
+        SessionKind::Weighted => 1,
+    });
+}
+
+fn decode_kind(r: &mut Reader<'_>) -> Result<SessionKind, SnapshotError> {
+    match r.u8()? {
+        0 => Ok(SessionKind::Unweighted),
+        1 => Ok(SessionKind::Weighted),
+        _ => Err(SnapshotError::Malformed("unknown session kind byte")),
+    }
+}
+
+fn encode_op(out: &mut Vec<u8>, op: &Op) {
+    match op {
+        Op::Append(batch) => {
+            out.push(0);
+            put_u64s(out, batch);
+        }
+        Op::AppendWeighted(batch) => {
+            out.push(1);
+            put_pairs(out, batch);
+        }
+        Op::Query(batch) => {
+            out.push(2);
+            put_u64(out, batch.queries().len() as u64);
+            for &q in batch.queries() {
+                match q {
+                    Query::RankOf(i) => {
+                        out.push(0);
+                        put_u64(out, i as u64);
+                    }
+                    Query::CountAt(x) => {
+                        out.push(1);
+                        put_u64(out, x);
+                    }
+                    Query::TopK(k) => {
+                        out.push(2);
+                        put_u64(out, k as u64);
+                    }
+                    Query::Certificate => out.push(3),
+                }
+            }
+        }
+        Op::CreateSession { kind } => {
+            out.push(3);
+            encode_kind(out, *kind);
+        }
+        Op::RemoveSession => out.push(4),
+        Op::Snapshot => out.push(5),
+        Op::Restore(snapshot) => {
+            out.push(6);
+            snapshot.encode_payload(out);
+        }
+    }
+}
+
+fn decode_op(r: &mut Reader<'_>) -> Result<Op, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => Op::Append(r.u64s()?),
+        1 => Op::AppendWeighted(r.pairs()?),
+        2 => {
+            let n = r.len(1)?;
+            let mut queries = Vec::with_capacity(n);
+            for _ in 0..n {
+                queries.push(match r.u8()? {
+                    0 => Query::RankOf(
+                        usize::try_from(r.u64()?)
+                            .map_err(|_| SnapshotError::Malformed("rank-of index overflow"))?,
+                    ),
+                    1 => Query::CountAt(r.u64()?),
+                    2 => Query::TopK(
+                        usize::try_from(r.u64()?)
+                            .map_err(|_| SnapshotError::Malformed("top-k overflow"))?,
+                    ),
+                    3 => Query::Certificate,
+                    _ => return Err(SnapshotError::Malformed("unknown query tag")),
+                });
+            }
+            Op::Query(QueryBatch::new(queries))
+        }
+        3 => Op::CreateSession { kind: decode_kind(r)? },
+        4 => Op::RemoveSession,
+        5 => Op::Snapshot,
+        6 => Op::Restore(Box::new(SessionSnapshot::decode_payload(r)?)),
+        _ => return Err(SnapshotError::Malformed("unknown op tag")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The tick journal and the replay driver.
+
+/// Append-only journal of executed ticks: [`encode_tick`] records framed
+/// by the generic [`JournalWriter`] of `plis-telemetry` (each record
+/// independently checksummed, torn tails recoverable).  Write every tick
+/// *before* executing it — the recovery contract replays journalled ticks
+/// after the last snapshot, so a tick that executed but never reached the
+/// journal would be lost.
+#[derive(Debug)]
+pub struct TickJournal<W: Write> {
+    writer: JournalWriter<W>,
+}
+
+impl<W: Write> TickJournal<W> {
+    /// Start journalling onto `target` (a file, a
+    /// [`MemorySink`](plis_telemetry::MemorySink), a `Vec<u8>`, …).
+    pub fn new(target: W) -> Self {
+        TickJournal { writer: JournalWriter::new(target) }
+    }
+
+    /// Append one tick; flushed before returning.
+    pub fn record(&mut self, tick: &Tick) -> io::Result<()> {
+        self.writer.append(&encode_tick(tick))
+    }
+
+    /// Ticks recorded so far.
+    pub fn records(&self) -> u64 {
+        self.writer.records()
+    }
+
+    /// Borrow the underlying writer.
+    pub fn get_ref(&self) -> &W {
+        self.writer.get_ref()
+    }
+
+    /// Unwrap the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner()
+    }
+}
+
+/// What one journal replay did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// One outcome per replayed tick, in journal order.
+    pub outcomes: Vec<TickOutcome>,
+    /// Complete journal records skipped (the prefix a snapshot already
+    /// covers).
+    pub skipped: usize,
+    /// Bytes of a torn trailing record that were ignored (0 for a clean
+    /// journal) — the crash-recovery case.
+    pub truncated_bytes: usize,
+}
+
+/// Re-execute a tick journal against `engine`, starting after the first
+/// `skip` records (the ticks a restored snapshot already covers).
+///
+/// A torn trailing record — the classic kill-during-append — is ignored
+/// and reported via [`ReplayReport::truncated_bytes`]; a checksum failure
+/// on a *complete* record, or an undecodable tick, aborts with a typed
+/// error before executing anything further.
+pub fn replay_journal_from(
+    engine: &mut Engine,
+    journal: &[u8],
+    skip: usize,
+) -> Result<ReplayReport, SnapshotError> {
+    let contents = read_journal(journal).map_err(|_| SnapshotError::ChecksumMismatch)?;
+    let mut outcomes = Vec::new();
+    for record in contents.records.iter().skip(skip) {
+        let tick = decode_tick(record)?;
+        outcomes.push(engine.execute(&tick));
+    }
+    let truncated_bytes = match contents.tail {
+        JournalTail::Clean => 0,
+        JournalTail::Truncated { dropped_bytes } => dropped_bytes,
+    };
+    Ok(ReplayReport { outcomes, skipped: skip.min(contents.records.len()), truncated_bytes })
+}
+
+/// Re-execute a whole tick journal against `engine` (no skipping) — the
+/// from-scratch recovery path, equivalent to
+/// [`replay_journal_from`]`(engine, journal, 0)`.
+pub fn replay_journal(engine: &mut Engine, journal: &[u8]) -> Result<ReplayReport, SnapshotError> {
+    replay_journal_from(engine, journal, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> EngineConfig {
+        EngineConfig { universe: 1 << 16, ..EngineConfig::default() }
+    }
+
+    fn warm_engine() -> Engine {
+        let mut engine = Engine::new(config());
+        let tick = Tick::new()
+            .create("plain", SessionKind::Unweighted)
+            .append("plain", vec![52, 31, 45, 26, 61, 10, 39, 44])
+            .create("heavy", SessionKind::Weighted)
+            .append_weighted("heavy", vec![(1, 1), (2, 100), (3, 1), (4, 1)]);
+        assert!(engine.execute(&tick).fully_applied());
+        engine
+    }
+
+    #[test]
+    fn session_snapshot_round_trips() {
+        let engine = warm_engine();
+        for id in ["plain", "heavy"] {
+            let snapshot = engine.snapshot_session(id).unwrap();
+            let bytes = snapshot.encode();
+            assert_eq!(SessionSnapshot::decode(&bytes), Ok(snapshot), "{id}");
+        }
+    }
+
+    #[test]
+    fn engine_snapshot_round_trips_and_orders_ids() {
+        let engine = warm_engine();
+        let snapshot = engine.snapshot();
+        assert_eq!(snapshot.session_count(), 2);
+        let ids: Vec<&str> = snapshot.sessions.iter().map(|(id, _)| id.as_str()).collect();
+        assert_eq!(ids, ["heavy", "plain"], "sorted by id");
+        let decoded = EngineSnapshot::decode(&snapshot.encode()).unwrap();
+        assert_eq!(decoded, snapshot);
+    }
+
+    #[test]
+    fn decode_rejects_header_damage_with_typed_errors() {
+        let engine = warm_engine();
+        let bytes = engine.snapshot_session("plain").unwrap().encode();
+        assert_eq!(SessionSnapshot::decode(&bytes[..4]), Err(SnapshotError::Truncated));
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(SessionSnapshot::decode(&bad_magic), Err(SnapshotError::BadMagic));
+        let mut bad_version = bytes.clone();
+        bad_version[8] = FORMAT_VERSION + 1;
+        assert_eq!(
+            SessionSnapshot::decode(&bad_version),
+            Err(SnapshotError::UnsupportedVersion(FORMAT_VERSION + 1))
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(SessionSnapshot::decode(&trailing).is_err());
+        // A session stream is not an engine stream.
+        assert!(EngineSnapshot::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_state() {
+        let engine = warm_engine();
+        let snapshot = engine.snapshot_session("plain").unwrap();
+        let SessionSnapshot::Unweighted { universe, values, mut ranks, tails } = snapshot else {
+            panic!("plain session must snapshot unweighted");
+        };
+        ranks[0] = 3;
+        let forged = SessionSnapshot::Unweighted { universe, values, ranks, tails };
+        assert!(matches!(forged.validate(), Err(SnapshotError::Malformed(_))));
+        // And the restore paths reject it instead of building a session.
+        let mut target = Engine::new(config());
+        assert!(matches!(
+            target.restore_session("forged", &forged),
+            Err(OpError::InvalidSnapshot(_))
+        ));
+        assert_eq!(target.session_count(), 0);
+    }
+
+    #[test]
+    fn tick_codec_round_trips_every_op() {
+        let snapshot = warm_engine().snapshot_session("heavy").unwrap();
+        let tick = Tick::new()
+            .create("a", SessionKind::Unweighted)
+            .append("a", vec![1, 2, 3])
+            .append_weighted("w", vec![(5, 2), (6, 1)])
+            .query(
+                "a",
+                vec![Query::RankOf(0), Query::CountAt(7), Query::TopK(2), Query::Certificate],
+            )
+            .snapshot("a")
+            .restore("w2", snapshot)
+            .remove("a");
+        let bytes = encode_tick(&tick);
+        assert_eq!(decode_tick(&bytes), Ok(tick));
+        let auto = Tick::new().auto_create().append("x", vec![9]);
+        assert_eq!(decode_tick(&encode_tick(&auto)), Ok(auto));
+    }
+
+    #[test]
+    fn replay_reproduces_the_journalled_engine() {
+        let mut journal = TickJournal::new(Vec::new());
+        let ticks = [
+            Tick::new().auto_create().append("s", vec![5, 3, 8]),
+            Tick::new().append("s", vec![1, 9, 2]).query("s", Query::Certificate),
+        ];
+        let mut live = Engine::new(config());
+        for tick in &ticks {
+            journal.record(tick).unwrap();
+            live.execute(tick);
+        }
+        let bytes = journal.into_inner();
+        let mut recovered = Engine::new(config());
+        let report = replay_journal(&mut recovered, &bytes).unwrap();
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(recovered.session_ids(), live.session_ids());
+        assert_eq!(recovered.session("s").unwrap().ranks(), live.session("s").unwrap().ranks());
+    }
+}

@@ -17,6 +17,10 @@
 //!   allocations-per-element telemetry.
 //! * [`TraceSink`] / [`MemorySink`] — a cloneable JSON-lines event writer
 //!   behind a shared handle, for per-tick trace events.
+//! * [`JournalWriter`] / [`read_journal`] — an append-only length-prefixed
+//!   binary record log (each record CRC-64 checksummed) that tolerates a
+//!   torn trailing write; the engine's tick journal and snapshot files are
+//!   framed with it.  [`crc64`] is the shared checksum.
 //! * [`json_line`] / [`JsonValue`] — the hand-rolled single-line JSON
 //!   object renderer the `BENCH_*.json` perf-trajectory files use (moved
 //!   here from `plis-bench` so engine snapshots and bench cells serialize
@@ -30,11 +34,15 @@
 
 pub mod allocmeter;
 mod hist;
+mod journal;
 mod json;
 mod trace;
 
 pub use allocmeter::{alloc_tally, record_alloc, AllocTally};
 pub use hist::{AtomicHistogram, HistogramSnapshot, BUCKETS};
+pub use journal::{
+    crc64, read_journal, JournalContents, JournalCorrupt, JournalTail, JournalWriter,
+};
 pub use json::{json_line, JsonValue};
 pub use trace::{MemorySink, TraceSink};
 

@@ -57,6 +57,10 @@ pub struct ReadmeDoctests;
 pub mod prelude {
     pub use plis_baselines::{seq_avl, seq_bs, seq_bs_length, swgs_lis, swgs_wlis};
     pub use plis_engine::{
+        replay_journal, replay_journal_from, EngineSnapshot, ReplayReport, SessionSnapshot,
+        SnapshotError, TickJournal,
+    };
+    pub use plis_engine::{
         Backend, BatchReport, Certificate, Engine, EngineConfig, IngestReport, Op, OpError,
         OpOutput, OpResult, Query, QueryAnswer, QueryBatch, QueryReport, ReadOutcome, ReadTick,
         SessionId, SessionKind, StreamingLis, Tick, TickBatch, TickOutcome, WeightedIngestReport,
