@@ -1,0 +1,266 @@
+//! Serving-latency sweep: a closed-loop load generator driving a
+//! `plis-server` over real loopback sockets with thousands of concurrent
+//! sessions, measuring end-to-end op latency (client `send` to decoded
+//! outcome) and served throughput.
+//!
+//! Each cell starts an in-process [`ServerHandle`] on an ephemeral
+//! loopback port, builds a mixed fleet (unweighted sessions with
+//! interleaved reads per `PLIS_BENCH_SERVE_MIX`, plus one weighted
+//! session in four), and partitions the sessions across
+//! `PLIS_BENCH_SERVE_CONNS` connection threads.  Every session is its
+//! own closed loop — exactly one op in flight at a time — so a cell with
+//! 4096 sessions keeps 4096 concurrent ops pipelined across the
+//! connections, which is what actually exercises the server's time/size
+//! batch trigger.  Every write outcome is asserted `fully_applied` and
+//! every read outcome error-free: the sweep cannot silently drop traffic.
+//!
+//! Emits one schema-4 `"bench": "serving"` JSON line per cell (sessions ×
+//! batch-size-trigger sweep) with `elems_per_sec`, `queries_per_sec`,
+//! `op_p50_us` and `op_p99_us` from a merged latency histogram
+//! (`plis-telemetry`'s [`AtomicHistogram`]).
+//!
+//! Knobs: `PLIS_BENCH_SERVE_SESSIONS` (comma list, default `64,1024`),
+//! `PLIS_BENCH_SERVE_OPS` (comma list of batch-size triggers, default
+//! `16,256`), `PLIS_BENCH_SERVE_WAIT_US` (time trigger, default 200),
+//! `PLIS_BENCH_SERVE_CONNS` (connections, default 8),
+//! `PLIS_BENCH_SERVE_N` (elements per session, default 2000),
+//! `PLIS_BENCH_SERVE_BATCH` (mean write-batch size, default 64),
+//! `PLIS_BENCH_SERVE_MIX` (read fraction, default 0.25), and
+//! `PLIS_BENCH_THREADS` (pins the server's execution pool; recorded as
+//! `threads`).  Setting `PLIS_BENCH_SERVE_ADDR` skips the in-process
+//! server and drives an already-running one at that address instead (one
+//! cell, first entry of each sweep list) — the CI smoke uses this to
+//! drive the standalone `plis-server` binary across processes.
+
+use plis_bench::{bench_threads, effective_threads, env_usize_list, json_line};
+use plis_engine::{EngineConfig, Query, ReadTick, SessionKind, Tick};
+use plis_server::{Client, Response, ServerConfig, ServerHandle};
+use plis_telemetry::AtomicHistogram;
+use plis_workloads::streaming::{mixed_session_fleet, weighted_session_fleet, ReadWriteOp};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// One per-session request frame of the generated schedule.
+enum Request {
+    Write(Tick),
+    Read(ReadTick),
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Build the fleet schedule: one unweighted mixed-read/write session
+/// list with a weighted session folded in per four, all under one
+/// universe.  Returns per-session request lists plus the universe bound
+/// and the (elems, queries) totals.
+fn build_schedule(
+    sessions: usize,
+    n_per_session: usize,
+    mean_batch: usize,
+    mix: f64,
+    seed: u64,
+) -> (Vec<Vec<Request>>, u64, usize, usize) {
+    let weighted_sessions = sessions / 4;
+    let unweighted_sessions = sessions - weighted_sessions;
+    let (mixed, u1) =
+        mixed_session_fleet(unweighted_sessions, n_per_session, mean_batch, mix, 4, seed);
+    let (weighted, u2) =
+        weighted_session_fleet(weighted_sessions, n_per_session, mean_batch, 1_000, seed ^ 0x5EED);
+    let universe = u1.max(u2).max(1);
+
+    let mut total_elems = 0usize;
+    let mut total_queries = 0usize;
+    let mut schedule = Vec::with_capacity(sessions);
+    for (name, ops) in &mixed {
+        let mut requests =
+            vec![Request::Write(Tick::new().create(name.as_str(), SessionKind::Unweighted))];
+        for op in ops {
+            requests.push(match op {
+                ReadWriteOp::Write(batch) => {
+                    total_elems += batch.len();
+                    Request::Write(Tick::new().append(name.as_str(), batch.clone()))
+                }
+                ReadWriteOp::Read(specs) => {
+                    total_queries += specs.len();
+                    Request::Read(ReadTick::new().query(
+                        name.as_str(),
+                        specs.iter().cloned().map(Query::from).collect::<Vec<_>>(),
+                    ))
+                }
+            });
+        }
+        schedule.push(requests);
+    }
+    for (name, batches) in &weighted {
+        let mut requests =
+            vec![Request::Write(Tick::new().create(name.as_str(), SessionKind::Weighted))];
+        for batch in batches {
+            total_elems += batch.len();
+            requests
+                .push(Request::Write(Tick::new().append_weighted(name.as_str(), batch.clone())));
+        }
+        schedule.push(requests);
+    }
+    (schedule, universe, total_elems, total_queries)
+}
+
+/// Drive `schedule` against the server at `addr`: `conns` connection
+/// threads, sessions partitioned round-robin, one op in flight per
+/// session.  Returns wall seconds and the merged latency histogram.
+fn drive(
+    addr: SocketAddr,
+    schedule: &[Vec<Request>],
+    conns: usize,
+) -> (f64, plis_telemetry::HistogramSnapshot) {
+    let hist = AtomicHistogram::new();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for conn_idx in 0..conns {
+            let mine: Vec<&Vec<Request>> = schedule.iter().skip(conn_idx).step_by(conns).collect();
+            let hist = &hist;
+            scope.spawn(move || {
+                if mine.is_empty() {
+                    return;
+                }
+                let mut client = Client::connect(addr).expect("connect to server");
+                let mut cursors = vec![0usize; mine.len()];
+                // request id -> (session slot, send instant): one entry
+                // per session, since each session is its own closed loop.
+                let mut in_flight: HashMap<u64, (usize, Instant)> =
+                    HashMap::with_capacity(mine.len());
+                let send = |client: &mut Client,
+                            in_flight: &mut HashMap<u64, (usize, Instant)>,
+                            slot: usize,
+                            request: &Request| {
+                    let sent = Instant::now();
+                    let id = match request {
+                        Request::Write(tick) => client.send_tick(tick).expect("send tick"),
+                        Request::Read(tick) => client.send_read(tick).expect("send read"),
+                    };
+                    in_flight.insert(id, (slot, sent));
+                };
+                for (slot, requests) in mine.iter().enumerate() {
+                    if let Some(first) = requests.first() {
+                        cursors[slot] = 1;
+                        send(&mut client, &mut in_flight, slot, first);
+                    }
+                }
+                while !in_flight.is_empty() {
+                    let response = client.recv().expect("serving response");
+                    let (slot, sent) = in_flight
+                        .remove(&response.request_id())
+                        .expect("response to an in-flight request");
+                    hist.record(sent.elapsed().as_micros() as u64);
+                    match response {
+                        Response::Tick { outcome, .. } => {
+                            assert!(outcome.fully_applied(), "server dropped a write op");
+                        }
+                        Response::Read { outcome, .. } => {
+                            assert!(
+                                outcome.outcomes.iter().all(|(_, r)| r.is_ok()),
+                                "server dropped a read op"
+                            );
+                        }
+                    }
+                    let next = cursors[slot];
+                    if let Some(request) = mine[slot].get(next) {
+                        cursors[slot] = next + 1;
+                        send(&mut client, &mut in_flight, slot, request);
+                    }
+                }
+            });
+        }
+    });
+    (start.elapsed().as_secs_f64(), hist.snapshot())
+}
+
+fn main() {
+    let session_counts = env_usize_list("PLIS_BENCH_SERVE_SESSIONS", &[64, 1024]);
+    let op_triggers = env_usize_list("PLIS_BENCH_SERVE_OPS", &[16, 256]);
+    let wait_us = env_usize("PLIS_BENCH_SERVE_WAIT_US", 200);
+    let conns = env_usize("PLIS_BENCH_SERVE_CONNS", 8).max(1);
+    let n_per_session = env_usize("PLIS_BENCH_SERVE_N", 2_000);
+    let mean_batch = env_usize("PLIS_BENCH_SERVE_BATCH", 64);
+    let mix = env_f64("PLIS_BENCH_SERVE_MIX", 0.25);
+    let threads = effective_threads();
+    let external: Option<SocketAddr> = std::env::var("PLIS_BENCH_SERVE_ADDR")
+        .ok()
+        .map(|s| s.parse().expect("PLIS_BENCH_SERVE_ADDR must be host:port"));
+
+    // Against an external server the sweep axes belong to that server's
+    // own environment; run exactly one cell against it.
+    let cells: Vec<(usize, usize)> = match external {
+        Some(_) => vec![(session_counts[0], op_triggers[0])],
+        None => {
+            session_counts.iter().flat_map(|&s| op_triggers.iter().map(move |&t| (s, t))).collect()
+        }
+    };
+
+    for (sessions, batch_ops) in cells {
+        let (schedule, universe, total_elems, total_queries) =
+            build_schedule(sessions, n_per_session, mean_batch, mix, 0x5E81);
+        let total_ops: usize = schedule.iter().map(Vec::len).sum();
+        eprintln!(
+            "serving: sessions={sessions} batch_ops={batch_ops} conns={conns} \
+             ops={total_ops} elems={total_elems} queries={total_queries}"
+        );
+
+        let server = match external {
+            Some(_) => None,
+            None => Some(
+                ServerHandle::start(ServerConfig {
+                    engine: EngineConfig { universe, ..EngineConfig::default() },
+                    batch_max_ops: batch_ops,
+                    batch_max_wait: Duration::from_micros(wait_us as u64),
+                    worker_threads: bench_threads(),
+                    ..ServerConfig::default()
+                })
+                .expect("bind loopback server"),
+            ),
+        };
+        let addr = external.unwrap_or_else(|| server.as_ref().expect("in-process server").addr());
+
+        let (secs, latency) = drive(addr, &schedule, conns);
+
+        if let Some(server) = server {
+            // Graceful shutdown each cell; the drained snapshot must hold
+            // exactly the fleet (nothing lost, nothing invented).
+            let report = server.shutdown();
+            assert_eq!(
+                report.snapshot.session_count(),
+                sessions,
+                "drained snapshot must hold the whole fleet"
+            );
+        }
+
+        let fields = vec![
+            ("bench", "serving".into()),
+            ("schema", 4u64.into()),
+            ("sessions", sessions.into()),
+            ("connections", conns.into()),
+            ("batch_ops", batch_ops.into()),
+            ("batch_wait_us", wait_us.into()),
+            ("read_mix", mix.into()),
+            ("n_per_session", n_per_session.into()),
+            ("mean_batch", mean_batch.into()),
+            ("ops", total_ops.into()),
+            ("total_elems", total_elems.into()),
+            ("total_queries", total_queries.into()),
+            ("secs", secs.into()),
+            ("elems_per_sec", (total_elems as f64 / secs.max(1e-12)).into()),
+            ("queries_per_sec", (total_queries as f64 / secs.max(1e-12)).into()),
+            ("ops_per_sec", (total_ops as f64 / secs.max(1e-12)).into()),
+            ("op_p50_us", latency.p50().into()),
+            ("op_p99_us", latency.p99().into()),
+            ("op_max_us", latency.max.into()),
+            ("threads", threads.into()),
+        ];
+        println!("{}", json_line(&fields));
+    }
+}

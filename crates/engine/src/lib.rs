@@ -116,6 +116,7 @@ pub mod session;
 pub mod snapshot;
 #[cfg(test)]
 mod testutil;
+pub mod wire;
 pub mod wsession;
 
 pub use cost::{CostModel, PathPolicy};
@@ -129,8 +130,12 @@ pub use plis_telemetry::{HistogramSnapshot, MemorySink, TraceSink};
 pub use query::{Certificate, Query, QueryAnswer, QueryBatch, QueryReport};
 pub use session::{Backend, IngestPath, IngestReport, StreamingLis, StreamingLisOn};
 pub use snapshot::{
-    decode_tick, encode_tick, replay_journal, replay_journal_from, EngineSnapshot, ReplayReport,
-    SessionSnapshot, SnapshotError, TickJournal,
+    replay_journal, replay_journal_from, EngineSnapshot, ReplayReport, SessionSnapshot,
+    SnapshotError, TickJournal,
+};
+pub use wire::{
+    decode_read_outcome, decode_read_tick, decode_tick, decode_tick_outcome, encode_read_outcome,
+    encode_read_tick, encode_tick, encode_tick_outcome,
 };
 pub use wsession::{WeightedIngestReport, WeightedStreamingLis};
 

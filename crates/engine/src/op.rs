@@ -578,6 +578,22 @@ impl TickOutcome {
         }
     }
 
+    /// Rebuild a whole outcome from per-op results plus the observational
+    /// gauges — the aggregates are re-derived from the results, so they
+    /// can never disagree with them.  This is how the service plane
+    /// reconstitutes outcomes on the far side of a wire (and how the
+    /// server slices one combined batch outcome back into per-request
+    /// outcomes).
+    pub fn from_parts(
+        outcomes: Vec<(SessionId, OpResult)>,
+        worker_threads: usize,
+        elapsed_ns: u64,
+    ) -> Self {
+        let mut outcome = TickOutcome::collect(outcomes, worker_threads);
+        outcome.elapsed_ns = elapsed_ns;
+        outcome
+    }
+
     /// The ops that landed, in tick order.
     pub fn outputs(&self) -> impl Iterator<Item = (&SessionId, &OpOutput)> {
         self.outcomes.iter().filter_map(|(id, r)| r.as_ref().ok().map(|o| (id, o)))
@@ -654,6 +670,18 @@ impl ReadOutcome {
             elapsed_ns: 0,
             outcomes,
         }
+    }
+
+    /// Rebuild a whole outcome from per-slot results plus the
+    /// observational gauges (see [`TickOutcome::from_parts`]).
+    pub fn from_parts(
+        outcomes: Vec<(SessionId, Result<QueryReport, OpError>)>,
+        worker_threads: usize,
+        elapsed_ns: u64,
+    ) -> Self {
+        let mut outcome = ReadOutcome::collect(outcomes, worker_threads);
+        outcome.elapsed_ns = elapsed_ns;
+        outcome
     }
 
     /// The query batches that landed, in tick order.

@@ -11,20 +11,13 @@
 //!
 //! # Format
 //!
-//! Every artifact is a *sealed container*, little-endian throughout:
-//!
-//! ```text
-//! [magic "PLISSNAP": 8][version: u8][payload kind: u8]
-//! [crc64(payload): u64][payload bytes...]
-//! ```
-//!
-//! The CRC is CRC-64/XZ ([`plis_telemetry::crc64`]) over the payload, so
-//! any single mutated byte — header or payload — fails decode with a typed
-//! [`SnapshotError`]; nothing in this module panics on foreign bytes.
-//! Payload kinds: `0` = one session, `1` = a whole engine, `2` = one tick.
-//! The version byte is bumped on any layout change; old readers reject new
-//! artifacts with [`SnapshotError::UnsupportedVersion`] instead of
-//! misparsing them.
+//! The sealed-container framing (magic, version, payload kind, CRC) and
+//! the tick codec live in [`crate::wire`] — one byte layout shared by
+//! this persistence plane and the service plane, so the journal and the
+//! TCP server can never drift apart.  This module layers the snapshot
+//! payloads, the journal driver and replay on top.  Any single mutated
+//! byte fails decode with a typed [`SnapshotError`]; nothing here panics
+//! on foreign bytes.
 //!
 //! Inside a payload, integers are fixed-width little-endian and every
 //! array is length-prefixed with a `u64`.  A session payload is
@@ -60,29 +53,18 @@
 //! answers and certificates are bit-identical.
 
 use crate::engine::{Engine, EngineConfig, SessionKind, SessionState};
-use crate::op::{Op, OpError, Tick, TickOutcome};
-use crate::query::{Query, QueryBatch};
+use crate::op::{OpError, Tick, TickOutcome};
 use crate::session::StreamingLisOn;
+use crate::wire::{
+    open, put_pairs, put_str, put_u32s, put_u64, put_u64s, seal, Reader, PAYLOAD_ENGINE,
+    PAYLOAD_SESSION,
+};
 use crate::wsession::WeightedStreamingLis;
 use plis_lis::DominantMaxKind;
-use plis_telemetry::{crc64, read_journal, JournalTail, JournalWriter};
+use plis_telemetry::{read_journal, JournalTail, JournalWriter};
 use std::io::{self, Write};
 
-/// Leading magic of every sealed artifact.
-const MAGIC: &[u8; 8] = b"PLISSNAP";
-
-/// Current format version; bumped on any layout change.
-pub const FORMAT_VERSION: u8 = 1;
-
-/// Sealed-container header length: magic + version + payload kind + CRC.
-const HEADER_LEN: usize = 8 + 1 + 1 + 8;
-
-/// Payload kind byte: one session.
-const PAYLOAD_SESSION: u8 = 0;
-/// Payload kind byte: a whole engine.
-const PAYLOAD_ENGINE: u8 = 1;
-/// Payload kind byte: one tick.
-const PAYLOAD_TICK: u8 = 2;
+pub use crate::wire::{decode_tick, encode_tick, FORMAT_VERSION};
 
 /// Why a byte stream failed to decode (or a snapshot failed validation).
 /// Decoding foreign bytes never panics: every failure is one of these.
@@ -119,154 +101,6 @@ impl std::fmt::Display for SnapshotError {
 }
 
 impl std::error::Error for SnapshotError {}
-
-// ---------------------------------------------------------------------------
-// Byte-level helpers.
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64s(out: &mut Vec<u8>, xs: &[u64]) {
-    put_u64(out, xs.len() as u64);
-    for &x in xs {
-        put_u64(out, x);
-    }
-}
-
-fn put_u32s(out: &mut Vec<u8>, xs: &[u32]) {
-    put_u64(out, xs.len() as u64);
-    for &x in xs {
-        put_u32(out, x);
-    }
-}
-
-fn put_pairs(out: &mut Vec<u8>, xs: &[(u64, u64)]) {
-    put_u64(out, xs.len() as u64);
-    for &(a, b) in xs {
-        put_u64(out, a);
-        put_u64(out, b);
-    }
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u64(out, s.len() as u64);
-    out.extend_from_slice(s.as_bytes());
-}
-
-/// A bounds-checked reader over a payload slice.  Every accessor returns
-/// [`SnapshotError::Truncated`] instead of slicing out of range, and the
-/// array readers verify the announced length fits the remaining bytes
-/// *before* allocating, so a corrupted length can never trigger a huge
-/// allocation.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
-        Reader { bytes, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
-        if self.bytes.len() - self.pos < n {
-            return Err(SnapshotError::Truncated);
-        }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    /// Read an array length and check `len * elem_size` fits the bytes
-    /// that are actually left.
-    fn len(&mut self, elem_size: usize) -> Result<usize, SnapshotError> {
-        let n = usize::try_from(self.u64()?).map_err(|_| SnapshotError::Truncated)?;
-        match n.checked_mul(elem_size) {
-            Some(bytes) if bytes <= self.bytes.len() - self.pos => Ok(n),
-            _ => Err(SnapshotError::Truncated),
-        }
-    }
-
-    fn u64s(&mut self) -> Result<Vec<u64>, SnapshotError> {
-        let n = self.len(8)?;
-        (0..n).map(|_| self.u64()).collect()
-    }
-
-    fn u32s(&mut self) -> Result<Vec<u32>, SnapshotError> {
-        let n = self.len(4)?;
-        (0..n).map(|_| self.u32()).collect()
-    }
-
-    fn pairs(&mut self) -> Result<Vec<(u64, u64)>, SnapshotError> {
-        let n = self.len(16)?;
-        (0..n).map(|_| Ok((self.u64()?, self.u64()?))).collect()
-    }
-
-    fn str(&mut self) -> Result<&'a str, SnapshotError> {
-        let n = self.len(1)?;
-        std::str::from_utf8(self.take(n)?)
-            .map_err(|_| SnapshotError::Malformed("session id is not valid UTF-8"))
-    }
-
-    fn finish(&self) -> Result<(), SnapshotError> {
-        if self.pos == self.bytes.len() {
-            Ok(())
-        } else {
-            Err(SnapshotError::TrailingBytes)
-        }
-    }
-}
-
-/// Wrap `payload` in the sealed container (magic, version, kind, CRC).
-fn seal(kind: u8, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    out.extend_from_slice(MAGIC);
-    out.push(FORMAT_VERSION);
-    out.push(kind);
-    put_u64(&mut out, crc64(payload));
-    out.extend_from_slice(payload);
-    out
-}
-
-/// Check the sealed container around `bytes` and return the verified
-/// payload slice.
-fn open(bytes: &[u8], kind: u8) -> Result<&[u8], SnapshotError> {
-    if bytes.len() < HEADER_LEN {
-        return Err(SnapshotError::Truncated);
-    }
-    if &bytes[..8] != MAGIC {
-        return Err(SnapshotError::BadMagic);
-    }
-    if bytes[8] != FORMAT_VERSION {
-        return Err(SnapshotError::UnsupportedVersion(bytes[8]));
-    }
-    let crc = u64::from_le_bytes(bytes[10..18].try_into().unwrap());
-    let payload = &bytes[HEADER_LEN..];
-    if crc64(payload) != crc {
-        return Err(SnapshotError::ChecksumMismatch);
-    }
-    if bytes[9] != kind {
-        return Err(SnapshotError::Malformed("sealed payload is of a different kind"));
-    }
-    Ok(payload)
-}
 
 // ---------------------------------------------------------------------------
 // Session snapshots.
@@ -380,8 +214,8 @@ impl SessionSnapshot {
     }
 
     /// Write the (unsealed) session payload; used directly when nesting
-    /// inside engine snapshots and tick records.
-    fn encode_payload(&self, out: &mut Vec<u8>) {
+    /// inside engine snapshots, tick records and outcome frames.
+    pub(crate) fn encode_payload(&self, out: &mut Vec<u8>) {
         match self {
             SessionSnapshot::Unweighted { universe, values, ranks, tails } => {
                 out.push(0);
@@ -402,7 +236,7 @@ impl SessionSnapshot {
     }
 
     /// Read one session payload (validated) from `r`.
-    fn decode_payload(r: &mut Reader<'_>) -> Result<SessionSnapshot, SnapshotError> {
+    pub(crate) fn decode_payload(r: &mut Reader<'_>) -> Result<SessionSnapshot, SnapshotError> {
         let snapshot = match r.u8()? {
             0 => SessionSnapshot::Unweighted {
                 universe: r.u64()?,
@@ -612,134 +446,6 @@ impl EngineSnapshot {
 }
 
 // ---------------------------------------------------------------------------
-// The tick codec.
-
-/// Serialize one tick into a sealed, checksummed byte stream — the record
-/// format of the tick journal.
-pub fn encode_tick(tick: &Tick) -> Vec<u8> {
-    let mut payload = Vec::new();
-    payload.push(tick.creates_missing() as u8);
-    put_u64(&mut payload, tick.slots().len() as u64);
-    for (id, op) in tick.slots() {
-        put_str(&mut payload, id.as_str());
-        encode_op(&mut payload, op);
-    }
-    seal(PAYLOAD_TICK, &payload)
-}
-
-/// Decode a sealed byte stream produced by [`encode_tick`].  Never
-/// panics; nested [`Op::Restore`] snapshots are validated like any other.
-pub fn decode_tick(bytes: &[u8]) -> Result<Tick, SnapshotError> {
-    let mut r = Reader::new(open(bytes, PAYLOAD_TICK)?);
-    let create_missing = match r.u8()? {
-        0 => false,
-        1 => true,
-        _ => return Err(SnapshotError::Malformed("create_missing must be 0 or 1")),
-    };
-    let mut tick = if create_missing { Tick::new().auto_create() } else { Tick::new() };
-    // Each slot costs at least an id length and an op tag.
-    let n = r.len(9)?;
-    for _ in 0..n {
-        let id = r.str()?.to_string();
-        let op = decode_op(&mut r)?;
-        tick.push(id, op);
-    }
-    r.finish()?;
-    Ok(tick)
-}
-
-fn encode_kind(out: &mut Vec<u8>, kind: SessionKind) {
-    out.push(match kind {
-        SessionKind::Unweighted => 0,
-        SessionKind::Weighted => 1,
-    });
-}
-
-fn decode_kind(r: &mut Reader<'_>) -> Result<SessionKind, SnapshotError> {
-    match r.u8()? {
-        0 => Ok(SessionKind::Unweighted),
-        1 => Ok(SessionKind::Weighted),
-        _ => Err(SnapshotError::Malformed("unknown session kind byte")),
-    }
-}
-
-fn encode_op(out: &mut Vec<u8>, op: &Op) {
-    match op {
-        Op::Append(batch) => {
-            out.push(0);
-            put_u64s(out, batch);
-        }
-        Op::AppendWeighted(batch) => {
-            out.push(1);
-            put_pairs(out, batch);
-        }
-        Op::Query(batch) => {
-            out.push(2);
-            put_u64(out, batch.queries().len() as u64);
-            for &q in batch.queries() {
-                match q {
-                    Query::RankOf(i) => {
-                        out.push(0);
-                        put_u64(out, i as u64);
-                    }
-                    Query::CountAt(x) => {
-                        out.push(1);
-                        put_u64(out, x);
-                    }
-                    Query::TopK(k) => {
-                        out.push(2);
-                        put_u64(out, k as u64);
-                    }
-                    Query::Certificate => out.push(3),
-                }
-            }
-        }
-        Op::CreateSession { kind } => {
-            out.push(3);
-            encode_kind(out, *kind);
-        }
-        Op::RemoveSession => out.push(4),
-        Op::Snapshot => out.push(5),
-        Op::Restore(snapshot) => {
-            out.push(6);
-            snapshot.encode_payload(out);
-        }
-    }
-}
-
-fn decode_op(r: &mut Reader<'_>) -> Result<Op, SnapshotError> {
-    Ok(match r.u8()? {
-        0 => Op::Append(r.u64s()?),
-        1 => Op::AppendWeighted(r.pairs()?),
-        2 => {
-            let n = r.len(1)?;
-            let mut queries = Vec::with_capacity(n);
-            for _ in 0..n {
-                queries.push(match r.u8()? {
-                    0 => Query::RankOf(
-                        usize::try_from(r.u64()?)
-                            .map_err(|_| SnapshotError::Malformed("rank-of index overflow"))?,
-                    ),
-                    1 => Query::CountAt(r.u64()?),
-                    2 => Query::TopK(
-                        usize::try_from(r.u64()?)
-                            .map_err(|_| SnapshotError::Malformed("top-k overflow"))?,
-                    ),
-                    3 => Query::Certificate,
-                    _ => return Err(SnapshotError::Malformed("unknown query tag")),
-                });
-            }
-            Op::Query(QueryBatch::new(queries))
-        }
-        3 => Op::CreateSession { kind: decode_kind(r)? },
-        4 => Op::RemoveSession,
-        5 => Op::Snapshot,
-        6 => Op::Restore(Box::new(SessionSnapshot::decode_payload(r)?)),
-        _ => return Err(SnapshotError::Malformed("unknown op tag")),
-    })
-}
-
-// ---------------------------------------------------------------------------
 // The tick journal and the replay driver.
 
 /// Append-only journal of executed ticks: [`encode_tick`] records framed
@@ -829,6 +535,7 @@ pub fn replay_journal(engine: &mut Engine, journal: &[u8]) -> Result<ReplayRepor
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::Query;
 
     fn config() -> EngineConfig {
         EngineConfig { universe: 1 << 16, ..EngineConfig::default() }

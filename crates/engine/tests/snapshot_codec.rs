@@ -6,8 +6,9 @@
 //! traffic ends in exactly the state of an engine that never saw them.
 
 use plis_engine::{
-    decode_tick, encode_tick, Engine, EngineConfig, EngineSnapshot, Query, SessionKind,
-    SessionSnapshot, SnapshotError, Tick,
+    decode_read_outcome, decode_read_tick, decode_tick, decode_tick_outcome, encode_read_outcome,
+    encode_read_tick, encode_tick, encode_tick_outcome, Engine, EngineConfig, EngineSnapshot,
+    Query, ReadTick, SessionKind, SessionSnapshot, SnapshotError, Tick,
 };
 use proptest::prelude::*;
 
@@ -93,6 +94,85 @@ proptest! {
             tick = tick.auto_create();
         }
         prop_assert_eq!(decode_tick(&encode_tick(&tick)), Ok(tick));
+    }
+
+    /// Outcome frames — the service plane's response payloads — round
+    /// trip honestly-produced outcomes, including per-op errors and a
+    /// nested session snapshot, and survive hostile bytes the same way
+    /// the request frames do: truncation at every length and every
+    /// single-byte XOR mutation is a typed error, never a panic.
+    #[test]
+    fn outcome_frames_round_trip_and_reject_mutations(
+        batch in proptest::collection::vec(0u64..UNIVERSE, 1..48),
+        pairs in proptest::collection::vec((0u64..UNIVERSE, 1u64..40), 1..32),
+        probe in 0u64..UNIVERSE,
+        flip in 1u8..255,
+    ) {
+        let mut engine = Engine::new(config());
+        // A tick whose outcome exercises every output arm: ingest
+        // reports for both kinds, query answers, a snapshot riding back
+        // in the outcome, and typed errors (kind mismatch, unknown id).
+        let tick = Tick::new()
+            .create("u", SessionKind::Unweighted)
+            .append("u", batch)
+            .create("w", SessionKind::Weighted)
+            .append_weighted("w", pairs)
+            .query("u", vec![
+                Query::RankOf(probe as usize),
+                Query::CountAt(probe),
+                Query::TopK(3),
+                Query::Certificate,
+            ])
+            .snapshot("w")
+            .append_weighted("u", vec![(1, 1)])
+            .append("ghost", vec![2]);
+        let outcome = engine.execute(&tick);
+        prop_assert!(!outcome.fully_applied(), "the poison ops must fail");
+        let bytes = encode_tick_outcome(&outcome);
+        prop_assert_eq!(decode_tick_outcome(&bytes).as_ref(), Ok(&outcome));
+
+        let read = ReadTick::new()
+            .query("u", vec![Query::RankOf(0), Query::TopK(2)])
+            .query("w", Query::Certificate)
+            .query("missing", Query::CountAt(probe));
+        prop_assert_eq!(
+            decode_read_tick(&encode_read_tick(&read)).as_ref(), Ok(&read)
+        );
+        let read_outcome = engine.execute_read(&read);
+        let read_bytes = encode_read_outcome(&read_outcome);
+        prop_assert_eq!(decode_read_outcome(&read_bytes).as_ref(), Ok(&read_outcome));
+
+        for bytes in [&bytes, &read_bytes] {
+            for len in 0..bytes.len() {
+                prop_assert!(
+                    decode_tick_outcome(&bytes[..len]).is_err(),
+                    "outcome prefix of length {} decoded", len
+                );
+                prop_assert!(
+                    decode_read_outcome(&bytes[..len]).is_err(),
+                    "read-outcome prefix of length {} decoded", len
+                );
+            }
+        }
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= flip;
+            prop_assert!(
+                decode_tick_outcome(&mutated).is_err(),
+                "mutating outcome byte {} (xor {:#04x}) decoded", i, flip
+            );
+        }
+        for i in 0..read_bytes.len() {
+            let mut mutated = read_bytes.clone();
+            mutated[i] ^= flip;
+            prop_assert!(
+                decode_read_outcome(&mutated).is_err(),
+                "mutating read-outcome byte {} (xor {:#04x}) decoded", i, flip
+            );
+        }
+        // The two outcome kinds never cross-decode.
+        prop_assert!(decode_read_outcome(&bytes).is_err());
+        prop_assert!(decode_tick_outcome(&read_bytes).is_err());
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! A blocking client for the service plane.
+//!
+//! [`Client::submit`] / [`Client::submit_read`] are the closed-loop
+//! calls: one request, block for its response.  Pipelined callers (the
+//! load generator) use the split [`Client::send_tick`] /
+//! [`Client::send_read`] / [`Client::recv`] surface to keep many
+//! requests in flight on one socket; responses arrive in submission
+//! order and carry the echoed request id.
+
+use crate::protocol::{
+    message, parse_error_body, parse_message, read_frame, write_frame, FrameRead, ProtocolError,
+    DEFAULT_MAX_FRAME_BYTES, TAG_ERROR, TAG_READ, TAG_READ_OUTCOME, TAG_SUBMIT, TAG_TICK_OUTCOME,
+};
+use plis_engine::{
+    decode_read_outcome, decode_tick_outcome, encode_read_tick, encode_tick, ReadOutcome, ReadTick,
+    SnapshotError, Tick, TickOutcome,
+};
+use std::io;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A socket-level failure.
+    Io(io::Error),
+    /// The server closed the connection (cleanly or mid-frame) before
+    /// the expected response arrived.
+    Closed,
+    /// A response frame from the server failed its own framing checks.
+    Frame(ProtocolError),
+    /// The server rejected the connection's traffic with a typed error
+    /// frame (and closed it).
+    Server {
+        /// The echoed request id (0 when the damage preceded the id).
+        request_id: u64,
+        /// The typed error, rebuilt from its wire code.
+        error: ProtocolError,
+        /// The server's human-readable detail line.
+        detail: String,
+    },
+    /// A response payload failed to decode.
+    Decode(SnapshotError),
+    /// The server answered with a message tag this client doesn't know.
+    UnknownTag(u8),
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Frame(e) => write!(f, "bad response frame: {e}"),
+            ClientError::Server { request_id, error, detail } => {
+                write!(f, "server rejected request {request_id}: {error} ({detail})")
+            }
+            ClientError::Decode(e) => write!(f, "undecodable response payload: {e}"),
+            ClientError::UnknownTag(tag) => write!(f, "unknown response tag {tag:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One decoded response.
+#[derive(Debug)]
+pub enum Response {
+    /// The outcome of a write request.
+    Tick {
+        /// The echoed request id.
+        request_id: u64,
+        /// The reassembled outcome slice for that request.
+        outcome: TickOutcome,
+    },
+    /// The outcome of a read request.
+    Read {
+        /// The echoed request id.
+        request_id: u64,
+        /// The reassembled outcome slice for that request.
+        outcome: ReadOutcome,
+    },
+}
+
+impl Response {
+    /// The echoed request id, whatever the kind.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Response::Tick { request_id, .. } | Response::Read { request_id, .. } => *request_id,
+        }
+    }
+}
+
+/// A blocking connection to a `plis-server`.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    max_frame: u32,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream, next_id: 1, max_frame: DEFAULT_MAX_FRAME_BYTES })
+    }
+
+    /// Send a write request without waiting; returns its request id.
+    pub fn send_tick(&mut self, tick: &Tick) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &message(TAG_SUBMIT, id, &encode_tick(tick)))?;
+        Ok(id)
+    }
+
+    /// Send a read request without waiting; returns its request id.
+    pub fn send_read(&mut self, tick: &ReadTick) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &message(TAG_READ, id, &encode_read_tick(tick)))?;
+        Ok(id)
+    }
+
+    /// Block for the next response on this connection.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let payload = match read_frame(&mut self.stream, self.max_frame)? {
+            FrameRead::Payload(p) => p,
+            FrameRead::Closed | FrameRead::Torn => return Err(ClientError::Closed),
+            FrameRead::Rejected(e) => return Err(ClientError::Frame(e)),
+        };
+        let msg = parse_message(&payload).map_err(ClientError::Frame)?;
+        match msg.tag {
+            TAG_TICK_OUTCOME => Ok(Response::Tick {
+                request_id: msg.request_id,
+                outcome: decode_tick_outcome(msg.body).map_err(ClientError::Decode)?,
+            }),
+            TAG_READ_OUTCOME => Ok(Response::Read {
+                request_id: msg.request_id,
+                outcome: decode_read_outcome(msg.body).map_err(ClientError::Decode)?,
+            }),
+            TAG_ERROR => {
+                let (code, detail) = parse_error_body(msg.body);
+                Err(ClientError::Server {
+                    request_id: msg.request_id,
+                    error: ProtocolError::from_code(code, &detail),
+                    detail,
+                })
+            }
+            other => Err(ClientError::UnknownTag(other)),
+        }
+    }
+
+    /// Closed-loop write: send one tick, block for its outcome.
+    pub fn submit(&mut self, tick: &Tick) -> Result<TickOutcome, ClientError> {
+        let id = self.send_tick(tick)?;
+        match self.recv()? {
+            Response::Tick { request_id, outcome } if request_id == id => Ok(outcome),
+            other => Err(ClientError::UnknownTag(match other {
+                Response::Tick { .. } => TAG_TICK_OUTCOME,
+                Response::Read { .. } => TAG_READ_OUTCOME,
+            })),
+        }
+    }
+
+    /// Closed-loop read: send one read tick, block for its outcome.
+    pub fn submit_read(&mut self, tick: &ReadTick) -> Result<ReadOutcome, ClientError> {
+        let id = self.send_read(tick)?;
+        match self.recv()? {
+            Response::Read { request_id, outcome } if request_id == id => Ok(outcome),
+            other => Err(ClientError::UnknownTag(match other {
+                Response::Tick { .. } => TAG_TICK_OUTCOME,
+                Response::Read { .. } => TAG_READ_OUTCOME,
+            })),
+        }
+    }
+
+    /// Half-close the send side: the server sees EOF (a clean close)
+    /// while responses already in flight can still be received.
+    pub fn finish_sending(&self) -> io::Result<()> {
+        self.stream.shutdown(Shutdown::Write)
+    }
+
+    /// Raw access to the underlying stream, for tests that need to write
+    /// deliberately damaged or partial frames.
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

@@ -1,0 +1,112 @@
+//! The `plis-server` binary: bind, serve, drain on SIGTERM/SIGINT or
+//! stdin EOF.
+//!
+//! Configuration comes from environment variables (the workspace's bench
+//! convention):
+//!
+//! | variable               | default       | meaning                              |
+//! |------------------------|---------------|--------------------------------------|
+//! | `PLIS_SERVE_ADDR`      | `127.0.0.1:0` | bind address (port 0 = ephemeral)    |
+//! | `PLIS_SERVE_UNIVERSE`  | `1 << 32`     | engine value universe                |
+//! | `PLIS_SERVE_BATCH_OPS` | `256`         | batch size trigger (ops)             |
+//! | `PLIS_SERVE_BATCH_US`  | `200`         | batch time trigger (µs)              |
+//! | `PLIS_SERVE_JOURNAL`   | off           | tick-journal file path               |
+//! | `PLIS_SERVE_SNAPSHOT`  | off           | write an engine snapshot here on exit|
+//!
+//! The bound address is printed as `listening on <addr>` once the server
+//! is accepting — scripts (the CI smoke) parse that line.  On SIGTERM,
+//! SIGINT or stdin EOF the server stops accepting, drains in-flight
+//! ticks, optionally writes the final snapshot, and exits 0.
+
+use plis_engine::EngineConfig;
+use plis_server::{JournalMode, ServerConfig, ServerHandle};
+use std::io::Read;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Hand-rolled: no `signal-hook`/`libc` crates in this environment.
+    // The handler only stores to an atomic — async-signal-safe.
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    install_signal_handlers();
+
+    let addr: SocketAddr = std::env::var("PLIS_SERVE_ADDR")
+        .unwrap_or_else(|_| "127.0.0.1:0".into())
+        .parse()
+        .expect("PLIS_SERVE_ADDR must be host:port");
+    let config = ServerConfig {
+        addr,
+        engine: EngineConfig {
+            universe: env_u64("PLIS_SERVE_UNIVERSE", 1 << 32),
+            ..EngineConfig::default()
+        },
+        batch_max_ops: env_u64("PLIS_SERVE_BATCH_OPS", 256) as usize,
+        batch_max_wait: Duration::from_micros(env_u64("PLIS_SERVE_BATCH_US", 200)),
+        journal: match std::env::var("PLIS_SERVE_JOURNAL") {
+            Ok(path) if !path.is_empty() => JournalMode::File(path.into()),
+            _ => JournalMode::Off,
+        },
+        ..ServerConfig::default()
+    };
+
+    let server = ServerHandle::start(config).expect("bind failed");
+    println!("listening on {}", server.addr());
+
+    // Wake on stdin EOF from a watcher thread; poll the signal flag here.
+    let stdin_closed = std::sync::Arc::new(AtomicBool::new(false));
+    {
+        let stdin_closed = std::sync::Arc::clone(&stdin_closed);
+        std::thread::spawn(move || {
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin();
+            while let Ok(n) = stdin.read(&mut sink) {
+                if n == 0 {
+                    break;
+                }
+            }
+            stdin_closed.store(true, Ordering::SeqCst);
+        });
+    }
+    while !STOP.load(Ordering::SeqCst) && !stdin_closed.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    eprintln!("draining");
+    let report = server.shutdown();
+    if let Ok(path) = std::env::var("PLIS_SERVE_SNAPSHOT") {
+        if !path.is_empty() {
+            std::fs::write(&path, report.snapshot.encode()).expect("snapshot write failed");
+            eprintln!("snapshot: {path} ({} sessions)", report.snapshot.session_count());
+        }
+    }
+    eprintln!(
+        "served {} combined ticks across {} sessions",
+        report.ticks_executed,
+        report.snapshot.session_count()
+    );
+}

@@ -1,0 +1,568 @@
+//! The server proper: listener, per-connection reader threads, the
+//! batcher, and graceful shutdown.
+//!
+//! # Threading model
+//!
+//! * One **accept thread** polls a non-blocking listener and spawns a
+//!   reader thread per connection.
+//! * Each **reader thread** blocks on its socket, reassembles frames
+//!   (partial TCP reads are the normal case, not an error), decodes the
+//!   sealed tick / read tick, and enqueues a work item.  Any protocol
+//!   violation earns a typed error frame and a clean close of that one
+//!   connection; the engine and every other connection are untouched.
+//! * One **batcher thread** owns the [`Engine`].  It drains the queue in
+//!   arrival order and coalesces items into engine ticks on a time/size
+//!   trigger: a batch closes as soon as it holds
+//!   [`ServerConfig::batch_max_ops`] ops, or
+//!   [`ServerConfig::batch_max_wait`] after its first op arrived,
+//!   whichever comes first.
+//!
+//! # Ordering and read-your-writes
+//!
+//! The queue is strictly FIFO and each reader enqueues its connection's
+//! requests in socket order, so per-connection submission order is
+//! preserved end to end.  Within one drained batch, consecutive write
+//! requests with the same `create_missing` flag merge into one combined
+//! [`Tick`] (and consecutive read requests into one combined
+//! [`ReadTick`]) with each request occupying a contiguous slot range;
+//! runs execute in queue order.  Sessions are independent and the engine
+//! applies same-session slots of one tick in slot order, so the combined
+//! execution is op-for-op identical to executing every request
+//! individually in queue order — which is what makes serving
+//! bit-identical to direct library execution, whatever the batching.  A
+//! read that follows a write on the same connection sits later in the
+//! queue, lands in the same or a later run, and therefore observes the
+//! write: read-your-writes.
+//!
+//! # Shutdown and drain
+//!
+//! [`ServerHandle::shutdown`] stops the accept loop, half-closes every
+//! connection's read side (queued responses still flush through the
+//! write side), joins the readers, then lets the batcher drain the
+//! remaining queue — every request that was fully received is executed
+//! and answered, then the engine is snapshotted and returned.  Nothing
+//! acked is lost; nothing is applied twice (the journal records each
+//! combined tick exactly once, before execution).
+
+use crate::protocol::{
+    error_message, message, parse_message, read_frame, write_frame, FrameRead, ProtocolError,
+    DEFAULT_MAX_FRAME_BYTES, TAG_READ, TAG_READ_OUTCOME, TAG_SUBMIT, TAG_TICK_OUTCOME,
+};
+use plis_engine::{
+    decode_read_tick, decode_tick, encode_read_outcome, encode_tick, encode_tick_outcome, Engine,
+    EngineConfig, EngineSnapshot, ReadOutcome, ReadTick, Tick, TickOutcome,
+};
+use plis_telemetry::JournalWriter;
+use std::collections::{HashMap, VecDeque};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Where the server journals executed ticks.
+#[derive(Debug, Clone, Default)]
+pub enum JournalMode {
+    /// No journal.
+    #[default]
+    Off,
+    /// Journal into memory; the bytes come back in the
+    /// [`ShutdownReport`].
+    Memory,
+    /// Journal into a file at this path (created/truncated on start).
+    File(PathBuf),
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; use port 0 for an ephemeral port.
+    pub addr: SocketAddr,
+    /// Engine configuration (universe, backend, shards, …).
+    pub engine: EngineConfig,
+    /// Size trigger: a batch closes once it holds this many ops.
+    pub batch_max_ops: usize,
+    /// Time trigger: a batch closes this long after its first op.
+    pub batch_max_wait: Duration,
+    /// Per-frame payload cap; larger announcements are rejected typed.
+    pub max_frame_bytes: u32,
+    /// Tick journalling (each combined tick, written before execution).
+    pub journal: JournalMode,
+    /// Pin tick execution to a dedicated pool of this many workers;
+    /// `None` executes on the batcher thread's default pool.
+    pub worker_threads: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            engine: EngineConfig::default(),
+            batch_max_ops: 256,
+            batch_max_wait: Duration::from_micros(200),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            journal: JournalMode::Off,
+            worker_threads: None,
+        }
+    }
+}
+
+/// What [`ServerHandle::shutdown`] hands back after the drain.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// The engine, post-drain — callers can snapshot, inspect or keep
+    /// serving it in-process.
+    pub engine: Engine,
+    /// A snapshot captured after the last tick drained.
+    pub snapshot: EngineSnapshot,
+    /// The journal bytes when [`JournalMode::Memory`] was configured
+    /// (file journals are already on disk).
+    pub journal: Option<Vec<u8>>,
+    /// Combined ticks journalled/executed over the server's lifetime.
+    pub ticks_executed: u64,
+}
+
+enum Request {
+    Write(Tick),
+    Read(ReadTick),
+}
+
+struct WorkItem {
+    request_id: u64,
+    request: Request,
+    reply: Arc<ConnWriter>,
+}
+
+impl WorkItem {
+    fn ops(&self) -> usize {
+        match &self.request {
+            Request::Write(t) => t.slots().len().max(1),
+            Request::Read(t) => t.slots().len().max(1),
+        }
+    }
+}
+
+/// The write half of a connection, shared between its reader thread and
+/// the batcher.  Send failures are remembered, not propagated: a peer
+/// that vanished mid-response must not take the batcher down.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    dead: AtomicBool,
+}
+
+impl ConnWriter {
+    fn send(&self, payload: &[u8]) {
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut stream = self.stream.lock().unwrap();
+        if write_frame(&mut *stream, payload).is_err() {
+            self.dead.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<WorkItem>>,
+    cond: Condvar,
+    /// Accept loop stops; set first on shutdown.
+    shutting_down: AtomicBool,
+    /// Readers are joined and the queue is complete; the batcher may
+    /// exit once it runs dry.
+    drained: AtomicBool,
+    /// Reader-side stream clones, for half-closing on shutdown.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Reader thread handles, joined during shutdown.
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn enqueue(&self, item: WorkItem) {
+        self.queue.lock().unwrap().push_back(item);
+        self.cond.notify_all();
+    }
+}
+
+enum JournalSink {
+    Mem(Vec<u8>),
+    File(BufWriter<File>),
+}
+
+impl Write for JournalSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            JournalSink::Mem(v) => v.write(buf),
+            JournalSink::File(f) => f.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            JournalSink::Mem(v) => v.flush(),
+            JournalSink::File(f) => f.flush(),
+        }
+    }
+}
+
+/// A running server.  Dropping the handle without calling
+/// [`ServerHandle::shutdown`] detaches the threads (the process exit
+/// reaps them); tests and the server binary always shut down explicitly.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<(Engine, Option<JournalSink>, u64)>>,
+}
+
+impl ServerHandle {
+    /// Bind, spawn the accept and batcher threads, and start serving.
+    pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            readers: Mutex::new(Vec::new()),
+        });
+
+        let journal = match &config.journal {
+            JournalMode::Off => None,
+            JournalMode::Memory => Some(JournalWriter::new(JournalSink::Mem(Vec::new()))),
+            JournalMode::File(path) => {
+                Some(JournalWriter::new(JournalSink::File(BufWriter::new(File::create(path)?))))
+            }
+        };
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let max_frame = config.max_frame_bytes;
+            thread::Builder::new()
+                .name("plis-accept".into())
+                .spawn(move || accept_loop(listener, shared, max_frame))?
+        };
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            let config = config.clone();
+            thread::Builder::new()
+                .name("plis-batcher".into())
+                .spawn(move || batcher_loop(config, shared, journal))?
+        };
+
+        Ok(ServerHandle { addr, shared, accept: Some(accept), batcher: Some(batcher) })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, half-close every connection's
+    /// read side, join the readers, drain the queue, and return the
+    /// engine + snapshot + journal.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Stop the flow of new requests; responses still drain through
+        // the write halves.
+        for (_, stream) in self.shared.conns.lock().unwrap().iter() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        let readers: Vec<_> = std::mem::take(&mut *self.shared.readers.lock().unwrap());
+        for reader in readers {
+            let _ = reader.join();
+        }
+        // The queue is now complete; let the batcher run dry and exit.
+        self.shared.drained.store(true, Ordering::SeqCst);
+        self.shared.cond.notify_all();
+        let (engine, journal, ticks_executed) =
+            self.batcher.take().expect("shutdown runs once").join().expect("batcher panicked");
+        let snapshot = engine.snapshot();
+        let journal = journal.and_then(|sink| match sink {
+            JournalSink::Mem(bytes) => Some(bytes),
+            JournalSink::File(mut file) => {
+                let _ = file.flush();
+                None
+            }
+        });
+        ShutdownReport { engine, snapshot, journal, ticks_executed }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, max_frame: u32) {
+    let mut next_conn = 0u64;
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_id = next_conn;
+                next_conn += 1;
+                if spawn_reader(&shared, stream, conn_id, max_frame).is_err() {
+                    continue;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn spawn_reader(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    conn_id: u64,
+    max_frame: u32,
+) -> io::Result<()> {
+    // The accepted socket may inherit the listener's non-blocking mode on
+    // some platforms; readers want blocking reads.
+    stream.set_nonblocking(false)?;
+    let _ = stream.set_nodelay(true);
+    let writer = Arc::new(ConnWriter {
+        stream: Mutex::new(stream.try_clone()?),
+        dead: AtomicBool::new(false),
+    });
+    shared.conns.lock().unwrap().insert(conn_id, stream.try_clone()?);
+    let handle = {
+        let shared = Arc::clone(shared);
+        thread::Builder::new().name(format!("plis-conn-{conn_id}")).spawn(move || {
+            reader_loop(&stream, &writer, &shared, max_frame);
+            shared.conns.lock().unwrap().remove(&conn_id);
+        })?
+    };
+    shared.readers.lock().unwrap().push(handle);
+    Ok(())
+}
+
+/// Serve one connection's read side until it closes or violates the
+/// protocol.  Returns (and thereby closes the connection) on the first
+/// violation, after sending a typed error frame.
+fn reader_loop(stream: &TcpStream, writer: &Arc<ConnWriter>, shared: &Shared, max_frame: u32) {
+    let mut read_half = stream;
+    loop {
+        let payload = match read_frame(&mut read_half, max_frame) {
+            // Peer closed (cleanly or mid-frame): no protocol violation,
+            // nothing to answer, nothing reached the engine.
+            Ok(FrameRead::Closed) | Ok(FrameRead::Torn) => return,
+            Ok(FrameRead::Rejected(err)) => {
+                // Frame-level damage precedes the request id.
+                writer.send(&error_message(0, &err));
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            Ok(FrameRead::Payload(payload)) => payload,
+            Err(_) => return,
+        };
+        let msg = match parse_message(&payload) {
+            Ok(msg) => msg,
+            Err(err) => {
+                writer.send(&error_message(0, &err));
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        let request = match msg.tag {
+            TAG_SUBMIT => decode_tick(msg.body).map(Request::Write),
+            TAG_READ => decode_read_tick(msg.body).map(Request::Read),
+            other => {
+                writer.send(&error_message(msg.request_id, &ProtocolError::UnknownTag(other)));
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        match request {
+            Ok(request) => shared.enqueue(WorkItem {
+                request_id: msg.request_id,
+                request,
+                reply: Arc::clone(writer),
+            }),
+            Err(e) => {
+                writer.send(&error_message(msg.request_id, &ProtocolError::BadPayload(e)));
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+    }
+}
+
+fn batcher_loop(
+    config: ServerConfig,
+    shared: Arc<Shared>,
+    mut journal: Option<JournalWriter<JournalSink>>,
+) -> (Engine, Option<JournalSink>, u64) {
+    let mut engine = Engine::new(config.engine.clone());
+    let pool = config.worker_threads.map(|n| {
+        rayon::ThreadPoolBuilder::new().num_threads(n).build().expect("pool build cannot fail")
+    });
+    let mut ticks_executed = 0u64;
+    loop {
+        let batch = collect_batch(&shared, &config);
+        if batch.is_empty() {
+            // Only returned empty when drained and dry.
+            return (engine, journal.map(JournalWriter::into_inner), ticks_executed);
+        }
+        ticks_executed += execute_batch(&mut engine, pool.as_ref(), journal.as_mut(), batch) as u64;
+    }
+}
+
+/// Block until at least one work item is available (or the server is
+/// drained dry), then keep collecting until the size or time trigger
+/// fires.  Returns an empty batch only at drained-and-dry.
+fn collect_batch(shared: &Shared, config: &ServerConfig) -> Vec<WorkItem> {
+    let mut batch = Vec::new();
+    let mut ops = 0usize;
+    let mut deadline: Option<Instant> = None;
+    let mut queue = shared.queue.lock().unwrap();
+    loop {
+        while ops < config.batch_max_ops {
+            match queue.pop_front() {
+                Some(item) => {
+                    ops += item.ops();
+                    batch.push(item);
+                }
+                None => break,
+            }
+        }
+        if ops >= config.batch_max_ops {
+            return batch;
+        }
+        let drained = shared.drained.load(Ordering::SeqCst);
+        if batch.is_empty() {
+            if drained {
+                return batch;
+            }
+            // Nothing to do yet; park until work or shutdown arrives.
+            // The timeout is a backstop against a lost wakeup.
+            queue = shared.cond.wait_timeout(queue, Duration::from_millis(50)).unwrap().0;
+            continue;
+        }
+        if drained {
+            // No more producers: waiting out the time trigger is
+            // pointless, ship what we have.
+            return batch;
+        }
+        let until = *deadline.get_or_insert_with(|| Instant::now() + config.batch_max_wait);
+        let now = Instant::now();
+        if now >= until {
+            return batch;
+        }
+        let (guard, timeout) = shared.cond.wait_timeout(queue, until - now).unwrap();
+        queue = guard;
+        if timeout.timed_out() && queue.is_empty() {
+            return batch;
+        }
+    }
+}
+
+/// Execute one drained batch: coalesce compatible consecutive requests
+/// into combined ticks, journal each combined tick before running it,
+/// and route per-request outcome slices back to their connections.
+/// Returns the number of combined ticks executed.
+fn execute_batch(
+    engine: &mut Engine,
+    pool: Option<&rayon::ThreadPool>,
+    mut journal: Option<&mut JournalWriter<JournalSink>>,
+    batch: Vec<WorkItem>,
+) -> usize {
+    let mut executed = 0usize;
+    let mut items = batch.into_iter().peekable();
+    while let Some(first) = items.next() {
+        match first.request {
+            Request::Write(_) => {
+                let creates = match &first.request {
+                    Request::Write(t) => t.creates_missing(),
+                    Request::Read(_) => unreachable!(),
+                };
+                let mut run = vec![first];
+                while matches!(
+                    items.peek(),
+                    Some(WorkItem { request: Request::Write(t), .. })
+                        if t.creates_missing() == creates
+                ) {
+                    run.push(items.next().unwrap());
+                }
+                execute_write_run(engine, pool, journal.as_deref_mut(), creates, run);
+            }
+            Request::Read(_) => {
+                let mut run = vec![first];
+                while matches!(items.peek(), Some(WorkItem { request: Request::Read(_), .. })) {
+                    run.push(items.next().unwrap());
+                }
+                execute_read_run(engine, pool, run);
+            }
+        }
+        executed += 1;
+    }
+    executed
+}
+
+fn execute_write_run(
+    engine: &mut Engine,
+    pool: Option<&rayon::ThreadPool>,
+    journal: Option<&mut JournalWriter<JournalSink>>,
+    creates_missing: bool,
+    run: Vec<WorkItem>,
+) {
+    let mut combined = if creates_missing { Tick::new().auto_create() } else { Tick::new() };
+    let mut ranges = Vec::with_capacity(run.len());
+    for item in &run {
+        let Request::Write(tick) = &item.request else { unreachable!("write run") };
+        let start = combined.slots().len();
+        for (id, op) in tick.slots() {
+            combined.push(id, op.clone());
+        }
+        ranges.push(start..combined.slots().len());
+    }
+    if let Some(journal) = journal {
+        // Before execution: the recovery contract replays journalled
+        // ticks, so a tick that executed but never reached the journal
+        // would be lost.
+        journal.append(&encode_tick(&combined)).expect("journal append failed");
+    }
+    let outcome = match pool {
+        Some(pool) => pool.install(|| engine.execute(&combined)),
+        None => engine.execute(&combined),
+    };
+    for (item, range) in run.iter().zip(ranges) {
+        let part = TickOutcome::from_parts(
+            outcome.outcomes[range].to_vec(),
+            outcome.worker_threads,
+            outcome.elapsed_ns,
+        );
+        item.reply.send(&message(TAG_TICK_OUTCOME, item.request_id, &encode_tick_outcome(&part)));
+    }
+}
+
+fn execute_read_run(engine: &mut Engine, pool: Option<&rayon::ThreadPool>, run: Vec<WorkItem>) {
+    let mut combined = ReadTick::new();
+    let mut ranges = Vec::with_capacity(run.len());
+    for item in &run {
+        let Request::Read(tick) = &item.request else { unreachable!("read run") };
+        let start = combined.slots().len();
+        for (id, batch) in tick.slots() {
+            combined.push(id, batch.clone());
+        }
+        ranges.push(start..combined.slots().len());
+    }
+    let outcome = match pool {
+        Some(pool) => pool.install(|| engine.execute_read(&combined)),
+        None => engine.execute_read(&combined),
+    };
+    for (item, range) in run.iter().zip(ranges) {
+        let part = ReadOutcome::from_parts(
+            outcome.outcomes[range].to_vec(),
+            outcome.worker_threads,
+            outcome.elapsed_ns,
+        );
+        item.reply.send(&message(TAG_READ_OUTCOME, item.request_id, &encode_read_outcome(&part)));
+    }
+}

@@ -25,7 +25,30 @@
 use std::io::{self, Write};
 
 /// Bytes of framing overhead per record: `u32` length + `u64` checksum.
-const HEADER_BYTES: usize = 4 + 8;
+/// This is also the frame-header size of the TCP service plane, which
+/// reuses the journal's exact frame layout (see [`encode_frame_header`]).
+pub const FRAME_HEADER_BYTES: usize = 4 + 8;
+
+const HEADER_BYTES: usize = FRAME_HEADER_BYTES;
+
+/// Build the `[payload_len: u32][crc64(payload): u64]` header that frames
+/// `payload`, both in the journal and on the service plane's sockets —
+/// one frame layout, one implementation.
+pub fn encode_frame_header(payload: &[u8]) -> [u8; FRAME_HEADER_BYTES] {
+    let len = u32::try_from(payload.len()).expect("frame payload over 4 GiB");
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    header[..4].copy_from_slice(&len.to_le_bytes());
+    header[4..].copy_from_slice(&crc64(payload).to_le_bytes());
+    header
+}
+
+/// Split a frame header into `(payload_len, expected_crc)`.  The caller
+/// reads that many payload bytes and verifies them with [`crc64`].
+pub fn decode_frame_header(header: &[u8; FRAME_HEADER_BYTES]) -> (u32, u64) {
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+    let crc = u64::from_le_bytes(header[4..].try_into().unwrap());
+    (len, crc)
+}
 
 /// Nibble-at-a-time table for CRC-64/XZ (reflected polynomial
 /// `0xC96C_5795_D787_0F42`).  Sixteen entries keep the table in a cache
@@ -81,11 +104,10 @@ impl<W: Write> JournalWriter<W> {
 
     /// Frame `payload` and append it.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
-        let len = u32::try_from(payload.len()).map_err(|_| {
-            io::Error::new(io::ErrorKind::InvalidInput, "journal record over 4 GiB")
-        })?;
-        self.inner.write_all(&len.to_le_bytes())?;
-        self.inner.write_all(&crc64(payload).to_le_bytes())?;
+        if u32::try_from(payload.len()).is_err() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "journal record over 4 GiB"));
+        }
+        self.inner.write_all(&encode_frame_header(payload))?;
         self.inner.write_all(payload)?;
         self.inner.flush()?;
         self.records += 1;

@@ -41,7 +41,8 @@ mod trace;
 pub use allocmeter::{alloc_tally, record_alloc, AllocTally};
 pub use hist::{AtomicHistogram, HistogramSnapshot, BUCKETS};
 pub use journal::{
-    crc64, read_journal, JournalContents, JournalCorrupt, JournalTail, JournalWriter,
+    crc64, decode_frame_header, encode_frame_header, read_journal, JournalContents, JournalCorrupt,
+    JournalTail, JournalWriter, FRAME_HEADER_BYTES,
 };
 pub use json::{json_line, JsonValue};
 pub use trace::{MemorySink, TraceSink};
